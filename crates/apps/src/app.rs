@@ -1,0 +1,439 @@
+//! The runnable mini-application: solver + checkpoint plumbing.
+
+use drms_core::report::OpBreakdown;
+use drms_core::segment::{DataSegment, RegionKind, SegmentAnatomy};
+use drms_core::{spmd, CheckpointArray, CoreError, Drms, EnableFlag, Start};
+use drms_darray::DistArray;
+use drms_msg::Ctx;
+use drms_piofs::Piofs;
+use drms_slices::Order;
+
+use crate::solver;
+use crate::spec::AppSpec;
+
+/// Which checkpointing scheme the application instance uses — the two
+/// columns of Tables 3 and 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppVariant {
+    /// Reconfigurable DRMS checkpointing (one segment + array streams).
+    Drms,
+    /// Conventional SPMD checkpointing (every task dumps its segment).
+    Spmd,
+}
+
+/// One task's instance of a running mini-application.
+pub struct MiniApp {
+    spec: AppSpec,
+    variant: AppVariant,
+    drms: Drms,
+    seg: DataSegment,
+    fields: Vec<DistArray<f64>>,
+    iter: i64,
+    spmd_sop: u64,
+    /// Breakdown of the restart that produced this instance, if any.
+    pub restart_report: Option<OpBreakdown>,
+}
+
+impl MiniApp {
+    /// Starts (or restarts) the application on the current SPMD region.
+    ///
+    /// This is the Figure 1 skeleton: `drms_initialize`, distributed-array
+    /// declaration/distribution, and — on restart — state reload with
+    /// `drms_adjust`-style redistribution when the task count changed.
+    pub fn start(
+        ctx: &mut Ctx,
+        fs: &Piofs,
+        spec: AppSpec,
+        variant: AppVariant,
+        enable: EnableFlag,
+        restart_from: Option<&str>,
+    ) -> Result<MiniApp, CoreError> {
+        let cfg = spec.drms_config();
+
+        // The task's resident set: what the node's memory ledger sees.
+        fs.set_residency(ctx.node(), spec.expected_segment_bytes());
+
+        // Base segment: system buffers, private/replicated data, parameters.
+        let mut seg = DataSegment::new();
+        seg.set_region(
+            "msgbuf",
+            RegionKind::SystemBuffers,
+            vec![0xA5; spec.system_bytes() as usize],
+        );
+        seg.set_region(
+            "work-arrays",
+            RegionKind::PrivateData,
+            vec![0x5C; spec.private_bytes() as usize],
+        );
+        seg.set_replicated_f64("grid", spec.grid() as f64);
+        seg.set_control("iter", 0);
+
+        let mut app = match variant {
+            AppVariant::Drms => {
+                let (drms, start) =
+                    Drms::initialize(ctx, fs, cfg, enable, restart_from)?;
+                let mut fields = make_fields(&spec, ctx);
+                match start {
+                    Start::Fresh => {
+                        fill_fresh(&mut fields);
+                        MiniApp {
+                            spec,
+                            variant,
+                            drms,
+                            seg,
+                            fields,
+                            iter: 0,
+                            spmd_sop: 0,
+                            restart_report: None,
+                        }
+                    }
+                    Start::Restarted(info) => {
+                        let iter = info.segment.control("iter").unwrap_or(0);
+                        let mut handles: Vec<&mut dyn CheckpointArray> =
+                            fields.iter_mut().map(|f| f as &mut dyn CheckpointArray).collect();
+                        let arrays_time = drms.restore_arrays(
+                            ctx,
+                            fs,
+                            restart_from.expect("restarted implies prefix"),
+                            &info.manifest,
+                            &mut handles,
+                        )?;
+                        // Every task reads the whole shared segment file,
+                        // so the bytes *moved* in the segment phase are
+                        // ntasks x file size — the quantity behind the
+                        // paper's aggregate restore rates (29 -> 55 MB/s).
+                        let seg_file = fs
+                            .size(&drms_core::manifest::segment_path(restart_from.unwrap()))
+                            .unwrap_or(0);
+                        let report = OpBreakdown {
+                            init: info.init_time,
+                            segment: info.segment_time,
+                            arrays: arrays_time,
+                            segment_bytes: seg_file * ctx.ntasks() as u64,
+                            array_bytes: spec.stream_bytes(),
+                        };
+                        MiniApp {
+                            spec,
+                            variant,
+                            drms,
+                            seg: info.segment,
+                            fields,
+                            iter,
+                            spmd_sop: 0,
+                            restart_report: Some(report),
+                        }
+                    }
+                }
+            }
+            AppVariant::Spmd => {
+                let (drms, _) = Drms::initialize(ctx, fs, cfg.clone(), enable, None)?;
+                let mut fields = make_fields(&spec, ctx);
+                match restart_from {
+                    None => {
+                        fill_fresh(&mut fields);
+                        MiniApp {
+                            spec,
+                            variant,
+                            drms,
+                            seg,
+                            fields,
+                            iter: 0,
+                            spmd_sop: 0,
+                            restart_report: None,
+                        }
+                    }
+                    Some(prefix) => {
+                        let (restored, report) = spmd::restart(ctx, fs, &cfg, prefix)?;
+                        let iter = restored.control("iter").unwrap_or(0);
+                        let blob = restored
+                            .region("local-sections")
+                            .ok_or_else(|| {
+                                CoreError::ManifestMismatch(
+                                    "SPMD segment lacks local sections".into(),
+                                )
+                            })?
+                            .bytes
+                            .clone();
+                        let mut handles: Vec<&mut dyn CheckpointArray> =
+                            fields.iter_mut().map(|f| f as &mut dyn CheckpointArray).collect();
+                        drms_core::decode_locals(&mut handles, &blob)?;
+                        MiniApp {
+                            spec,
+                            variant,
+                            drms,
+                            seg: restored,
+                            fields,
+                            iter,
+                            spmd_sop: 0,
+                            restart_report: Some(report),
+                        }
+                    }
+                }
+            }
+        };
+        app.seg.set_control("iter", app.iter);
+        Ok(app)
+    }
+
+    /// The application spec.
+    pub fn spec(&self) -> &AppSpec {
+        &self.spec
+    }
+
+    /// The running variant.
+    pub fn variant(&self) -> AppVariant {
+        self.variant
+    }
+
+    /// Completed iterations.
+    pub fn iter(&self) -> i64 {
+        self.iter
+    }
+
+    /// The distributed fields (primary solution first).
+    pub fn fields(&self) -> &[DistArray<f64>] {
+        &self.fields
+    }
+
+    /// One solver iteration (collective).
+    pub fn step(&mut self, ctx: &mut Ctx) {
+        self.iter += 1;
+        solver::step(ctx, &mut self.fields, self.iter);
+        self.seg.set_control("iter", self.iter);
+    }
+
+    /// Takes a checkpoint under `prefix` using the variant's scheme
+    /// (collective). Returns the phase breakdown.
+    pub fn checkpoint(
+        &mut self,
+        ctx: &mut Ctx,
+        fs: &Piofs,
+        prefix: &str,
+    ) -> Result<OpBreakdown, CoreError> {
+        let handles: Vec<&dyn CheckpointArray> =
+            self.fields.iter().map(|f| f as &dyn CheckpointArray).collect();
+        match self.variant {
+            AppVariant::Drms => {
+                self.drms.reconfig_checkpoint(ctx, fs, prefix, &self.seg, &handles)
+            }
+            AppVariant::Spmd => {
+                self.spmd_sop += 1;
+                spmd::checkpoint(
+                    ctx,
+                    fs,
+                    self.drms.cfg(),
+                    prefix,
+                    &self.seg,
+                    &handles,
+                    self.spmd_sop,
+                )
+            }
+        }
+    }
+
+    /// System-enabled checkpoint (`drms_reconfig_chkenable`); DRMS variant
+    /// only — returns `Ok(None)` for the SPMD variant (the facility does
+    /// not exist there) or when the enable signal is down.
+    pub fn checkpoint_if_enabled(
+        &mut self,
+        ctx: &mut Ctx,
+        fs: &Piofs,
+        prefix: &str,
+    ) -> Result<Option<OpBreakdown>, CoreError> {
+        if self.variant != AppVariant::Drms {
+            return Ok(None);
+        }
+        let handles: Vec<&dyn CheckpointArray> =
+            self.fields.iter().map(|f| f as &dyn CheckpointArray).collect();
+        self.drms.reconfig_chkenable(ctx, fs, prefix, &self.seg, &handles)
+    }
+
+    /// Global residual diagnostic (collective).
+    pub fn residual(&self, ctx: &mut Ctx) -> f64 {
+        solver::residual(ctx, &self.fields)
+    }
+
+    /// Collects every assigned element of every field, tagged by field
+    /// index and point — the ground truth for bitwise comparisons.
+    pub fn snapshot_assigned(&self) -> Vec<((usize, Vec<i64>), f64)> {
+        let mut out = Vec::new();
+        for (fi, f) in self.fields.iter().enumerate() {
+            f.fold_assigned((), |_, p, v| out.push(((fi, p.to_vec()), v)));
+        }
+        out
+    }
+
+    /// The Table 4 anatomy of this task's data segment, including the
+    /// (fixed-size) local-sections region as it would be checkpointed.
+    pub fn segment_anatomy(&self) -> SegmentAnatomy {
+        let mut a = self.seg.anatomy();
+        let actual: u64 = self.fields.iter().map(|f| f.local_bytes() as u64).sum();
+        let local = actual.max(self.spec.fixed_local_bytes());
+        a.local_sections += local;
+        // name + kind + blob framing for the extra region
+        a.total += 4 + "local-sections".len() as u64 + 1 + 8 + local;
+        a
+    }
+}
+
+fn make_fields(spec: &AppSpec, ctx: &Ctx) -> Vec<DistArray<f64>> {
+    spec.fields
+        .iter()
+        .map(|f| {
+            DistArray::new(&f.name, Order::ColumnMajor, spec.dist(f, ctx.ntasks()), ctx.rank())
+        })
+        .collect()
+}
+
+fn fill_fresh(fields: &mut [DistArray<f64>]) {
+    for (fi, f) in fields.iter_mut().enumerate() {
+        f.fill_mapped(|p| solver::initial_value(fi, p));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bt, lu, sp, Class};
+    use drms_msg::{run_spmd, CostModel};
+    use drms_piofs::PiofsConfig;
+    use std::sync::Arc;
+
+    fn fs() -> Arc<Piofs> {
+        Piofs::new(PiofsConfig::test_tiny(8), 17)
+    }
+
+    fn run_app(
+        fs: &Arc<Piofs>,
+        spec: AppSpec,
+        variant: AppVariant,
+        ntasks: usize,
+        restart_from: Option<&str>,
+        ckpt_at: Option<(i64, &str)>,
+        end_iter: i64,
+    ) -> Vec<((usize, Vec<i64>), f64)> {
+        let out = run_spmd(ntasks, CostModel::default(), |ctx| {
+            let mut app = MiniApp::start(
+                ctx,
+                fs,
+                spec.clone(),
+                variant,
+                EnableFlag::new(),
+                restart_from,
+            )
+            .unwrap();
+            while app.iter() < end_iter {
+                app.step(ctx);
+                if let Some((at, prefix)) = ckpt_at {
+                    if app.iter() == at {
+                        app.checkpoint(ctx, fs, prefix).unwrap();
+                    }
+                }
+            }
+            app.snapshot_assigned()
+        })
+        .unwrap();
+        let mut all: Vec<((usize, Vec<i64>), f64)> = out.into_iter().flatten().collect();
+        all.sort_by(|a, b| a.0.cmp(&b.0));
+        all
+    }
+
+    #[test]
+    fn drms_reconfigured_restart_bitwise_exact_all_apps() {
+        for spec_fn in [bt as fn(Class) -> AppSpec, lu, sp] {
+            let spec = spec_fn(Class::T);
+            let name = spec.name;
+            let reference = run_app(&fs(), spec.clone(), AppVariant::Drms, 4, None, None, 6);
+
+            let f = fs();
+            Drms::install_binary(&f, &spec.drms_config());
+            run_app(&f, spec.clone(), AppVariant::Drms, 4, None, Some((3, "ck/x")), 3);
+            let resumed =
+                run_app(&f, spec.clone(), AppVariant::Drms, 3, Some("ck/x"), None, 6);
+            assert_eq!(reference.len(), resumed.len(), "{name}");
+            for (a, b) in reference.iter().zip(&resumed) {
+                assert_eq!(a.0, b.0, "{name}");
+                assert!(a.1 == b.1, "{name} point {:?}: {} vs {}", a.0, a.1, b.1);
+            }
+        }
+    }
+
+    #[test]
+    fn spmd_restart_same_tasks_bitwise_exact() {
+        let spec = bt(Class::T);
+        let reference = run_app(&fs(), spec.clone(), AppVariant::Spmd, 4, None, None, 6);
+        let f = fs();
+        Drms::install_binary(&f, &spec.drms_config());
+        run_app(&f, spec.clone(), AppVariant::Spmd, 4, None, Some((3, "ck/s")), 3);
+        let resumed = run_app(&f, spec.clone(), AppVariant::Spmd, 4, Some("ck/s"), None, 6);
+        assert_eq!(reference, resumed);
+    }
+
+    #[test]
+    fn spmd_restart_other_task_count_fails() {
+        let spec = sp(Class::T);
+        let f = fs();
+        run_app(&f, spec.clone(), AppVariant::Spmd, 4, None, Some((2, "ck/s")), 2);
+        let errs = run_spmd(2, CostModel::default(), |ctx| {
+            MiniApp::start(
+                ctx,
+                &f,
+                spec.clone(),
+                AppVariant::Spmd,
+                EnableFlag::new(),
+                Some("ck/s"),
+            )
+            .err()
+            .map(|e| e.to_string())
+        })
+        .unwrap();
+        assert!(errs[0].as_ref().unwrap().contains("cannot restart with 2"));
+    }
+
+    #[test]
+    fn anatomy_reflects_spec() {
+        let spec = lu(Class::S);
+        let f = fs();
+        let anatomies = run_spmd(4, CostModel::default(), |ctx| {
+            let app = MiniApp::start(
+                ctx,
+                &f,
+                spec.clone(),
+                AppVariant::Drms,
+                EnableFlag::new(),
+                None,
+            )
+            .unwrap();
+            app.segment_anatomy()
+        })
+        .unwrap();
+        let a = anatomies[0];
+        assert_eq!(a.system, spec.system_bytes());
+        assert!(a.private_replicated >= spec.private_bytes());
+        assert!(a.local_sections >= spec.fixed_local_bytes());
+        assert!(a.total > a.system + a.private_replicated);
+    }
+
+    #[test]
+    fn drms_saved_state_independent_of_tasks_spmd_grows() {
+        let spec = sp(Class::T);
+        let mut drms_sizes = Vec::new();
+        let mut spmd_sizes = Vec::new();
+        // Task counts at or above the compiled minimum (4), like the paper.
+        for p in [4usize, 8] {
+            let f = fs();
+            run_app(&f, spec.clone(), AppVariant::Drms, p, None, Some((1, "ck/d")), 1);
+            drms_sizes.push(f.total_bytes("ck/d/"));
+            let f = fs();
+            run_app(&f, spec.clone(), AppVariant::Spmd, p, None, Some((1, "ck/s")), 1);
+            spmd_sizes.push(f.total_bytes("ck/s/"));
+        }
+        // DRMS: constant (manifest bytes differ by a few bytes at most).
+        let drift =
+            (drms_sizes[0] as f64 - drms_sizes[1] as f64).abs() / drms_sizes[0] as f64;
+        assert!(drift < 0.001, "DRMS sizes {drms_sizes:?}");
+        // SPMD: linear in tasks.
+        let ratio = spmd_sizes[1] as f64 / spmd_sizes[0] as f64;
+        assert!(ratio > 1.9 && ratio < 2.1, "SPMD sizes {spmd_sizes:?}");
+    }
+}

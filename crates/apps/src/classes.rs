@@ -1,0 +1,90 @@
+//! Problem classes: grid sizes and memory scaling.
+
+/// NPB-style problem class. The paper's experiments use class A.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Class {
+    /// Tiny: 8^3 grid — unit tests.
+    T,
+    /// Small: 16^3 grid — integration tests.
+    S,
+    /// Workstation: 32^3 grid — quick experiment runs.
+    W,
+    /// The paper's setting: 64^3 grid.
+    A,
+}
+
+impl Class {
+    /// Grid edge length.
+    pub fn grid(self) -> usize {
+        match self {
+            Class::T => 8,
+            Class::S => 16,
+            Class::W => 32,
+            Class::A => 64,
+        }
+    }
+
+    /// Memory scale factor relative to class A. All byte-denominated
+    /// anatomy (system buffers, private data, node memory when the caller
+    /// scales the file system) shrinks by this factor, preserving every
+    /// ratio — and therefore every buffer-threshold crossing — of the
+    /// class-A experiments.
+    pub fn memory_scale(self) -> f64 {
+        let g = self.grid() as f64;
+        (g / 64.0).powi(3)
+    }
+
+    /// Default iteration count for the benchmark runs.
+    pub fn niter(self) -> i64 {
+        match self {
+            Class::T | Class::S => 8,
+            Class::W | Class::A => 4,
+        }
+    }
+
+    /// Parses a class name (`"A"`, `"W"`, ...).
+    pub fn parse(s: &str) -> Option<Class> {
+        match s.trim().to_ascii_uppercase().as_str() {
+            "T" => Some(Class::T),
+            "S" => Some(Class::S),
+            "W" => Some(Class::W),
+            "A" => Some(Class::A),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Class {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let c = match self {
+            Class::T => 'T',
+            Class::S => 'S',
+            Class::W => 'W',
+            Class::A => 'A',
+        };
+        write!(f, "{c}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grids_and_scales() {
+        assert_eq!(Class::A.grid(), 64);
+        assert_eq!(Class::A.memory_scale(), 1.0);
+        assert_eq!(Class::W.memory_scale(), 0.125);
+        assert_eq!(Class::T.grid(), 8);
+        assert!((Class::S.memory_scale() - 1.0 / 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for c in [Class::T, Class::S, Class::W, Class::A] {
+            assert_eq!(Class::parse(&c.to_string()), Some(c));
+        }
+        assert_eq!(Class::parse("a"), Some(Class::A));
+        assert_eq!(Class::parse("zz"), None);
+    }
+}

@@ -1,0 +1,35 @@
+//! Mini NAS-parallel-benchmark applications: BT, LU, and SP.
+//!
+//! The paper's measurements use the NPB 2 benchmarks BT, LU, and SP — CFD
+//! pseudo-applications solving 3-D PDE systems — hand-optimized for the SP
+//! with MPL message passing, then made reconfigurable with ~100 added lines
+//! each (Table 1). This crate provides miniature but *real* counterparts:
+//!
+//! * each application iterates a deterministic stencil solver over 3-D
+//!   five-component fields, with shadow-region exchanges every sweep;
+//! * the memory anatomy matches Table 4 of the paper: the same distributed
+//!   field inventory (BT declares its work arrays distributed, LU keeps
+//!   them private — which is why LU's private region dwarfs the others),
+//!   a ~33 MB system (message-buffer) region, and local-section storage
+//!   sized for the *minimum* task count, as the Fortran codes fixed at
+//!   compile time;
+//! * every application runs in two variants from the same solver: the DRMS
+//!   (reconfigurable) version and the conventional SPMD version, differing
+//!   only in their checkpoint plumbing — exactly the comparison the paper
+//!   makes.
+//!
+//! Problem classes scale the grid (class A = 64^3, the paper's setting) and
+//! scale the memory anatomy proportionally, so the full experiment suite can
+//! run at reduced scale without moving any threshold crossings.
+
+#![deny(missing_docs)]
+
+mod app;
+mod classes;
+mod spec;
+
+pub mod solver;
+
+pub use app::{AppVariant, MiniApp};
+pub use classes::Class;
+pub use spec::{bt, lu, sp, AppSpec, FieldSpec};

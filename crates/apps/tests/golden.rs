@@ -1,0 +1,84 @@
+//! Golden-value regression tests for the solver numerics.
+//!
+//! The solvers are bitwise deterministic by construction; these constants
+//! pin the numerics down so that any accidental change to the kernel, the
+//! initial conditions, the shadow exchange, or the field inventory shows up
+//! as a loud failure — the same role the NPB verification values play for
+//! the real benchmarks.
+
+use drms_apps::{bt, lu, sp, AppSpec, AppVariant, Class, MiniApp};
+use drms_core::EnableFlag;
+use drms_msg::{run_spmd, CostModel};
+use drms_piofs::{Piofs, PiofsConfig};
+
+/// Sum over all fields' assigned elements (in sorted global order) after
+/// 3 iterations of class T, captured from the reference implementation.
+const GOLDEN: &[(&str, f64)] = &[
+    ("bt", 76011.24000000159),
+    ("lu", 31735.208000000064),
+    ("sp", 44070.384000002836),
+];
+
+fn checksum(spec: &AppSpec, ntasks: usize) -> f64 {
+    let fs = Piofs::new(PiofsConfig::test_tiny(8), 1);
+    let spec = spec.clone();
+    let out = run_spmd(ntasks, CostModel::default(), move |ctx| {
+        let mut app = MiniApp::start(
+            ctx,
+            &fs,
+            spec.clone(),
+            AppVariant::Drms,
+            EnableFlag::new(),
+            None,
+        )
+        .unwrap();
+        for _ in 0..3 {
+            app.step(ctx);
+        }
+        app.snapshot_assigned()
+    })
+    .unwrap();
+    let mut all: Vec<_> = out.into_iter().flatten().collect();
+    // Fixed global order so the floating-point sum is identical for every
+    // task count.
+    all.sort_by(|a, b| a.0.cmp(&b.0));
+    all.iter().map(|(_, v)| v).sum()
+}
+
+#[test]
+fn solver_numerics_match_golden_values() {
+    for spec_fn in [bt as fn(Class) -> AppSpec, lu, sp] {
+        let spec = spec_fn(Class::T);
+        let golden = GOLDEN.iter().find(|(n, _)| *n == spec.name).unwrap().1;
+        let got = checksum(&spec, 2);
+        assert!(
+            got == golden,
+            "{}: checksum {got:?} drifted from golden {golden:?}",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn golden_checksums_identical_for_any_task_count() {
+    for spec_fn in [bt as fn(Class) -> AppSpec, lu, sp] {
+        let spec = spec_fn(Class::T);
+        let reference = checksum(&spec, 1);
+        for p in [2usize, 3, 4, 6] {
+            let got = checksum(&spec, p);
+            assert!(
+                got == reference,
+                "{} on {p} tasks: {got:?} vs 1-task {reference:?}",
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn golden_values_distinguish_the_applications() {
+    // A regression that collapsed the apps into the same field inventory
+    // would make these collide.
+    let vals: Vec<f64> = GOLDEN.iter().map(|(_, v)| *v).collect();
+    assert!(vals[0] != vals[1] && vals[1] != vals[2] && vals[0] != vals[2]);
+}

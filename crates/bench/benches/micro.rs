@@ -1,0 +1,121 @@
+//! Criterion micro-benchmarks of the core algorithms (host wall time, not
+//! simulated time): the Figure 5(a) partition, range/slice intersection,
+//! redistribution packing, array-section streaming, and the checkpoint wire
+//! format. These measure the real cost of this implementation's hot loops.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use drms_core::segment::{DataSegment, RegionKind};
+use drms_darray::{assign, stream, DistArray, Distribution};
+use drms_msg::{run_spmd, CostModel};
+use drms_piofs::{Piofs, PiofsConfig};
+use drms_slices::{partition, Order, Range, Slice};
+
+fn bench_partition(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5a_partition");
+    let slice = Slice::boxed(&[(0, 63), (0, 63), (0, 63)]);
+    for m in [16usize, 64, 256] {
+        g.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            b.iter(|| partition::partition(black_box(&slice), m, Order::ColumnMajor).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_intersection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("range_intersection");
+    let cont_a = Range::contiguous(0, 100_000);
+    let cont_b = Range::contiguous(50_000, 150_000);
+    g.bench_function("contiguous", |b| {
+        b.iter(|| black_box(&cont_a).intersect(black_box(&cont_b)));
+    });
+    let str_a = Range::strided(0, 100_000, 3).unwrap();
+    g.bench_function("strided_x_contiguous", |b| {
+        b.iter(|| black_box(&str_a).intersect(black_box(&cont_b)));
+    });
+    let ex_a = Range::from_indices(&(0..2000).map(|i| i * 7).collect::<Vec<_>>()).unwrap();
+    let ex_b = Range::from_indices(&(0..2000).map(|i| i * 11).collect::<Vec<_>>()).unwrap();
+    g.bench_function("explicit_merge_walk", |b| {
+        b.iter(|| black_box(&ex_a).intersect(black_box(&ex_b)));
+    });
+    g.finish();
+}
+
+fn bench_redistribution(c: &mut Criterion) {
+    let mut g = c.benchmark_group("redistribution");
+    let dom = Slice::boxed(&[(0, 4), (1, 48), (1, 48), (1, 48)]);
+    let bytes = (dom.size() * 8) as u64;
+    g.throughput(Throughput::Bytes(bytes));
+    for p in [2usize, 4] {
+        g.bench_with_input(BenchmarkId::new("block_to_cyclic", p), &p, |b, &p| {
+            let bdist = Distribution::block(&dom, &[1, p, 1, 1], &[0, 1, 1, 1]).unwrap();
+            let cdist = Distribution::cyclic(&dom, p, 1).unwrap();
+            b.iter(|| {
+                run_spmd(p, CostModel::free(), |ctx| {
+                    let mut a =
+                        DistArray::<f64>::new("a", Order::ColumnMajor, bdist.clone(), ctx.rank());
+                    a.fill_assigned(|pt| pt[1] as f64);
+                    let out = assign::redistribute(ctx, &a, cdist.clone()).unwrap();
+                    black_box(out.local().len())
+                })
+                .unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_streaming(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5b_streaming");
+    g.sample_size(10);
+    let dom = Slice::boxed(&[(0, 4), (1, 48), (1, 48), (1, 48)]);
+    let bytes = (dom.size() * 8) as u64;
+    g.throughput(Throughput::Bytes(bytes));
+    for (label, p, io) in [("serial_p4", 4usize, 1usize), ("parallel_p4", 4, 4)] {
+        g.bench_function(label, |b| {
+            let dist = Distribution::block(&dom, &[1, p, 1, 1], &[0, 1, 1, 1]).unwrap();
+            b.iter(|| {
+                let fs = Piofs::new(PiofsConfig::test_tiny(16), 1);
+                run_spmd(p, CostModel::free(), |ctx| {
+                    let mut a =
+                        DistArray::<f64>::new("u", Order::ColumnMajor, dist.clone(), ctx.rank());
+                    a.fill_assigned(|pt| pt[1] as f64 + pt[2] as f64);
+                    stream::write_array(ctx, &fs, &a, "u", io).unwrap();
+                    let mut bq =
+                        DistArray::<f64>::new("u", Order::ColumnMajor, dist.clone(), ctx.rank());
+                    stream::read_array(ctx, &fs, &mut bq, "u", io).unwrap();
+                    black_box(bq.local().len())
+                })
+                .unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_segment_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("segment_wire_format");
+    let mut seg = DataSegment::new();
+    seg.set_control("iter", 42);
+    seg.set_replicated_f64("dt", 0.5);
+    seg.set_region("msgbuf", RegionKind::SystemBuffers, vec![0xA5; 4 << 20]);
+    seg.set_region("work", RegionKind::PrivateData, vec![0x5C; 1 << 20]);
+    let encoded = seg.encode();
+    g.throughput(Throughput::Bytes(encoded.len() as u64));
+    g.bench_function("encode_5mb", |b| b.iter(|| black_box(&seg).encode()));
+    g.bench_function("decode_5mb", |b| {
+        b.iter(|| DataSegment::decode(black_box(&encoded)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_partition,
+    bench_intersection,
+    bench_redistribution,
+    bench_streaming,
+    bench_segment_codec
+);
+criterion_main!(benches);

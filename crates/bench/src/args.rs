@@ -1,0 +1,108 @@
+//! Minimal command-line parsing shared by the table binaries.
+
+use drms_apps::Class;
+
+/// Options common to the experiment binaries.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Problem class (default A, the paper's setting).
+    pub class: Class,
+    /// Seeded repetitions per configuration (the paper uses 10).
+    pub runs: usize,
+    /// Processor counts to measure.
+    pub pes: Vec<usize>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options { class: Class::A, runs: 10, pes: vec![8, 16] }
+    }
+}
+
+impl Options {
+    /// Parses `--class X`, `--runs N`, `--pes a,b,...` from `args`.
+    /// Unknown flags abort with a usage message.
+    pub fn parse(args: impl Iterator<Item = String>) -> Options {
+        let mut opts = Options::default();
+        let mut it = args.peekable();
+        while let Some(flag) = it.next() {
+            let mut value = |flag: &str| {
+                it.next().unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+            };
+            match flag.as_str() {
+                "--class" => {
+                    let v = value("--class");
+                    opts.class = Class::parse(&v)
+                        .unwrap_or_else(|| usage(&format!("unknown class {v:?}")));
+                }
+                "--runs" => {
+                    let v = value("--runs");
+                    opts.runs = v
+                        .parse()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| usage(&format!("bad run count {v:?}")));
+                }
+                "--pes" => {
+                    let v = value("--pes");
+                    opts.pes = v
+                        .split(',')
+                        .map(|s| {
+                            s.trim()
+                                .parse()
+                                .ok()
+                                .filter(|p| (1..=16).contains(p))
+                                .unwrap_or_else(|| usage(&format!("bad PE count {s:?}")))
+                        })
+                        .collect();
+                }
+                "--help" | "-h" => usage(""),
+                other => usage(&format!("unknown flag {other:?}")),
+            }
+        }
+        opts
+    }
+
+    /// Parses from the process arguments.
+    pub fn from_env() -> Options {
+        Options::parse(std::env::args().skip(1))
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: <table-binary> [--class T|S|W|A] [--runs N] [--pes 8,16]\n\
+         Class A is the paper's setting (64^3 grids, full-size segments);\n\
+         smaller classes scale every byte-denominated parameter together,\n\
+         preserving the threshold crossings at a fraction of the wall time."
+    );
+    std::process::exit(2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> Options {
+        Options::parse(v.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&[]);
+        assert_eq!(o.class, Class::A);
+        assert_eq!(o.runs, 10);
+        assert_eq!(o.pes, vec![8, 16]);
+    }
+
+    #[test]
+    fn overrides() {
+        let o = parse(&["--class", "W", "--runs", "3", "--pes", "4,8"]);
+        assert_eq!(o.class, Class::W);
+        assert_eq!(o.runs, 3);
+        assert_eq!(o.pes, vec![4, 8]);
+    }
+}

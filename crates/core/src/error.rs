@@ -1,0 +1,73 @@
+use std::fmt;
+
+use drms_darray::DarrayError;
+use drms_piofs::PiofsError;
+
+use crate::wire::WireError;
+
+/// Errors from checkpoint and restart operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Distributed-array failure.
+    Darray(DarrayError),
+    /// File-system failure.
+    Piofs(PiofsError),
+    /// Malformed checkpoint file.
+    Wire(WireError),
+    /// No checkpoint exists under the given prefix.
+    NoCheckpoint(
+        /// The prefix searched.
+        String,
+    ),
+    /// A conventional SPMD checkpoint was restarted with a different number
+    /// of tasks — the defining limitation of the baseline scheme.
+    TaskCountFixed {
+        /// Tasks at checkpoint time.
+        checkpointed: usize,
+        /// Tasks at restart time.
+        restarting: usize,
+    },
+    /// The checkpoint manifest disagrees with the application's declaration
+    /// (array missing, element type or domain mismatch).
+    ManifestMismatch(
+        /// Human-readable description.
+        String,
+    ),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Darray(e) => write!(f, "distributed array: {e}"),
+            CoreError::Piofs(e) => write!(f, "file system: {e}"),
+            CoreError::Wire(e) => write!(f, "checkpoint format: {e}"),
+            CoreError::NoCheckpoint(p) => write!(f, "no checkpoint under prefix {p:?}"),
+            CoreError::TaskCountFixed { checkpointed, restarting } => write!(
+                f,
+                "SPMD checkpoint taken with {checkpointed} tasks cannot restart with \
+                 {restarting}; only DRMS checkpoints are reconfigurable"
+            ),
+            CoreError::ManifestMismatch(m) => write!(f, "manifest mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<DarrayError> for CoreError {
+    fn from(e: DarrayError) -> Self {
+        CoreError::Darray(e)
+    }
+}
+
+impl From<PiofsError> for CoreError {
+    fn from(e: PiofsError) -> Self {
+        CoreError::Piofs(e)
+    }
+}
+
+impl From<WireError> for CoreError {
+    fn from(e: WireError) -> Self {
+        CoreError::Wire(e)
+    }
+}

@@ -1,0 +1,263 @@
+//! Checkpoint manifests and file-naming conventions.
+//!
+//! A checkpoint under prefix `P` consists of:
+//! * `P/manifest` — this manifest;
+//! * `P/segment` — the representative task's data segment (DRMS), or
+//!   `P/task-{rank}` — one segment per task (conventional SPMD);
+//! * `P/array-{name}` — one distribution-independent stream per distributed
+//!   array (DRMS only).
+//!
+//! The manifest records everything a *reconfigured* restart needs that is
+//! not derivable from the application source: the task count at checkpoint
+//! time (for `delta`), and the identity (name, domain, element type, order)
+//! of every array stream, so mismatched restarts fail loudly instead of
+//! reading garbage.
+
+use drms_slices::{Order, Range, Slice};
+
+use crate::wire::{Reader, WireError, Writer};
+
+const MAGIC: [u8; 4] = *b"DMFT";
+const VERSION: u32 = 1;
+
+/// Which checkpointing scheme produced the state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CkptKind {
+    /// Reconfigurable DRMS checkpoint (one segment + array streams).
+    Drms,
+    /// Conventional SPMD checkpoint (one segment per task).
+    Spmd,
+}
+
+/// Identity of one array stream within a checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayEntry {
+    /// Array name.
+    pub name: String,
+    /// Element type code (see [`drms_darray::Element::CODE`]).
+    pub elem_code: u8,
+    /// Global index domain.
+    pub domain: Slice,
+    /// Stream/storage order.
+    pub order: Order,
+}
+
+/// The checkpoint manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// Application name.
+    pub app: String,
+    /// Scheme that produced the checkpoint.
+    pub kind: CkptKind,
+    /// Number of tasks at checkpoint time.
+    pub ntasks: usize,
+    /// SOP sequence number (which observable point this state belongs to).
+    pub sop: u64,
+    /// Array streams present.
+    pub arrays: Vec<ArrayEntry>,
+}
+
+/// Path of the manifest file under `prefix`.
+pub fn manifest_path(prefix: &str) -> String {
+    format!("{prefix}/manifest")
+}
+
+/// Path of the DRMS representative segment under `prefix`.
+pub fn segment_path(prefix: &str) -> String {
+    format!("{prefix}/segment")
+}
+
+/// Path of task `rank`'s segment in an SPMD checkpoint.
+pub fn task_segment_path(prefix: &str, rank: usize) -> String {
+    format!("{prefix}/task-{rank}")
+}
+
+/// Path of the stream for array `name` under `prefix`.
+pub fn array_path(prefix: &str, name: &str) -> String {
+    format!("{prefix}/array-{name}")
+}
+
+fn write_range(w: &mut Writer, r: &Range) {
+    match r {
+        Range::Contiguous { lo, hi } => {
+            w.u8(0);
+            w.i64(*lo);
+            w.i64(*hi);
+        }
+        Range::Strided { lo, hi, step } => {
+            w.u8(1);
+            w.i64(*lo);
+            w.i64(*hi);
+            w.i64(*step);
+        }
+        Range::Explicit(v) => {
+            w.u8(2);
+            w.u64(v.len() as u64);
+            for x in v.iter() {
+                w.i64(*x);
+            }
+        }
+    }
+}
+
+fn read_range(r: &mut Reader<'_>) -> Result<Range, WireError> {
+    match r.u8()? {
+        0 => Ok(Range::contiguous(r.i64()?, r.i64()?)),
+        1 => {
+            let (lo, hi, step) = (r.i64()?, r.i64()?, r.i64()?);
+            Range::strided(lo, hi, step).map_err(|_| WireError::Truncated { what: "range" })
+        }
+        2 => {
+            let n = r.u64()? as usize;
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                v.push(r.i64()?);
+            }
+            Range::from_indices(&v).map_err(|_| WireError::Truncated { what: "range" })
+        }
+        _ => Err(WireError::Truncated { what: "range tag" }),
+    }
+}
+
+/// Encodes a slice (exposed for segment/region metadata reuse).
+pub fn write_slice(w: &mut Writer, s: &Slice) {
+    w.u32(s.rank() as u32);
+    for r in s.ranges() {
+        write_range(w, r);
+    }
+}
+
+/// Decodes a slice.
+pub fn read_slice(r: &mut Reader<'_>) -> Result<Slice, WireError> {
+    let rank = r.u32()? as usize;
+    let mut ranges = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        ranges.push(read_range(r)?);
+    }
+    Ok(Slice::new(ranges))
+}
+
+impl Manifest {
+    /// Encodes the manifest.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::with_header(MAGIC, VERSION);
+        w.string(&self.app);
+        w.u8(match self.kind {
+            CkptKind::Drms => 0,
+            CkptKind::Spmd => 1,
+        });
+        w.u64(self.ntasks as u64);
+        w.u64(self.sop);
+        w.u32(self.arrays.len() as u32);
+        for a in &self.arrays {
+            w.string(&a.name);
+            w.u8(a.elem_code);
+            w.u8(match a.order {
+                Order::ColumnMajor => 0,
+                Order::RowMajor => 1,
+            });
+            write_slice(&mut w, &a.domain);
+        }
+        w.finish()
+    }
+
+    /// Decodes a manifest.
+    pub fn decode(bytes: &[u8]) -> Result<Manifest, WireError> {
+        let (mut r, version) = Reader::with_header(bytes, MAGIC)?;
+        if version != VERSION {
+            return Err(WireError::BadVersion(version));
+        }
+        let app = r.string()?;
+        let kind = match r.u8()? {
+            0 => CkptKind::Drms,
+            1 => CkptKind::Spmd,
+            _ => return Err(WireError::Truncated { what: "checkpoint kind" }),
+        };
+        let ntasks = r.u64()? as usize;
+        let sop = r.u64()?;
+        let narrays = r.u32()?;
+        let mut arrays = Vec::with_capacity(narrays as usize);
+        for _ in 0..narrays {
+            let name = r.string()?;
+            let elem_code = r.u8()?;
+            let order = match r.u8()? {
+                0 => Order::ColumnMajor,
+                1 => Order::RowMajor,
+                _ => return Err(WireError::Truncated { what: "order tag" }),
+            };
+            let domain = read_slice(&mut r)?;
+            arrays.push(ArrayEntry { name, elem_code, domain, order });
+        }
+        Ok(Manifest { app, kind, ntasks, sop, arrays })
+    }
+
+    /// Looks up an array entry by name.
+    pub fn array(&self, name: &str) -> Option<&ArrayEntry> {
+        self.arrays.iter().find(|a| a.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            app: "bt".into(),
+            kind: CkptKind::Drms,
+            ntasks: 8,
+            sop: 100,
+            arrays: vec![
+                ArrayEntry {
+                    name: "u".into(),
+                    elem_code: 1,
+                    domain: Slice::boxed(&[(1, 64), (1, 64), (1, 64)]),
+                    order: Order::ColumnMajor,
+                },
+                ArrayEntry {
+                    name: "mask".into(),
+                    elem_code: 7,
+                    domain: Slice::new(vec![
+                        Range::strided(0, 100, 3).unwrap(),
+                        Range::from_indices(&[1, 5, 9]).unwrap(),
+                    ]),
+                    order: Order::RowMajor,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let m = sample();
+        let d = Manifest::decode(&m.encode()).unwrap();
+        assert_eq!(d, m);
+        assert_eq!(d.array("u").unwrap().elem_code, 1);
+        assert!(d.array("nope").is_none());
+    }
+
+    #[test]
+    fn spmd_kind_roundtrip() {
+        let mut m = sample();
+        m.kind = CkptKind::Spmd;
+        m.arrays.clear();
+        assert_eq!(Manifest::decode(&m.encode()).unwrap().kind, CkptKind::Spmd);
+    }
+
+    #[test]
+    fn paths_are_disjoint_per_prefix() {
+        assert_eq!(manifest_path("ck/1"), "ck/1/manifest");
+        assert_eq!(segment_path("ck/1"), "ck/1/segment");
+        assert_eq!(task_segment_path("ck/1", 3), "ck/1/task-3");
+        assert_eq!(array_path("ck/1", "u"), "ck/1/array-u");
+        assert_ne!(array_path("a", "u"), array_path("b", "u"));
+    }
+
+    #[test]
+    fn corrupt_manifest_rejected() {
+        let m = sample();
+        let mut bytes = m.encode();
+        bytes.truncate(10);
+        assert!(Manifest::decode(&bytes).is_err());
+    }
+}

@@ -1,0 +1,91 @@
+//! Timing and size reports for checkpoint/restart operations — the raw
+//! material of Tables 5 and 6 of the paper.
+
+/// Breakdown of one checkpoint or restart operation, in simulated seconds
+/// and bytes. All times are synchronized maxima across tasks (the paper
+/// reports blocking operations).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OpBreakdown {
+    /// Initialization time (restart only: loading the application text).
+    pub init: f64,
+    /// Data-segment phase time.
+    pub segment: f64,
+    /// Distributed-arrays phase time.
+    pub arrays: f64,
+    /// Bytes in the data-segment component.
+    pub segment_bytes: u64,
+    /// Bytes in the array streams component.
+    pub array_bytes: u64,
+}
+
+impl OpBreakdown {
+    /// Total operation time.
+    pub fn total(&self) -> f64 {
+        self.init + self.segment + self.arrays
+    }
+
+    /// Total bytes moved.
+    pub fn total_bytes(&self) -> u64 {
+        self.segment_bytes + self.array_bytes
+    }
+
+    /// Aggregate rate in MB/s (SI megabytes, matching the paper's tables:
+    /// its byte counts in Table 4 divided by its MB figures give 10^6).
+    pub fn rate_mb_s(&self) -> f64 {
+        mb(self.total_bytes()) / self.total()
+    }
+
+    /// Segment-phase rate in MB/s.
+    pub fn segment_rate_mb_s(&self) -> f64 {
+        mb(self.segment_bytes) / self.segment
+    }
+
+    /// Array-phase rate in MB/s.
+    pub fn array_rate_mb_s(&self) -> f64 {
+        mb(self.array_bytes) / self.arrays
+    }
+
+    /// Segment phase as a percentage of total time.
+    pub fn segment_pct(&self) -> f64 {
+        100.0 * self.segment / self.total()
+    }
+
+    /// Array phase as a percentage of total time.
+    pub fn arrays_pct(&self) -> f64 {
+        100.0 * self.arrays / self.total()
+    }
+}
+
+/// Bytes as the paper's (SI) MBytes.
+pub fn mb(bytes: u64) -> f64 {
+    bytes as f64 / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_rates() {
+        let b = OpBreakdown {
+            init: 1.0,
+            segment: 4.0,
+            arrays: 5.0,
+            segment_bytes: 40_000_000,
+            array_bytes: 60_000_000,
+        };
+        assert_eq!(b.total(), 10.0);
+        assert_eq!(b.total_bytes(), 100_000_000);
+        assert!((b.rate_mb_s() - 10.0).abs() < 1e-12);
+        assert!((b.segment_rate_mb_s() - 10.0).abs() < 1e-12);
+        assert!((b.array_rate_mb_s() - 12.0).abs() < 1e-12);
+        assert!((b.segment_pct() - 40.0).abs() < 1e-12);
+        assert!((b.arrays_pct() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mb_uses_si_megabytes() {
+        assert_eq!(mb(1_000_000), 1.0);
+        assert_eq!(mb(0), 0.0);
+    }
+}

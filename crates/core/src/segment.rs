@@ -1,0 +1,298 @@
+//! The task data segment: what one task's memory contributes to a
+//! checkpoint.
+//!
+//! Per Section 2.2 of the paper, at an SOP the data segment of a task
+//! consists of the replicated variables and execution context (for DRMS
+//! checkpointing, saving one representative task's segment captures them for
+//! all tasks), plus bulk regions: the storage of local array sections
+//! (fixed at compile time for the minimum task count, in the Fortran
+//! applications measured), the system-related region (message-passing
+//! buffers, ~33 MB on the paper's SP), and private/replicated application
+//! data. Table 4 of the paper reports exactly this anatomy.
+
+use std::collections::BTreeMap;
+
+use crate::wire::{Reader, WireError, Writer};
+
+const MAGIC: [u8; 4] = *b"DSEG";
+const VERSION: u32 = 1;
+
+/// Classification of bulk regions, mirroring the columns of Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegionKind {
+    /// Storage for the local sections of distributed arrays.
+    LocalSections,
+    /// System-library residency (message-passing buffers).
+    SystemBuffers,
+    /// Private and replicated application data (work arrays, tables).
+    PrivateData,
+}
+
+impl RegionKind {
+    fn code(self) -> u8 {
+        match self {
+            RegionKind::LocalSections => 1,
+            RegionKind::SystemBuffers => 2,
+            RegionKind::PrivateData => 3,
+        }
+    }
+
+    fn from_code(c: u8) -> Result<RegionKind, WireError> {
+        match c {
+            1 => Ok(RegionKind::LocalSections),
+            2 => Ok(RegionKind::SystemBuffers),
+            3 => Ok(RegionKind::PrivateData),
+            _ => Err(WireError::Truncated { what: "region kind" }),
+        }
+    }
+}
+
+/// A named bulk region of the data segment, with its actual bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Region {
+    /// Region name (e.g. `"work-arrays"`).
+    pub name: String,
+    /// Classification for the anatomy report.
+    pub kind: RegionKind,
+    /// The region's bytes — real data, checkpointed verbatim.
+    pub bytes: Vec<u8>,
+}
+
+/// Byte anatomy of a segment, per Table 4 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SegmentAnatomy {
+    /// Total encoded segment size.
+    pub total: u64,
+    /// Bytes in `LocalSections` regions.
+    pub local_sections: u64,
+    /// Bytes in `SystemBuffers` regions.
+    pub system: u64,
+    /// Bytes in `PrivateData` regions plus replicated/control variables.
+    pub private_replicated: u64,
+}
+
+/// One task's data segment: control variables, replicated variables, and
+/// bulk regions.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DataSegment {
+    /// Control variables steering the SOQ flow (loop indices, phase ids).
+    pub control: BTreeMap<String, i64>,
+    /// Replicated variables: identical in every task's address space.
+    pub replicated: BTreeMap<String, Vec<u8>>,
+    /// Bulk regions.
+    pub regions: Vec<Region>,
+}
+
+impl DataSegment {
+    /// An empty segment.
+    pub fn new() -> DataSegment {
+        DataSegment::default()
+    }
+
+    /// Sets a control variable.
+    pub fn set_control(&mut self, name: &str, v: i64) {
+        self.control.insert(name.to_string(), v);
+    }
+
+    /// Reads a control variable.
+    pub fn control(&self, name: &str) -> Option<i64> {
+        self.control.get(name).copied()
+    }
+
+    /// Sets a replicated byte variable.
+    pub fn set_replicated(&mut self, name: &str, bytes: Vec<u8>) {
+        self.replicated.insert(name.to_string(), bytes);
+    }
+
+    /// Sets a replicated `f64`.
+    pub fn set_replicated_f64(&mut self, name: &str, v: f64) {
+        self.set_replicated(name, v.to_le_bytes().to_vec());
+    }
+
+    /// Reads a replicated `f64`.
+    pub fn replicated_f64(&self, name: &str) -> Option<f64> {
+        let b = self.replicated.get(name)?;
+        Some(f64::from_le_bytes(b.as_slice().try_into().ok()?))
+    }
+
+    /// Reads a replicated byte variable.
+    pub fn replicated(&self, name: &str) -> Option<&[u8]> {
+        self.replicated.get(name).map(Vec::as_slice)
+    }
+
+    /// Adds (or replaces) a bulk region.
+    pub fn set_region(&mut self, name: &str, kind: RegionKind, bytes: Vec<u8>) {
+        if let Some(r) = self.regions.iter_mut().find(|r| r.name == name) {
+            r.kind = kind;
+            r.bytes = bytes;
+        } else {
+            self.regions.push(Region { name: name.to_string(), kind, bytes });
+        }
+    }
+
+    /// Looks up a region by name.
+    pub fn region(&self, name: &str) -> Option<&Region> {
+        self.regions.iter().find(|r| r.name == name)
+    }
+
+    /// Encodes the segment to its checkpoint representation.
+    pub fn encode(&self) -> Vec<u8> {
+        self.encode_with_region(None)
+    }
+
+    /// Encodes the segment as if `extra` were one of its regions (replacing
+    /// any same-named region). Avoids cloning the segment's bulk regions
+    /// just to attach the per-checkpoint local-sections blob — at class A
+    /// these are tens of megabytes per task.
+    pub fn encode_with_region(&self, extra: Option<&Region>) -> Vec<u8> {
+        let mut w = Writer::with_header(MAGIC, VERSION);
+        w.u32(self.control.len() as u32);
+        for (k, v) in &self.control {
+            w.string(k);
+            w.i64(*v);
+        }
+        w.u32(self.replicated.len() as u32);
+        for (k, v) in &self.replicated {
+            w.string(k);
+            w.blob(v);
+        }
+        let skip = |r: &&Region| extra.map(|e| e.name != r.name).unwrap_or(true);
+        let nregions =
+            self.regions.iter().filter(skip).count() + usize::from(extra.is_some());
+        w.u32(nregions as u32);
+        for r in self.regions.iter().filter(skip).chain(extra) {
+            w.string(&r.name);
+            w.u8(r.kind.code());
+            w.blob(&r.bytes);
+        }
+        w.finish()
+    }
+
+    /// Decodes a segment from its checkpoint representation.
+    pub fn decode(bytes: &[u8]) -> Result<DataSegment, WireError> {
+        let (mut r, version) = Reader::with_header(bytes, MAGIC)?;
+        if version != VERSION {
+            return Err(WireError::BadVersion(version));
+        }
+        let mut seg = DataSegment::new();
+        let ncontrol = r.u32()?;
+        for _ in 0..ncontrol {
+            let k = r.string()?;
+            let v = r.i64()?;
+            seg.control.insert(k, v);
+        }
+        let nrep = r.u32()?;
+        for _ in 0..nrep {
+            let k = r.string()?;
+            let v = r.blob()?;
+            seg.replicated.insert(k, v);
+        }
+        let nreg = r.u32()?;
+        for _ in 0..nreg {
+            let name = r.string()?;
+            let kind = RegionKind::from_code(r.u8()?)?;
+            let bytes = r.blob()?;
+            seg.regions.push(Region { name, kind, bytes });
+        }
+        Ok(seg)
+    }
+
+    /// The Table 4 anatomy of this segment.
+    pub fn anatomy(&self) -> SegmentAnatomy {
+        let mut a = SegmentAnatomy::default();
+        for r in &self.regions {
+            let n = r.bytes.len() as u64;
+            match r.kind {
+                RegionKind::LocalSections => a.local_sections += n,
+                RegionKind::SystemBuffers => a.system += n,
+                RegionKind::PrivateData => a.private_replicated += n,
+            }
+        }
+        let rep_bytes: u64 = self.replicated.values().map(|v| v.len() as u64).sum();
+        a.private_replicated += rep_bytes + self.control.len() as u64 * 8;
+        a.total = self.encode_len();
+        a
+    }
+
+    /// Encoded size without materializing the encoding.
+    pub fn encode_len(&self) -> u64 {
+        let mut n = 4 + 4; // magic + version
+        n += 4;
+        for k in self.control.keys() {
+            n += 4 + k.len() as u64 + 8;
+        }
+        n += 4;
+        for (k, v) in &self.replicated {
+            n += 4 + k.len() as u64 + 8 + v.len() as u64;
+        }
+        n += 4;
+        for r in &self.regions {
+            n += 4 + r.name.len() as u64 + 1 + 8 + r.bytes.len() as u64;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DataSegment {
+        let mut s = DataSegment::new();
+        s.set_control("iter", 42);
+        s.set_control("phase", -1);
+        s.set_replicated_f64("dt", 0.25);
+        s.set_replicated("params", vec![1, 2, 3]);
+        s.set_region("local", RegionKind::LocalSections, vec![9; 100]);
+        s.set_region("msgbuf", RegionKind::SystemBuffers, vec![0; 50]);
+        s.set_region("work", RegionKind::PrivateData, vec![7; 30]);
+        s
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let s = sample();
+        let bytes = s.encode();
+        let d = DataSegment::decode(&bytes).unwrap();
+        assert_eq!(d, s);
+        assert_eq!(d.control("iter"), Some(42));
+        assert_eq!(d.replicated_f64("dt"), Some(0.25));
+        assert_eq!(d.region("local").unwrap().bytes.len(), 100);
+    }
+
+    #[test]
+    fn encode_len_matches_encoding() {
+        let s = sample();
+        assert_eq!(s.encode_len(), s.encode().len() as u64);
+        assert_eq!(DataSegment::new().encode_len(), DataSegment::new().encode().len() as u64);
+    }
+
+    #[test]
+    fn anatomy_classifies_regions() {
+        let s = sample();
+        let a = s.anatomy();
+        assert_eq!(a.local_sections, 100);
+        assert_eq!(a.system, 50);
+        // 30 (work) + 8 (dt) + 3 (params) + 2 control x 8
+        assert_eq!(a.private_replicated, 30 + 8 + 3 + 16);
+        assert_eq!(a.total, s.encode_len());
+    }
+
+    #[test]
+    fn set_region_replaces() {
+        let mut s = sample();
+        s.set_region("local", RegionKind::LocalSections, vec![1; 7]);
+        assert_eq!(s.region("local").unwrap().bytes.len(), 7);
+        assert_eq!(s.regions.len(), 3);
+    }
+
+    #[test]
+    fn corrupted_segment_rejected() {
+        let s = sample();
+        let mut bytes = s.encode();
+        bytes.truncate(bytes.len() - 10);
+        assert!(DataSegment::decode(&bytes).is_err());
+        bytes[0] = b'X';
+        assert!(matches!(DataSegment::decode(&bytes), Err(WireError::BadMagic { .. })));
+    }
+}

@@ -1,0 +1,278 @@
+//! The checkpoint wire format: a small, versioned, little-endian binary
+//! encoding used for data segments and manifests.
+//!
+//! A checkpointing system must own its on-disk format — it has to be stable
+//! across versions and platforms, self-describing enough to fail loudly on
+//! corruption, and byte-exact (restart correctness is bitwise). Hence no
+//! serialization framework: the format is a few dozen lines and fully
+//! specified here.
+//!
+//! Layout conventions: all integers little-endian; strings are
+//! `u32 length + UTF-8 bytes`; blobs are `u64 length + bytes`; every file
+//! starts with a 4-byte magic and a `u32` version.
+
+use std::fmt;
+
+/// Format errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The file does not start with the expected magic.
+    BadMagic {
+        /// Expected magic bytes.
+        expected: [u8; 4],
+        /// Found bytes.
+        found: [u8; 4],
+    },
+    /// Unsupported format version.
+    BadVersion(
+        /// Found version.
+        u32,
+    ),
+    /// The buffer ended before the encoded value did.
+    Truncated {
+        /// What was being decoded.
+        what: &'static str,
+    },
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadMagic { expected, found } => {
+                write!(f, "bad magic: expected {expected:?}, found {found:?}")
+            }
+            WireError::BadVersion(v) => write!(f, "unsupported format version {v}"),
+            WireError::Truncated { what } => write!(f, "truncated while decoding {what}"),
+            WireError::BadUtf8 => write!(f, "invalid UTF-8 in string field"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Append-only encoder.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// A writer starting with `magic` and `version`.
+    pub fn with_header(magic: [u8; 4], version: u32) -> Writer {
+        let mut w = Writer::new();
+        w.buf.extend_from_slice(&magic);
+        w.u32(version);
+        w
+    }
+
+    /// Appends a `u8`.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `i64`.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64`.
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a length-prefixed string.
+    pub fn string(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends a length-prefixed byte blob.
+    pub fn blob(&mut self, b: &[u8]) {
+        self.u64(b.len() as u64);
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Finishes, returning the encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Sequential decoder.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// A reader that validates `magic` and returns the version.
+    pub fn with_header(buf: &'a [u8], magic: [u8; 4]) -> Result<(Reader<'a>, u32), WireError> {
+        let mut r = Reader::new(buf);
+        let found = r.take(4, "magic")?;
+        let found: [u8; 4] = found.try_into().expect("4 bytes");
+        if found != magic {
+            return Err(WireError::BadMagic { expected: magic, found });
+        }
+        let version = r.u32()?;
+        Ok((r, version))
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
+        if self.pos + n > self.buf.len() {
+            return Err(WireError::Truncated { what });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4, "u32")?.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8, "u64")?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads an `i64`.
+    pub fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(self.take(8, "i64")?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads an `f64`.
+    pub fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_le_bytes(self.take(8, "f64")?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a length-prefixed string.
+    pub fn string(&mut self) -> Result<String, WireError> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n, "string body")?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+
+    /// Reads a length-prefixed blob.
+    pub fn blob(&mut self) -> Result<Vec<u8>, WireError> {
+        let n = self.u64()? as usize;
+        Ok(self.take(n, "blob body")?.to_vec())
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX);
+        w.i64(-42);
+        w.f64(3.25);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.i64().unwrap(), -42);
+        assert_eq!(r.f64().unwrap(), 3.25);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn string_and_blob_roundtrip() {
+        let mut w = Writer::new();
+        w.string("héllo");
+        w.blob(&[1, 2, 3]);
+        w.string("");
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.string().unwrap(), "héllo");
+        assert_eq!(r.blob().unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.string().unwrap(), "");
+    }
+
+    #[test]
+    fn header_validation() {
+        let w = Writer::with_header(*b"DRMS", 3);
+        let buf = w.finish();
+        let (_, v) = Reader::with_header(&buf, *b"DRMS").unwrap();
+        assert_eq!(v, 3);
+        assert!(matches!(
+            Reader::with_header(&buf, *b"XXXX"),
+            Err(WireError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut w = Writer::new();
+        w.u64(5);
+        let mut buf = w.finish();
+        buf.truncate(3);
+        let mut r = Reader::new(&buf);
+        assert!(matches!(r.u64(), Err(WireError::Truncated { .. })));
+
+        let mut w = Writer::new();
+        w.blob(&[0; 100]);
+        let mut buf = w.finish();
+        buf.truncate(50);
+        let mut r = Reader::new(&buf);
+        assert!(matches!(r.blob(), Err(WireError::Truncated { what: "blob body" })));
+    }
+
+    #[test]
+    fn bad_utf8_detected() {
+        let mut w = Writer::new();
+        w.u32(2);
+        let mut buf = w.finish();
+        buf.extend_from_slice(&[0xFF, 0xFE]);
+        let mut r = Reader::new(&buf);
+        assert!(matches!(r.string(), Err(WireError::BadUtf8)));
+    }
+}

@@ -1,0 +1,168 @@
+//! MPMD coordinated checkpointing: two SPMD components ("ocean" on 3 tasks,
+//! "atmos" on 2) checkpoint at a consistent set of SOPs and restart with
+//! different task counts — components reconfigured individually, as
+//! Section 2.2 of the paper describes.
+
+use std::sync::Arc;
+use std::thread;
+
+use drms_core::mpmd::{MpmdManifest, MpmdSession};
+use drms_core::segment::DataSegment;
+use drms_core::{Drms, DrmsConfig, EnableFlag, Start};
+use drms_darray::{DistArray, Distribution};
+use drms_msg::{run_spmd, CostModel};
+use drms_piofs::{Piofs, PiofsConfig};
+use drms_slices::{Order, Slice};
+
+const COMPONENTS: [(&str, usize, (i64, i64)); 2] =
+    [("ocean", 0, (24, 18)), ("atmos", 1, (16, 12))];
+
+fn domain(dims: (i64, i64)) -> Slice {
+    Slice::boxed(&[(0, dims.0 - 1), (0, dims.1 - 1)])
+}
+
+fn value(component: usize, p: &[i64]) -> f64 {
+    (component as i64 * 100_000 + p[0] * 100 + p[1]) as f64
+}
+
+/// Runs one component for `iters` iterations (checkpoint at `ckpt_at`),
+/// returning its sorted assigned elements.
+#[allow(clippy::too_many_arguments)]
+fn run_component(
+    fs: Arc<Piofs>,
+    session: MpmdSession,
+    name: &'static str,
+    id: usize,
+    dims: (i64, i64),
+    ntasks: usize,
+    restart_prefix: Option<String>,
+    ckpt_at: Option<(i64, String)>,
+    end_iter: i64,
+) -> Vec<(Vec<i64>, f64)> {
+    let component_restart =
+        restart_prefix.map(|p| MpmdSession::component_prefix(&p, id));
+    let out = run_spmd(ntasks, CostModel::default(), move |ctx| {
+        let (mut drms, start) = Drms::initialize(
+            ctx,
+            &fs,
+            DrmsConfig::new(name),
+            EnableFlag::new(),
+            component_restart.as_deref(),
+        )
+        .unwrap();
+        let dist = Distribution::block_auto(&domain(dims), ctx.ntasks(), 1).unwrap();
+        let mut u = DistArray::<f64>::new("u", Order::ColumnMajor, dist, ctx.rank());
+        let mut seg = DataSegment::new();
+        let mut start_iter = 1i64;
+        match start {
+            Start::Fresh => u.fill_assigned(|p| value(id, p)),
+            Start::Restarted(info) => {
+                seg = info.segment.clone();
+                start_iter = seg.control("iter").unwrap() + 1;
+                drms.restore_arrays(
+                    ctx,
+                    &fs,
+                    component_restart.as_deref().unwrap(),
+                    &info.manifest,
+                    &mut [&mut u],
+                )
+                .unwrap();
+            }
+        }
+        for iter in start_iter..=end_iter {
+            let region = u.assigned().clone();
+            region.points(Order::ColumnMajor).for_each(|p| {
+                let v = u.get(p).unwrap();
+                u.set(p, v + (id as f64 + 1.0)).unwrap();
+            });
+            seg.set_control("iter", iter);
+            if let Some((at, prefix)) = &ckpt_at {
+                if iter == *at {
+                    session
+                        .coordinated_checkpoint(
+                            ctx, &fs, id, name, &mut drms, prefix, &seg, &[&u],
+                        )
+                        .unwrap();
+                }
+            }
+        }
+        u.fold_assigned(Vec::new(), |mut acc, p, v| {
+            acc.push((p.to_vec(), v));
+            acc
+        })
+    })
+    .unwrap();
+    let mut all: Vec<(Vec<i64>, f64)> = out.into_iter().flatten().collect();
+    all.sort_by(|a, b| a.0.cmp(&b.0));
+    all
+}
+
+/// Runs the whole MPMD application (both components concurrently).
+fn run_mpmd(
+    fs: &Arc<Piofs>,
+    task_counts: [usize; 2],
+    restart_prefix: Option<&str>,
+    ckpt_at: Option<(i64, &str)>,
+    end_iter: i64,
+) -> Vec<Vec<(Vec<i64>, f64)>> {
+    let session = MpmdSession::new("coupled", 2);
+    let mut handles = Vec::new();
+    for (name, id, dims) in COMPONENTS {
+        let fs = Arc::clone(fs);
+        let session = session.clone();
+        let restart = restart_prefix.map(str::to_string);
+        let ckpt = ckpt_at.map(|(i, p)| (i, p.to_string()));
+        let ntasks = task_counts[id];
+        handles.push(thread::spawn(move || {
+            run_component(fs, session, name, id, dims, ntasks, restart, ckpt, end_iter)
+        }));
+    }
+    handles.into_iter().map(|h| h.join().expect("component thread")).collect()
+}
+
+#[test]
+fn coordinated_checkpoint_and_individually_reconfigured_restart() {
+    // Reference: uninterrupted coupled run (3 + 2 tasks).
+    let reference = run_mpmd(&Piofs::new(PiofsConfig::test_tiny(8), 1), [3, 2], None, None, 8);
+
+    // Checkpoint at iteration 5, then restart with DIFFERENT task counts
+    // per component (ocean shrinks 3 -> 2, atmos grows 2 -> 4).
+    let fs = Piofs::new(PiofsConfig::test_tiny(8), 1);
+    for (name, _, _) in COMPONENTS {
+        Drms::install_binary(&fs, &DrmsConfig::new(name));
+    }
+    run_mpmd(&fs, [3, 2], None, Some((5, "ck/mpmd")), 5);
+
+    // The umbrella manifest records both components consistently.
+    let manifest = MpmdManifest::load(&fs, "ck/mpmd").unwrap();
+    assert_eq!(manifest.app, "coupled");
+    assert_eq!(manifest.components.len(), 2);
+    assert_eq!(manifest.component("ocean").unwrap().ntasks, 3);
+    assert_eq!(manifest.component("atmos").unwrap().ntasks, 2);
+
+    let resumed = run_mpmd(&fs, [2, 4], Some("ck/mpmd"), None, 8);
+    assert_eq!(reference, resumed, "coupled state must survive reconfiguration");
+}
+
+#[test]
+fn umbrella_manifest_appears_only_after_both_components_commit() {
+    let fs = Piofs::new(PiofsConfig::test_tiny(8), 1);
+    run_mpmd(&fs, [2, 2], None, Some((2, "ck/atomic")), 2);
+    assert!(fs.exists(&MpmdSession::manifest_path("ck/atomic")));
+    // Both component checkpoints are complete underneath it.
+    for id in 0..2 {
+        let sub = MpmdSession::component_prefix("ck/atomic", id);
+        assert!(fs.exists(&format!("{sub}/manifest")), "component {id}");
+        assert!(fs.exists(&format!("{sub}/segment")), "component {id}");
+    }
+    // The transient entry files were cleaned up.
+    assert!(fs.peek("ck/atomic/.entry0").is_none());
+    assert!(fs.peek("ck/atomic/.entry1").is_none());
+}
+
+#[test]
+fn missing_mpmd_checkpoint_reports_cleanly() {
+    let fs = Piofs::new(PiofsConfig::test_tiny(2), 1);
+    let err = MpmdManifest::load(&fs, "ck/nothing").unwrap_err();
+    assert!(err.to_string().contains("no checkpoint"));
+}

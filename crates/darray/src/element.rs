@@ -1,0 +1,90 @@
+//! Element types storable in distributed arrays.
+
+/// A fixed-size scalar that can live in a distributed array and be streamed
+/// to checkpoint files in little-endian byte order.
+///
+/// The byte encoding is part of the checkpoint file format: it must be
+/// stable across platforms and independent of the distribution, so each
+/// implementation spells out its little-endian conversion explicitly.
+pub trait Element: Copy + Send + Sync + Default + PartialEq + std::fmt::Debug + 'static {
+    /// Size of the encoded element in bytes.
+    const SIZE: usize;
+
+    /// Stable one-byte type code recorded in checkpoint manifests so a
+    /// restart can verify it is loading the element type it expects.
+    const CODE: u8;
+
+    /// Writes the little-endian encoding into `out` (exactly `SIZE` bytes).
+    fn write_le(&self, out: &mut [u8]);
+
+    /// Reads an element from its little-endian encoding.
+    fn read_le(bytes: &[u8]) -> Self;
+}
+
+macro_rules! impl_element {
+    ($($t:ty => $code:expr),*) => {$(
+        impl Element for $t {
+            const SIZE: usize = std::mem::size_of::<$t>();
+            const CODE: u8 = $code;
+
+            fn write_le(&self, out: &mut [u8]) {
+                out[..Self::SIZE].copy_from_slice(&self.to_le_bytes());
+            }
+
+            fn read_le(bytes: &[u8]) -> Self {
+                <$t>::from_le_bytes(bytes[..Self::SIZE].try_into().expect("element size"))
+            }
+        }
+    )*};
+}
+
+impl_element!(f64 => 1, f32 => 2, i64 => 3, i32 => 4, u64 => 5, u32 => 6, u8 => 7);
+
+/// Encodes a slice of elements to little-endian bytes.
+pub(crate) fn encode<T: Element>(vals: &[T]) -> Vec<u8> {
+    let mut out = vec![0u8; vals.len() * T::SIZE];
+    for (v, chunk) in vals.iter().zip(out.chunks_exact_mut(T::SIZE)) {
+        v.write_le(chunk);
+    }
+    out
+}
+
+/// Decodes little-endian bytes into elements.
+pub(crate) fn decode<T: Element>(bytes: &[u8]) -> Vec<T> {
+    debug_assert_eq!(bytes.len() % T::SIZE, 0, "byte length not a multiple of element size");
+    bytes.chunks_exact(T::SIZE).map(T::read_le).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_f64() {
+        let vals = [1.5f64, -2.25, 0.0, f64::MAX, f64::MIN_POSITIVE];
+        let bytes = encode(&vals);
+        assert_eq!(bytes.len(), vals.len() * 8);
+        assert_eq!(decode::<f64>(&bytes), vals);
+    }
+
+    #[test]
+    fn roundtrip_various_types() {
+        assert_eq!(decode::<i32>(&encode(&[-5i32, 7])), vec![-5, 7]);
+        assert_eq!(decode::<u8>(&encode(&[0u8, 255])), vec![0, 255]);
+        assert_eq!(decode::<u64>(&encode(&[u64::MAX])), vec![u64::MAX]);
+        assert_eq!(decode::<f32>(&encode(&[3.5f32])), vec![3.5]);
+    }
+
+    #[test]
+    fn encoding_is_little_endian() {
+        let bytes = encode(&[1u32]);
+        assert_eq!(bytes, vec![1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let bytes = encode::<f64>(&[]);
+        assert!(bytes.is_empty());
+        assert!(decode::<f64>(&bytes).is_empty());
+    }
+}

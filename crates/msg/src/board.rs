@@ -1,0 +1,177 @@
+//! A reusable all-to-all rendezvous ("exchange board").
+//!
+//! Every participating task deposits one value and a timestamp; once all
+//! tasks have arrived, the deposits are published and every task retrieves
+//! the full vector plus the maximum timestamp. The board resets itself after
+//! the last task leaves, so it can be reused generation after generation.
+//! All collectives (barrier, reductions, gathers, `alltoallv`, collective
+//! file I/O) are built on this primitive.
+
+use std::any::Any;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+/// Deadline after which a blocked collective panics. Collectives only block
+/// while sibling tasks are still on their way; a timeout this long always
+/// indicates a bug (mismatched collective, dead task), and a loud panic
+/// beats a hung test suite.
+const STALL_TIMEOUT: Duration = Duration::from_secs(120);
+
+pub(crate) struct Board {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+    ntasks: usize,
+}
+
+struct Inner {
+    deposits: Vec<Option<Box<dyn Any + Send>>>,
+    times: Vec<f64>,
+    arrived: usize,
+    leaving: usize,
+    published: Option<Arc<dyn Any + Send + Sync>>,
+    max_time: f64,
+}
+
+/// Result of an exchange: every task's deposit, in rank order, plus the
+/// latest deposit timestamp.
+pub(crate) struct Exchanged<T> {
+    pub all: Arc<Vec<T>>,
+    pub max_time: f64,
+}
+
+impl<T> Clone for Exchanged<T> {
+    fn clone(&self) -> Self {
+        Exchanged { all: Arc::clone(&self.all), max_time: self.max_time }
+    }
+}
+
+impl Board {
+    pub fn new(ntasks: usize) -> Board {
+        Board {
+            inner: Mutex::new(Inner {
+                deposits: (0..ntasks).map(|_| None).collect(),
+                times: vec![0.0; ntasks],
+                arrived: 0,
+                leaving: 0,
+                published: None,
+                max_time: 0.0,
+            }),
+            cv: Condvar::new(),
+            ntasks,
+        }
+    }
+
+    /// Deposits `value` for `rank` at simulated time `now`, waits for all
+    /// tasks, and returns everyone's deposits.
+    ///
+    /// Every participating task must call this with the same `T`; the board
+    /// enforces one-deposit-per-rank-per-generation.
+    pub fn exchange<T: Send + Sync + 'static>(
+        &self,
+        rank: usize,
+        now: f64,
+        value: T,
+    ) -> Exchanged<T> {
+        let mut g = self.inner.lock();
+
+        // A previous generation may still be draining: wait until its
+        // publication has been cleared before depositing into the next one.
+        while g.published.is_some() {
+            self.wait(&mut g, "previous exchange generation to drain");
+        }
+
+        debug_assert!(g.deposits[rank].is_none(), "rank {rank} deposited twice");
+        g.deposits[rank] = Some(Box::new(value));
+        g.times[rank] = now;
+        g.arrived += 1;
+
+        if g.arrived == self.ntasks {
+            // Last arriver publishes.
+            let mut vals = Vec::with_capacity(self.ntasks);
+            for d in g.deposits.iter_mut() {
+                let boxed = d.take().expect("all ranks deposited");
+                vals.push(*boxed.downcast::<T>().expect("uniform exchange type"));
+            }
+            g.max_time = g.times.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            g.published = Some(Arc::new(Arc::new(vals)) as Arc<dyn Any + Send + Sync>);
+            self.cv.notify_all();
+        } else {
+            while g.published.is_none() {
+                self.wait(&mut g, "sibling tasks to reach the exchange");
+            }
+        }
+
+        let published = g.published.as_ref().expect("published above");
+        let all = published
+            .downcast_ref::<Arc<Vec<T>>>()
+            .expect("uniform exchange type")
+            .clone();
+        let max_time = g.max_time;
+
+        g.leaving += 1;
+        if g.leaving == self.ntasks {
+            // Last to leave resets the board for the next generation.
+            g.published = None;
+            g.arrived = 0;
+            g.leaving = 0;
+            self.cv.notify_all();
+        }
+
+        Exchanged { all, max_time }
+    }
+
+    fn wait(&self, guard: &mut parking_lot::MutexGuard<'_, Inner>, what: &str) {
+        if self.cv.wait_for(guard, STALL_TIMEOUT).timed_out() {
+            panic!("collective stalled for {STALL_TIMEOUT:?} waiting for {what}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn exchange_collects_all_deposits() {
+        let board = Board::new(4);
+        thread::scope(|s| {
+            for rank in 0..4 {
+                let board = &board;
+                s.spawn(move || {
+                    let got = board.exchange(rank, rank as f64, rank * 10);
+                    assert_eq!(*got.all, vec![0, 10, 20, 30]);
+                    assert_eq!(got.max_time, 3.0);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn board_is_reusable_across_generations() {
+        let board = Board::new(3);
+        thread::scope(|s| {
+            for rank in 0..3 {
+                let board = &board;
+                s.spawn(move || {
+                    for generation in 0..50u64 {
+                        let got = board.exchange(rank, 0.0, (generation, rank));
+                        let expect: Vec<(u64, usize)> =
+                            (0..3).map(|r| (generation, r)).collect();
+                        assert_eq!(*got.all, expect);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn single_task_exchange_is_immediate() {
+        let board = Board::new(1);
+        let got = board.exchange(0, 7.5, "x");
+        assert_eq!(*got.all, vec!["x"]);
+        assert_eq!(got.max_time, 7.5);
+    }
+}

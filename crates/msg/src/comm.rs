@@ -1,0 +1,481 @@
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::board::Board;
+use crate::{CostModel, Rank, SimClock};
+
+/// Shared state of one SPMD region: mailboxes, the exchange board, the cost
+/// model, and the task → node placement.
+pub struct World {
+    ntasks: usize,
+    node_of: Vec<usize>,
+    cost: CostModel,
+    mailboxes: Vec<Mailbox>,
+    board: Board,
+}
+
+struct Mailbox {
+    queue: Mutex<Vec<Envelope>>,
+    cv: Condvar,
+}
+
+struct Envelope {
+    src: Rank,
+    tag: u64,
+    arrival: f64,
+    payload: Vec<u8>,
+}
+
+impl World {
+    /// Creates a world of `ntasks` tasks placed on nodes `node_of`
+    /// (one entry per task).
+    pub fn new(ntasks: usize, node_of: Vec<usize>, cost: CostModel) -> Arc<World> {
+        assert!(ntasks > 0, "an SPMD region needs at least one task");
+        assert_eq!(node_of.len(), ntasks, "one node per task");
+        Arc::new(World {
+            ntasks,
+            node_of,
+            cost,
+            mailboxes: (0..ntasks)
+                .map(|_| Mailbox { queue: Mutex::new(Vec::new()), cv: Condvar::new() })
+                .collect(),
+            board: Board::new(ntasks),
+        })
+    }
+
+    /// Number of tasks in the region.
+    pub fn ntasks(&self) -> usize {
+        self.ntasks
+    }
+
+    /// The communication cost model in effect.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Builds the per-task context for `rank`. Used by the runner; tests may
+    /// call it directly when driving tasks by hand.
+    pub fn ctx(self: &Arc<World>, rank: Rank) -> Ctx {
+        assert!(rank < self.ntasks);
+        Ctx { rank, world: Arc::clone(self), clock: SimClock::new() }
+    }
+}
+
+/// Reduction operators for `allreduce`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Sum of contributions.
+    Sum,
+    /// Maximum contribution.
+    Max,
+    /// Minimum contribution.
+    Min,
+}
+
+impl ReduceOp {
+    fn fold(self, xs: &[f64]) -> f64 {
+        match self {
+            ReduceOp::Sum => xs.iter().sum(),
+            ReduceOp::Max => xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            ReduceOp::Min => xs.iter().cloned().fold(f64::INFINITY, f64::min),
+        }
+    }
+}
+
+/// Per-task communication context: rank, placement, virtual clock, and the
+/// message-passing operations.
+pub struct Ctx {
+    rank: Rank,
+    world: Arc<World>,
+    clock: SimClock,
+}
+
+impl Ctx {
+    /// This task's rank within the region.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// Number of tasks in the region.
+    pub fn ntasks(&self) -> usize {
+        self.world.ntasks
+    }
+
+    /// The node (processor) this task is placed on.
+    pub fn node(&self) -> usize {
+        self.world.node_of[self.rank]
+    }
+
+    /// The node a given task is placed on.
+    pub fn node_of(&self, rank: Rank) -> usize {
+        self.world.node_of[rank]
+    }
+
+    /// The communication cost model in effect.
+    pub fn cost(&self) -> &CostModel {
+        &self.world.cost
+    }
+
+    /// Current simulated time, seconds.
+    pub fn now(&self) -> f64 {
+        self.clock.now()
+    }
+
+    /// Charges `seconds` of local computation against the virtual clock.
+    pub fn charge(&mut self, seconds: f64) {
+        self.clock.advance(seconds);
+    }
+
+    /// Moves this task's clock forward to `t` (no-op if `t` is in the past).
+    pub fn advance_to(&mut self, t: f64) {
+        self.clock.advance_to(t);
+    }
+
+    // ------------------------------------------------------------------
+    // Point-to-point
+    // ------------------------------------------------------------------
+
+    /// Sends `payload` to task `dst` with message tag `tag`.
+    ///
+    /// The sender is occupied for the software overhead plus the wire time
+    /// of the payload; the message lands in `dst`'s mailbox carrying its
+    /// arrival timestamp (sender completion + latency).
+    pub fn send(&mut self, dst: Rank, tag: u64, payload: Vec<u8>) {
+        assert!(dst < self.world.ntasks, "send to nonexistent rank {dst}");
+        let cost = &self.world.cost;
+        self.clock.advance(cost.send_overhead + cost.wire_time(payload.len()));
+        let arrival = self.clock.now() + cost.latency;
+        let mb = &self.world.mailboxes[dst];
+        let mut q = mb.queue.lock();
+        q.push(Envelope { src: self.rank, tag, arrival, payload });
+        mb.cv.notify_all();
+    }
+
+    /// Receives the next message from `src` with tag `tag`, blocking until
+    /// it arrives. Messages from the same sender with the same tag are
+    /// delivered in send order.
+    pub fn recv(&mut self, src: Rank, tag: u64) -> Vec<u8> {
+        let mb = &self.world.mailboxes[self.rank];
+        let mut q = mb.queue.lock();
+        loop {
+            if let Some(pos) = q.iter().position(|e| e.src == src && e.tag == tag) {
+                let env = q.remove(pos);
+                let cost = &self.world.cost;
+                self.clock.advance_to(env.arrival);
+                self.clock.advance(cost.recv_overhead);
+                return env.payload;
+            }
+            if mb.cv.wait_for(&mut q, Duration::from_secs(120)).timed_out() {
+                panic!(
+                    "rank {} stalled waiting for message (src {src}, tag {tag})",
+                    self.rank
+                );
+            }
+        }
+    }
+
+    /// Sends a `u64` scalar.
+    pub fn send_u64(&mut self, dst: Rank, tag: u64, v: u64) {
+        self.send(dst, tag, v.to_le_bytes().to_vec());
+    }
+
+    /// Receives a `u64` scalar.
+    pub fn recv_u64(&mut self, src: Rank, tag: u64) -> u64 {
+        let b = self.recv(src, tag);
+        u64::from_le_bytes(b.as_slice().try_into().expect("u64 payload"))
+    }
+
+    // ------------------------------------------------------------------
+    // Collectives
+    // ------------------------------------------------------------------
+
+    /// Raw all-to-all rendezvous: deposits `value`, returns every task's
+    /// deposit (rank-indexed) and the latest deposit time.
+    ///
+    /// Does **not** adjust the clock; callers implementing higher-level
+    /// collectives decide how to charge time. This is the primitive the
+    /// parallel file system uses to schedule collective I/O phases
+    /// deterministically.
+    pub fn exchange<T: Send + Sync + 'static>(&mut self, value: T) -> (Arc<Vec<T>>, f64) {
+        let got = self.world.board.exchange(self.rank, self.clock.now(), value);
+        (got.all, got.max_time)
+    }
+
+    /// Barrier: all tasks synchronize; clocks advance to the latest arrival
+    /// plus the barrier cost.
+    pub fn barrier(&mut self) {
+        let (_, t) = self.exchange(());
+        self.clock.advance_to(t);
+        self.clock.advance(self.world.cost.barrier_cost);
+    }
+
+    /// All-reduce over one `f64` per task.
+    pub fn allreduce(&mut self, x: f64, op: ReduceOp) -> f64 {
+        let (all, t) = self.exchange(x);
+        self.clock.advance_to(t);
+        self.clock.advance(self.world.cost.collective_latency(self.world.ntasks));
+        op.fold(&all)
+    }
+
+    /// Gather: every task contributes a byte buffer; all tasks receive the
+    /// full rank-indexed vector (an allgather, which is what the DRMS
+    /// runtime actually needs for distribution metadata).
+    pub fn allgather_bytes(&mut self, data: Vec<u8>) -> Arc<Vec<Vec<u8>>> {
+        let total: usize = data.len();
+        let (all, t) = self.exchange(data);
+        let bytes: usize = all.iter().map(Vec::len).sum::<usize>() - total;
+        self.clock.advance_to(t);
+        self.clock.advance(
+            self.world.cost.collective_latency(self.world.ntasks)
+                + self.world.cost.wire_time(bytes),
+        );
+        all
+    }
+
+    /// Broadcast from `root`: only the root's payload is meaningful; every
+    /// task receives a handle to it.
+    pub fn broadcast_bytes(&mut self, root: Rank, data: Option<Vec<u8>>) -> Arc<Vec<u8>> {
+        debug_assert_eq!(data.is_some(), self.rank == root, "only the root supplies data");
+        let (all, t) = self.exchange(data.map(Arc::new));
+        let payload = all[root].as_ref().expect("root deposited data").clone();
+        self.clock.advance_to(t);
+        self.clock.advance(
+            self.world.cost.collective_latency(self.world.ntasks)
+                + self.world.cost.wire_time(payload.len()),
+        );
+        payload
+    }
+
+    /// Personalized all-to-all exchange: `outgoing[d]` is the buffer for
+    /// task `d` (empty buffers are free). Returns a handle to every task's
+    /// incoming buffers.
+    ///
+    /// Time: all tasks synchronize (data dependency), then each task is
+    /// charged the log-latency of the exchange plus the wire time of
+    /// `max(bytes sent, bytes received)` — the standard congestion-free
+    /// alltoall model.
+    pub fn alltoallv(&mut self, outgoing: Vec<Vec<u8>>) -> Incoming {
+        assert_eq!(outgoing.len(), self.world.ntasks, "one buffer per destination");
+        let sent: usize = outgoing
+            .iter()
+            .enumerate()
+            .filter(|&(d, _)| d != self.rank)
+            .map(|(_, b)| b.len())
+            .sum();
+        let (all, t) = self.exchange(outgoing);
+        let received: usize = all
+            .iter()
+            .enumerate()
+            .filter(|&(s, _)| s != self.rank)
+            .map(|(_, bufs)| bufs[self.rank].len())
+            .sum();
+        self.clock.advance_to(t);
+        self.clock.advance(
+            self.world.cost.collective_latency(self.world.ntasks)
+                + self.world.cost.wire_time(sent.max(received)),
+        );
+        Incoming { all, rank: self.rank }
+    }
+}
+
+/// Received side of an [`Ctx::alltoallv`]: zero-copy access to the buffer
+/// each source task addressed to this rank.
+pub struct Incoming {
+    all: Arc<Vec<Vec<Vec<u8>>>>,
+    rank: Rank,
+}
+
+impl Incoming {
+    /// The bytes task `src` sent to this task.
+    pub fn from(&self, src: Rank) -> &[u8] {
+        &self.all[src][self.rank]
+    }
+
+    /// Total bytes received (excluding the self-buffer).
+    pub fn total_received(&self) -> usize {
+        self.all
+            .iter()
+            .enumerate()
+            .filter(|&(s, _)| s != self.rank)
+            .map(|(_, bufs)| bufs[self.rank].len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_spmd;
+
+    #[test]
+    fn p2p_roundtrip_and_timing() {
+        let cost = CostModel {
+            latency: 1.0,
+            bandwidth: 10.0,
+            send_overhead: 0.5,
+            recv_overhead: 0.25,
+            barrier_cost: 0.0,
+            memcpy_bw: f64::INFINITY,
+        };
+        let out = run_spmd(2, cost, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 7, vec![1, 2, 3, 4, 5]); // 5 bytes
+                ctx.now()
+            } else {
+                let data = ctx.recv(0, 7);
+                assert_eq!(data, vec![1, 2, 3, 4, 5]);
+                ctx.now()
+            }
+        })
+        .unwrap();
+        // Sender: 0.5 overhead + 5/10 wire = 1.0.
+        assert!((out[0] - 1.0).abs() < 1e-12);
+        // Receiver: arrival (1.0 + 1.0 latency) + 0.25 overhead = 2.25.
+        assert!((out[1] - 2.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn messages_same_tag_fifo() {
+        let out = run_spmd(2, CostModel::free(), |ctx| {
+            if ctx.rank() == 0 {
+                for i in 0..10u8 {
+                    ctx.send(1, 3, vec![i]);
+                }
+                Vec::new()
+            } else {
+                (0..10).map(|_| ctx.recv(0, 3)[0]).collect::<Vec<u8>>()
+            }
+        })
+        .unwrap();
+        assert_eq!(out[1], (0..10).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn recv_matches_by_tag() {
+        let out = run_spmd(2, CostModel::free(), |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 1, vec![11]);
+                ctx.send(1, 2, vec![22]);
+                0
+            } else {
+                // Receive out of send order, selected by tag.
+                let b = ctx.recv(0, 2)[0];
+                let a = ctx.recv(0, 1)[0];
+                assert_eq!((a, b), (11, 22));
+                1
+            }
+        })
+        .unwrap();
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn barrier_reconciles_clocks() {
+        let cost = CostModel { barrier_cost: 0.5, ..CostModel::free() };
+        let out = run_spmd(4, cost, |ctx| {
+            ctx.charge(ctx.rank() as f64); // ranks at t = 0,1,2,3
+            ctx.barrier();
+            ctx.now()
+        })
+        .unwrap();
+        for t in out {
+            assert!((t - 3.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn allreduce_ops() {
+        let out = run_spmd(4, CostModel::free(), |ctx| {
+            let x = ctx.rank() as f64 + 1.0; // 1,2,3,4
+            (
+                ctx.allreduce(x, ReduceOp::Sum),
+                ctx.allreduce(x, ReduceOp::Max),
+                ctx.allreduce(x, ReduceOp::Min),
+            )
+        })
+        .unwrap();
+        for (s, mx, mn) in out {
+            assert_eq!(s, 10.0);
+            assert_eq!(mx, 4.0);
+            assert_eq!(mn, 1.0);
+        }
+    }
+
+    #[test]
+    fn broadcast_delivers_root_payload() {
+        let out = run_spmd(3, CostModel::default(), |ctx| {
+            let data = (ctx.rank() == 1).then(|| vec![9, 8, 7]);
+            let got = ctx.broadcast_bytes(1, data);
+            got.to_vec()
+        })
+        .unwrap();
+        for v in out {
+            assert_eq!(v, vec![9, 8, 7]);
+        }
+    }
+
+    #[test]
+    fn allgather_collects_rank_indexed() {
+        let out = run_spmd(3, CostModel::default(), |ctx| {
+            let got = ctx.allgather_bytes(vec![ctx.rank() as u8; ctx.rank() + 1]);
+            got.iter().map(|b| b.len()).collect::<Vec<_>>()
+        })
+        .unwrap();
+        for lens in out {
+            assert_eq!(lens, vec![1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn alltoallv_routes_buffers() {
+        let out = run_spmd(4, CostModel::default(), |ctx| {
+            let me = ctx.rank() as u8;
+            let outgoing: Vec<Vec<u8>> =
+                (0..4).map(|d| vec![me * 10 + d as u8]).collect();
+            let incoming = ctx.alltoallv(outgoing);
+            (0..4).map(|s| incoming.from(s)[0]).collect::<Vec<u8>>()
+        })
+        .unwrap();
+        for (rank, got) in out.iter().enumerate() {
+            let expect: Vec<u8> = (0..4).map(|s| (s * 10 + rank) as u8).collect();
+            assert_eq!(*got, expect, "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn alltoallv_timing_uses_max_direction() {
+        let cost = CostModel {
+            latency: 0.0,
+            bandwidth: 1.0,
+            send_overhead: 0.0,
+            recv_overhead: 0.0,
+            barrier_cost: 0.0,
+            memcpy_bw: f64::INFINITY,
+        };
+        let out = run_spmd(2, cost, |ctx| {
+            // Rank 0 sends 8 bytes to rank 1; rank 1 sends 2 bytes back.
+            let outgoing = if ctx.rank() == 0 {
+                vec![Vec::new(), vec![0; 8]]
+            } else {
+                vec![vec![0; 2], Vec::new()]
+            };
+            let _ = ctx.alltoallv(outgoing);
+            ctx.now()
+        })
+        .unwrap();
+        // Both directions overlap; each task pays max(sent, received) = 8.
+        assert!((out[0] - 8.0).abs() < 1e-12);
+        assert!((out[1] - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_placement_is_visible() {
+        let world = World::new(3, vec![5, 6, 7], CostModel::free());
+        let ctx = world.ctx(2);
+        assert_eq!(ctx.node(), 7);
+        assert_eq!(ctx.node_of(0), 5);
+        assert_eq!(ctx.ntasks(), 3);
+    }
+}

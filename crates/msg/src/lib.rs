@@ -1,0 +1,33 @@
+//! In-process SPMD task runtime with virtual-time message passing.
+//!
+//! This crate is the substitute for the MPL/MPI layer of the IBM RS/6000 SP
+//! the paper ran on. An application region runs as `P` *tasks* (one OS thread
+//! each) that communicate through a [`Ctx`]: typed point-to-point messages,
+//! barriers, reductions, gathers, and the `alltoallv` exchange that array
+//! redistribution is built on.
+//!
+//! **Virtual time.** Every task owns a [`SimClock`]. Communication and
+//! compute charge simulated seconds against it according to a [`CostModel`]
+//! (wire latency + 1/bandwidth, calibrated to the 1995-era SP switch);
+//! synchronizing operations reconcile clocks (a barrier takes the maximum).
+//! All *data* movement is real — payload bytes actually travel between
+//! threads — but *time* is simulated, which is what lets a single-core host
+//! report faithful 16-processor execution times.
+//!
+//! The paper's experiments map tasks one-to-one onto processors; the runtime
+//! records the task → node placement so the file-system layer can model
+//! client/server co-location interference (paper, Section 5).
+
+#![deny(missing_docs)]
+
+mod board;
+mod clock;
+mod comm;
+mod runner;
+
+pub use clock::{CostModel, SimClock};
+pub use comm::{Ctx, Incoming, ReduceOp, World};
+pub use runner::{run_spmd, run_spmd_with_nodes, SpmdError};
+
+/// Task identifier within an SPMD region (0-based rank).
+pub type Rank = usize;

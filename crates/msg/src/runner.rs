@@ -1,0 +1,137 @@
+use std::fmt;
+
+use crate::{CostModel, Ctx, World};
+
+/// Error from running an SPMD region.
+#[derive(Debug)]
+pub enum SpmdError {
+    /// One of the tasks panicked; the region is unusable.
+    TaskPanicked {
+        /// Rank of the first failed task.
+        rank: usize,
+        /// Panic payload rendered to a string, when available.
+        message: String,
+    },
+}
+
+impl fmt::Display for SpmdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpmdError::TaskPanicked { rank, message } => {
+                write!(f, "SPMD task {rank} panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpmdError {}
+
+/// Runs `f` as an SPMD region of `ntasks` tasks mapped one-to-one onto nodes
+/// `0..ntasks`, returning each task's result in rank order.
+pub fn run_spmd<R, F>(ntasks: usize, cost: CostModel, f: F) -> Result<Vec<R>, SpmdError>
+where
+    R: Send,
+    F: Fn(&mut Ctx) -> R + Sync,
+{
+    run_spmd_with_nodes(ntasks, (0..ntasks).collect(), cost, f)
+}
+
+/// Runs `f` as an SPMD region of `ntasks` tasks with an explicit task → node
+/// placement (`node_of[rank]` is the processor hosting `rank`).
+///
+/// One OS thread is spawned per task; the threads communicate through the
+/// world's mailboxes and exchange board, and each carries its own virtual
+/// clock. If any task panics, the panic is captured and reported with its
+/// rank (sibling tasks blocked in collectives will trip their stall guards).
+pub fn run_spmd_with_nodes<R, F>(
+    ntasks: usize,
+    node_of: Vec<usize>,
+    cost: CostModel,
+    f: F,
+) -> Result<Vec<R>, SpmdError>
+where
+    R: Send,
+    F: Fn(&mut Ctx) -> R + Sync,
+{
+    let world = World::new(ntasks, node_of, cost);
+    let mut results: Vec<Option<R>> = (0..ntasks).map(|_| None).collect();
+
+    let outcome: Result<(), SpmdError> = std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(ntasks);
+        for (rank, slot) in results.iter_mut().enumerate() {
+            let world = &world;
+            let f = &f;
+            let handle = std::thread::Builder::new()
+                .name(format!("spmd-task-{rank}"))
+                .spawn_scoped(s, move || {
+                    let mut ctx = world.ctx(rank);
+                    *slot = Some(f(&mut ctx));
+                })
+                .expect("spawn SPMD task thread");
+            handles.push((rank, handle));
+        }
+        let mut first_failure = None;
+        for (rank, handle) in handles {
+            if let Err(payload) = handle.join() {
+                let message = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "<non-string panic payload>".to_string());
+                first_failure.get_or_insert(SpmdError::TaskPanicked { rank, message });
+            }
+        }
+        match first_failure {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    });
+
+    outcome?;
+    Ok(results.into_iter().map(|r| r.expect("task completed")).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_rank_order() {
+        let out = run_spmd(5, CostModel::free(), |ctx| ctx.rank() * 2).unwrap();
+        assert_eq!(out, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn custom_node_placement() {
+        let out =
+            run_spmd_with_nodes(3, vec![10, 20, 30], CostModel::free(), |ctx| ctx.node())
+                .unwrap();
+        assert_eq!(out, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn panic_is_reported_with_rank() {
+        let err = run_spmd(2, CostModel::free(), |ctx| {
+            if ctx.rank() == 1 {
+                panic!("boom");
+            }
+        })
+        .unwrap_err();
+        match err {
+            SpmdError::TaskPanicked { rank, message } => {
+                assert_eq!(rank, 1);
+                assert!(message.contains("boom"));
+            }
+        }
+    }
+
+    #[test]
+    fn single_task_region() {
+        let out = run_spmd(1, CostModel::default(), |ctx| {
+            ctx.barrier();
+            ctx.allreduce(42.0, crate::ReduceOp::Sum)
+        })
+        .unwrap();
+        assert_eq!(out, vec![42.0]);
+    }
+}

@@ -1,0 +1,554 @@
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use drms_msg::Ctx;
+
+use crate::config::PiofsConfig;
+use crate::phase::{price_phase, DescKind, Pricing, ReadAccess, ReadReq, ReqDesc, WriteReq};
+use crate::rng::SplitMix64;
+use crate::store::FileData;
+
+/// Errors from file-system operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PiofsError {
+    /// The path does not name a file.
+    NotFound(
+        /// Offending path.
+        String,
+    ),
+    /// A read past the end of the file.
+    OutOfBounds {
+        /// Offending path.
+        path: String,
+        /// Requested offset.
+        offset: u64,
+        /// Requested length.
+        len: u64,
+        /// Actual file size.
+        size: u64,
+    },
+}
+
+impl fmt::Display for PiofsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PiofsError::NotFound(p) => write!(f, "no such file: {p}"),
+            PiofsError::OutOfBounds { path, offset, len, size } => write!(
+                f,
+                "read [{offset}, {}) out of bounds for {path} (size {size})",
+                offset + len
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PiofsError {}
+
+/// Metadata about one file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileInfo {
+    /// Logical path.
+    pub path: String,
+    /// Size in bytes.
+    pub size: u64,
+}
+
+struct State {
+    files: HashMap<String, FileData>,
+    next_id: u64,
+    busy: Vec<f64>,
+    residency: Vec<u64>,
+    rng: SplitMix64,
+}
+
+/// The simulated parallel file system.
+///
+/// Shared by all tasks of a region (and across regions: checkpoint files
+/// survive application restarts). All operations that move data also advance
+/// the calling task's virtual clock according to the cost model.
+pub struct Piofs {
+    cfg: PiofsConfig,
+    state: Mutex<State>,
+}
+
+/// Descriptor as exchanged between tasks in a collective phase.
+#[derive(Debug, Clone)]
+struct WireDesc {
+    path: String,
+    offset: u64,
+    len: u64,
+    kind: DescKind,
+}
+
+impl Piofs {
+    /// Creates a file system with the given configuration and jitter seed.
+    pub fn new(cfg: PiofsConfig, seed: u64) -> Arc<Piofs> {
+        let n = cfg.n_servers;
+        Arc::new(Piofs {
+            cfg,
+            state: Mutex::new(State {
+                files: HashMap::new(),
+                next_id: 0,
+                busy: vec![0.0; n],
+                residency: vec![0; n],
+                rng: SplitMix64::new(seed),
+            }),
+        })
+    }
+
+    /// The configuration in effect.
+    pub fn cfg(&self) -> &PiofsConfig {
+        &self.cfg
+    }
+
+    /// Registers the resident memory of the application task placed on
+    /// `node`; drives the co-location interference and buffer-memory
+    /// mechanisms. Nodes outside the server set are ignored.
+    pub fn set_residency(&self, node: usize, bytes: u64) {
+        let mut st = self.state.lock();
+        if node < st.residency.len() {
+            st.residency[node] = bytes;
+        }
+    }
+
+    /// Clears all registered task residency (application terminated).
+    pub fn clear_residency(&self) {
+        let mut st = self.state.lock();
+        st.residency.iter_mut().for_each(|r| *r = 0);
+    }
+
+    /// Resets the per-server busy horizon (between independent experiment
+    /// runs).
+    pub fn reset_time(&self) {
+        let mut st = self.state.lock();
+        st.busy.iter_mut().for_each(|b| *b = 0.0);
+    }
+
+    // ------------------------------------------------------------------
+    // Namespace
+    // ------------------------------------------------------------------
+
+    /// Creates (or truncates) a file.
+    pub fn create(&self, path: &str) {
+        let mut st = self.state.lock();
+        let id = st.alloc_id();
+        st.files.insert(path.to_string(), FileData::new(id));
+    }
+
+    /// Deletes a file; `true` if it existed.
+    pub fn delete(&self, path: &str) -> bool {
+        self.state.lock().files.remove(path).is_some()
+    }
+
+    /// Whether a file exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.state.lock().files.contains_key(path)
+    }
+
+    /// Size of a file in bytes.
+    pub fn size(&self, path: &str) -> Result<u64, PiofsError> {
+        self.state
+            .lock()
+            .files
+            .get(path)
+            .map(FileData::len)
+            .ok_or_else(|| PiofsError::NotFound(path.to_string()))
+    }
+
+    /// All files whose path starts with `prefix`, sorted by path.
+    pub fn list(&self, prefix: &str) -> Vec<FileInfo> {
+        let st = self.state.lock();
+        let mut out: Vec<FileInfo> = st
+            .files
+            .iter()
+            .filter(|(p, _)| p.starts_with(prefix))
+            .map(|(p, f)| FileInfo { path: p.clone(), size: f.len() })
+            .collect();
+        out.sort_by(|a, b| a.path.cmp(&b.path));
+        out
+    }
+
+    /// Total bytes stored under `prefix` (the paper's "size of saved
+    /// state" metric).
+    pub fn total_bytes(&self, prefix: &str) -> u64 {
+        self.list(prefix).iter().map(|f| f.size).sum()
+    }
+
+    /// Raw file contents without touching the clock (diagnostics/tests).
+    pub fn peek(&self, path: &str) -> Option<Vec<u8>> {
+        self.state.lock().files.get(path).map(|f| f.bytes.clone())
+    }
+
+    /// Installs a file without charging simulated time — environment setup
+    /// (e.g. placing an application binary) that happens before the
+    /// experiment clock starts.
+    pub fn preload(&self, path: &str, bytes: Vec<u8>) {
+        let mut st = self.state.lock();
+        st.intern(path);
+        let f = st.files.get_mut(path).expect("interned");
+        f.bytes = bytes;
+    }
+
+    // ------------------------------------------------------------------
+    // Single-client I/O
+    // ------------------------------------------------------------------
+
+    /// Writes `data` at `offset`, creating the file if needed. Single-client
+    /// operation: only the calling task is involved (e.g. the representative
+    /// task writing the data segment while siblings wait at a barrier).
+    pub fn write_at(&self, ctx: &mut Ctx, path: &str, offset: u64, data: &[u8]) {
+        let node = ctx.node();
+        let rank = ctx.rank();
+        let now = ctx.now();
+        let mut st = self.state.lock();
+        let id = st.intern(path);
+        st.files.get_mut(path).expect("interned").write_at(offset, data);
+        let desc = ReqDesc {
+            client: rank,
+            node,
+            path_id: id,
+            offset,
+            len: data.len() as u64,
+            kind: DescKind::Write,
+        };
+        let pricing = st.price(&self.cfg, now, &[desc], &[rank]);
+        drop(st);
+        ctx.advance_to(pricing.completion[&rank]);
+    }
+
+    /// Reads `len` bytes at `offset`. Single-client operation.
+    pub fn read_at(
+        &self,
+        ctx: &mut Ctx,
+        path: &str,
+        offset: u64,
+        len: u64,
+        access: ReadAccess,
+    ) -> Result<Vec<u8>, PiofsError> {
+        let node = ctx.node();
+        let rank = ctx.rank();
+        let now = ctx.now();
+        let mut st = self.state.lock();
+        let file = st
+            .files
+            .get(path)
+            .ok_or_else(|| PiofsError::NotFound(path.to_string()))?;
+        let data = file.read_at(offset, len).ok_or_else(|| PiofsError::OutOfBounds {
+            path: path.to_string(),
+            offset,
+            len,
+            size: file.len(),
+        })?;
+        let id = file.id;
+        let desc = ReqDesc {
+            client: rank,
+            node,
+            path_id: id,
+            offset,
+            len,
+            kind: DescKind::Read(access),
+        };
+        let pricing = st.price(&self.cfg, now, &[desc], &[rank]);
+        drop(st);
+        ctx.advance_to(pricing.completion[&rank]);
+        Ok(data)
+    }
+
+    // ------------------------------------------------------------------
+    // Collective I/O
+    // ------------------------------------------------------------------
+
+    /// Collective write: every task of the region calls this with its own
+    /// (possibly empty) request list. Bytes are stored immediately; the
+    /// phase is priced once, deterministically, and every task's clock
+    /// advances to its computed completion.
+    pub fn collective_write(&self, ctx: &mut Ctx, reqs: Vec<WriteReq>) {
+        // Store this task's bytes and build wire descriptors.
+        let mut descs = Vec::with_capacity(reqs.len());
+        {
+            let mut st = self.state.lock();
+            for r in &reqs {
+                st.intern(&r.path);
+                st.files.get_mut(&r.path).expect("interned").write_at(r.offset, &r.data);
+                descs.push(WireDesc {
+                    path: r.path.clone(),
+                    offset: r.offset,
+                    len: r.data.len() as u64,
+                    kind: DescKind::Write,
+                });
+            }
+        }
+        self.run_phase(ctx, descs);
+    }
+
+    /// Collective read: every task calls with its own request list and gets
+    /// its data back, one buffer per request, in request order.
+    pub fn collective_read(
+        &self,
+        ctx: &mut Ctx,
+        reqs: Vec<ReadReq>,
+    ) -> Result<Vec<Vec<u8>>, PiofsError> {
+        let descs: Vec<WireDesc> = reqs
+            .iter()
+            .map(|r| WireDesc {
+                path: r.path.clone(),
+                offset: r.offset,
+                len: r.len,
+                kind: DescKind::Read(r.access),
+            })
+            .collect();
+        self.run_phase(ctx, descs);
+        // Fetch this task's data (contents are stable during the phase).
+        let st = self.state.lock();
+        let mut out = Vec::with_capacity(reqs.len());
+        for r in &reqs {
+            let file = st
+                .files
+                .get(&r.path)
+                .ok_or_else(|| PiofsError::NotFound(r.path.clone()))?;
+            let data =
+                file.read_at(r.offset, r.len).ok_or_else(|| PiofsError::OutOfBounds {
+                    path: r.path.clone(),
+                    offset: r.offset,
+                    len: r.len,
+                    size: file.len(),
+                })?;
+            out.push(data);
+        }
+        Ok(out)
+    }
+
+    /// Exchanges descriptors, prices the phase on rank 0, and advances every
+    /// participant's clock.
+    fn run_phase(&self, ctx: &mut Ctx, descs: Vec<WireDesc>) {
+        let rank = ctx.rank();
+        let nodes: Vec<usize> = (0..ctx.ntasks()).map(|r| ctx.node_of(r)).collect();
+        let (all_descs, t_sync) = ctx.exchange(descs);
+
+        let pricing: Option<Arc<Pricing>> = if rank == 0 {
+            let mut st = self.state.lock();
+            let mut flat = Vec::new();
+            for (client, ds) in all_descs.iter().enumerate() {
+                for d in ds {
+                    let path_id = st.intern(&d.path);
+                    flat.push(ReqDesc {
+                        client,
+                        node: nodes[client],
+                        path_id,
+                        offset: d.offset,
+                        len: d.len,
+                        kind: d.kind,
+                    });
+                }
+            }
+            let participants: Vec<usize> = (0..ctx.ntasks()).collect();
+            Some(Arc::new(st.price(&self.cfg, t_sync, &flat, &participants)))
+        } else {
+            None
+        };
+
+        let (priced, _) = ctx.exchange(pricing);
+        let pricing = priced[0].as_ref().expect("rank 0 priced the phase");
+        ctx.advance_to(pricing.completion[&rank]);
+    }
+}
+
+impl State {
+    fn alloc_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Ensures `path` exists, returning its id.
+    fn intern(&mut self, path: &str) -> u64 {
+        if let Some(f) = self.files.get(path) {
+            return f.id;
+        }
+        let id = self.alloc_id();
+        self.files.insert(path.to_string(), FileData::new(id));
+        id
+    }
+
+    /// Prices a phase against current server state and applies its effects.
+    fn price(
+        &mut self,
+        cfg: &PiofsConfig,
+        t_sync: f64,
+        reqs: &[ReqDesc],
+        participants: &[usize],
+    ) -> Pricing {
+        let pricing =
+            price_phase(cfg, &self.busy, &self.residency, t_sync, reqs, participants, &mut self.rng);
+        self.busy = pricing.server_busy.clone();
+        pricing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drms_msg::{run_spmd, CostModel};
+
+    fn fs() -> Arc<Piofs> {
+        Piofs::new(PiofsConfig::test_tiny(4), 1)
+    }
+
+    #[test]
+    fn namespace_operations() {
+        let fs = fs();
+        assert!(!fs.exists("a"));
+        fs.create("a");
+        assert!(fs.exists("a"));
+        assert_eq!(fs.size("a").unwrap(), 0);
+        assert!(fs.size("b").is_err());
+        fs.create("dir/x");
+        fs.create("dir/y");
+        let listed = fs.list("dir/");
+        assert_eq!(listed.len(), 2);
+        assert_eq!(listed[0].path, "dir/x");
+        assert!(fs.delete("a"));
+        assert!(!fs.delete("a"));
+    }
+
+    #[test]
+    fn single_client_roundtrip() {
+        let fs = fs();
+        let out = run_spmd(1, CostModel::free(), |ctx| {
+            fs.write_at(ctx, "f", 0, &[1, 2, 3, 4]);
+            fs.write_at(ctx, "f", 2, &[9, 9]);
+            fs.read_at(ctx, "f", 0, 4, ReadAccess::Sequential).unwrap()
+        })
+        .unwrap();
+        assert_eq!(out[0], vec![1, 2, 9, 9]);
+    }
+
+    #[test]
+    fn read_errors() {
+        let fs = fs();
+        run_spmd(1, CostModel::free(), |ctx| {
+            assert!(matches!(
+                fs.read_at(ctx, "missing", 0, 1, ReadAccess::Sequential),
+                Err(PiofsError::NotFound(_))
+            ));
+            fs.write_at(ctx, "f", 0, &[0; 8]);
+            assert!(matches!(
+                fs.read_at(ctx, "f", 5, 10, ReadAccess::Sequential),
+                Err(PiofsError::OutOfBounds { .. })
+            ));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn collective_write_then_read_roundtrip() {
+        let fs = fs();
+        let out = run_spmd(4, CostModel::free(), |ctx| {
+            let rank = ctx.rank() as u8;
+            // Each task writes 100 bytes of its rank at its own offset of a
+            // shared file.
+            fs.collective_write(
+                ctx,
+                vec![WriteReq {
+                    path: "shared".into(),
+                    offset: rank as u64 * 100,
+                    data: vec![rank; 100],
+                }],
+            );
+            // Everyone reads the whole file.
+            let got = fs
+                .collective_read(
+                    ctx,
+                    vec![ReadReq {
+                        path: "shared".into(),
+                        offset: 0,
+                        len: 400,
+                        access: ReadAccess::Sequential,
+                    }],
+                )
+                .unwrap();
+            got.into_iter().next().unwrap()
+        })
+        .unwrap();
+        let mut expect = Vec::new();
+        for r in 0..4u8 {
+            expect.extend(vec![r; 100]);
+        }
+        for got in out {
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn collective_with_empty_requests() {
+        let fs = fs();
+        run_spmd(3, CostModel::free(), |ctx| {
+            let reqs = if ctx.rank() == 0 {
+                vec![WriteReq { path: "solo".into(), offset: 0, data: vec![7; 10] }]
+            } else {
+                Vec::new()
+            };
+            fs.collective_write(ctx, reqs);
+        })
+        .unwrap();
+        assert_eq!(fs.peek("solo").unwrap(), vec![7; 10]);
+    }
+
+    #[test]
+    fn clocks_advance_with_costs() {
+        let fs = Piofs::new(PiofsConfig::sp_1997(), 1);
+        let out = run_spmd(2, CostModel::free(), |ctx| {
+            fs.collective_write(
+                ctx,
+                vec![WriteReq {
+                    path: "t".into(),
+                    offset: ctx.rank() as u64 * (1 << 20),
+                    data: vec![1; 1 << 20],
+                }],
+            );
+            ctx.now()
+        })
+        .unwrap();
+        // 1 MB per client over a ~21 MB/s aggregate: must take real
+        // simulated time.
+        assert!(out[0] > 0.01, "t = {}", out[0]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| -> f64 {
+            let fs = Piofs::new(PiofsConfig::sp_1997(), seed);
+            run_spmd(4, CostModel::free(), |ctx| {
+                fs.collective_write(
+                    ctx,
+                    vec![WriteReq {
+                        path: format!("f{}", ctx.rank()),
+                        offset: 0,
+                        data: vec![0; 4 << 20],
+                    }],
+                );
+                ctx.now()
+            })
+            .unwrap()
+            .into_iter()
+            .fold(0.0, f64::max)
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn total_bytes_sums_prefix() {
+        let fs = fs();
+        run_spmd(1, CostModel::free(), |ctx| {
+            fs.write_at(ctx, "ck/a", 0, &[0; 100]);
+            fs.write_at(ctx, "ck/b", 0, &[0; 50]);
+            fs.write_at(ctx, "other", 0, &[0; 999]);
+        })
+        .unwrap();
+        assert_eq!(fs.total_bytes("ck/"), 150);
+    }
+}

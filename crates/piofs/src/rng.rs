@@ -1,0 +1,111 @@
+//! A tiny deterministic RNG for service-time jitter.
+//!
+//! The simulator needs a reproducible Gaussian jitter source without pulling
+//! statistics crates into a substrate crate; SplitMix64 plus Box–Muller is
+//! plenty. Determinism matters: a run seed fully determines every phase time,
+//! which is what makes the paper's mean ± sigma statistics reproducible.
+
+/// SplitMix64 pseudo-random generator.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Standard normal deviate (Box–Muller), clamped to ±4.
+    pub fn next_gaussian(&mut self) -> f64 {
+        let u1 = self.next_f64().max(f64::MIN_POSITIVE);
+        let u2 = self.next_f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        z.clamp(-4.0, 4.0)
+    }
+
+    /// Multiplicative jitter factor `max(0.5, 1 + sigma * N(0,1))`.
+    pub fn jitter(&mut self, sigma: f64) -> f64 {
+        if sigma == 0.0 {
+            return 1.0;
+        }
+        (1.0 + sigma * self.next_gaussian()).max(0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut r = SplitMix64::new(7);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut r = SplitMix64::new(99);
+        let n = 20_000;
+        let (mut s, mut s2) = (0.0, 0.0);
+        for _ in 0..n {
+            let z = r.next_gaussian();
+            s += z;
+            s2 += z * z;
+        }
+        let mean = s / n as f64;
+        let var = s2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.06, "var {var}");
+    }
+
+    #[test]
+    fn jitter_centered_and_positive() {
+        let mut r = SplitMix64::new(5);
+        for _ in 0..1000 {
+            let j = r.jitter(0.05);
+            assert!((0.5..=1.3).contains(&j));
+        }
+        assert_eq!(SplitMix64::new(5).jitter(0.0), 1.0);
+    }
+}

@@ -1,0 +1,74 @@
+//! In-memory byte store for logical files.
+
+/// Contents and identity of one logical file.
+#[derive(Debug)]
+pub(crate) struct FileData {
+    /// Interned identity, stable for the life of the namespace entry.
+    pub id: u64,
+    /// The file's bytes, contiguous. Striping is a property of the cost
+    /// model, not of the storage representation.
+    pub bytes: Vec<u8>,
+}
+
+impl FileData {
+    pub fn new(id: u64) -> FileData {
+        FileData { id, bytes: Vec::new() }
+    }
+
+    /// Writes `data` at `offset`, zero-extending the file as needed.
+    pub fn write_at(&mut self, offset: u64, data: &[u8]) {
+        let offset = offset as usize;
+        let end = offset + data.len();
+        if end > self.bytes.len() {
+            self.bytes.resize(end, 0);
+        }
+        self.bytes[offset..end].copy_from_slice(data);
+    }
+
+    /// Reads `len` bytes at `offset`; `None` if out of bounds.
+    pub fn read_at(&self, offset: u64, len: u64) -> Option<Vec<u8>> {
+        let offset = offset as usize;
+        let len = len as usize;
+        let end = offset.checked_add(len)?;
+        if end > self.bytes.len() {
+            return None;
+        }
+        Some(self.bytes[offset..end].to_vec())
+    }
+
+    pub fn len(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_extends_with_zeros() {
+        let mut f = FileData::new(0);
+        f.write_at(4, &[1, 2]);
+        assert_eq!(f.len(), 6);
+        assert_eq!(f.read_at(0, 6).unwrap(), vec![0, 0, 0, 0, 1, 2]);
+    }
+
+    #[test]
+    fn overwrite_in_place() {
+        let mut f = FileData::new(0);
+        f.write_at(0, &[1, 2, 3, 4]);
+        f.write_at(1, &[9, 9]);
+        assert_eq!(f.read_at(0, 4).unwrap(), vec![1, 9, 9, 4]);
+        assert_eq!(f.len(), 4);
+    }
+
+    #[test]
+    fn read_out_of_bounds_is_none() {
+        let mut f = FileData::new(0);
+        f.write_at(0, &[1, 2, 3]);
+        assert!(f.read_at(1, 3).is_none());
+        assert!(f.read_at(3, 1).is_none());
+        assert_eq!(f.read_at(3, 0).unwrap(), Vec::<u8>::new());
+        assert!(f.read_at(u64::MAX, 2).is_none());
+    }
+}

@@ -1,0 +1,158 @@
+//! Striping arithmetic and byte-interval bookkeeping.
+//!
+//! A logical file is striped round-robin across `n_servers` servers in units
+//! of `stripe_unit` bytes: byte `b` lives on server `(b / stripe_unit) mod
+//! n_servers`. The cost model needs, for any byte interval of a request, how
+//! many of its bytes land on each server; and, for shared-file phases, the
+//! number of *unique* bytes touched per server (prefetched once, then served
+//! from buffer).
+
+/// Number of bytes of `[start, end)` that fall on server `k` under the given
+/// striping.
+pub fn striped_bytes(stripe_unit: u64, n_servers: usize, start: u64, end: u64, k: usize) -> u64 {
+    if end <= start || n_servers == 0 {
+        return 0;
+    }
+    let s = stripe_unit;
+    let p = n_servers as u64;
+    let cycle = s * p; // bytes per full round-robin cycle
+    let k = k as u64;
+
+    // Count bytes of [start, end) with (b / s) % p == k, i.e. bytes in
+    // [c*cycle + k*s, c*cycle + (k+1)*s) for integer c.
+    let count_below = |x: u64| -> u64 {
+        // bytes in [0, x) on server k
+        let full_cycles = x / cycle;
+        let rem = x % cycle;
+        let in_rem = rem.saturating_sub(k * s).min(s);
+        full_cycles * s + in_rem
+    };
+    count_below(end) - count_below(start)
+}
+
+/// A set of disjoint, sorted byte intervals; used to count unique bytes per
+/// file within one collective phase.
+#[derive(Debug, Default, Clone)]
+pub struct IntervalSet {
+    /// Disjoint, sorted `(start, end)` half-open intervals.
+    ivs: Vec<(u64, u64)>,
+}
+
+impl IntervalSet {
+    /// An empty set.
+    pub fn new() -> IntervalSet {
+        IntervalSet::default()
+    }
+
+    /// Inserts `[start, end)`, merging overlaps.
+    pub fn insert(&mut self, start: u64, end: u64) {
+        if end <= start {
+            return;
+        }
+        let mut merged = (start, end);
+        let mut out = Vec::with_capacity(self.ivs.len() + 1);
+        for &(a, b) in &self.ivs {
+            if b < merged.0 || a > merged.1 {
+                out.push((a, b));
+            } else {
+                merged = (merged.0.min(a), merged.1.max(b));
+            }
+        }
+        let pos = out.partition_point(|&(a, _)| a < merged.0);
+        out.insert(pos, merged);
+        self.ivs = out;
+    }
+
+    /// Total bytes covered.
+    pub fn total(&self) -> u64 {
+        self.ivs.iter().map(|&(a, b)| b - a).sum()
+    }
+
+    /// Bytes covered that land on server `k`.
+    pub fn striped_total(&self, stripe_unit: u64, n_servers: usize, k: usize) -> u64 {
+        self.ivs
+            .iter()
+            .map(|&(a, b)| striped_bytes(stripe_unit, n_servers, a, b, k))
+            .sum()
+    }
+
+    /// The disjoint intervals, sorted.
+    pub fn intervals(&self) -> &[(u64, u64)] {
+        &self.ivs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn striped_bytes_partition_the_interval() {
+        // Any interval's bytes must be fully accounted for across servers.
+        for &(s, p) in &[(4u64, 3usize), (64, 16), (1, 2), (7, 5)] {
+            for &(a, b) in &[(0u64, 100u64), (13, 257), (5, 5), (999, 1024)] {
+                let sum: u64 = (0..p).map(|k| striped_bytes(s, p, a, b, k)).sum();
+                assert_eq!(sum, b.saturating_sub(a), "s={s} p={p} [{a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn striped_bytes_matches_naive() {
+        let (s, p) = (4u64, 3usize);
+        for a in 0..40u64 {
+            for b in a..60u64 {
+                for k in 0..p {
+                    let naive = (a..b).filter(|&x| ((x / s) as usize % p) == k).count() as u64;
+                    assert_eq!(striped_bytes(s, p, a, b, k), naive, "[{a},{b}) k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn striped_bytes_degenerate() {
+        assert_eq!(striped_bytes(64, 0, 0, 100, 0), 0);
+        assert_eq!(striped_bytes(64, 4, 100, 100, 2), 0);
+        assert_eq!(striped_bytes(64, 4, 200, 100, 2), 0);
+    }
+
+    #[test]
+    fn single_server_gets_everything() {
+        assert_eq!(striped_bytes(64, 1, 10, 1000, 0), 990);
+    }
+
+    #[test]
+    fn interval_set_merges() {
+        let mut s = IntervalSet::new();
+        s.insert(10, 20);
+        s.insert(30, 40);
+        assert_eq!(s.total(), 20);
+        s.insert(15, 35); // bridges the gap
+        assert_eq!(s.intervals(), &[(10, 40)]);
+        assert_eq!(s.total(), 30);
+        s.insert(0, 5);
+        assert_eq!(s.intervals(), &[(0, 5), (10, 40)]);
+        s.insert(5, 10); // adjacent intervals merge
+        assert_eq!(s.intervals(), &[(0, 40)]);
+    }
+
+    #[test]
+    fn interval_set_ignores_empty() {
+        let mut s = IntervalSet::new();
+        s.insert(5, 5);
+        s.insert(9, 3);
+        assert_eq!(s.total(), 0);
+    }
+
+    #[test]
+    fn duplicate_inserts_count_once() {
+        let mut s = IntervalSet::new();
+        for _ in 0..8 {
+            s.insert(0, 1000);
+        }
+        assert_eq!(s.total(), 1000);
+        assert_eq!(s.striped_total(64, 4, 0) + s.striped_total(64, 4, 1)
+            + s.striped_total(64, 4, 2) + s.striped_total(64, 4, 3), 1000);
+    }
+}

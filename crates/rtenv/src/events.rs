@@ -1,0 +1,149 @@
+//! Audit trail of control-plane events.
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// A control-plane event, in the vocabulary of Section 4 of the paper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A processor failed (injected or organic).
+    ProcessorFailed {
+        /// Failed processor id.
+        proc: usize,
+    },
+    /// The RC lost its connection to a TC.
+    ConnectionLost {
+        /// Processor whose TC disconnected.
+        proc: usize,
+    },
+    /// The RC killed the processes and TC pool of an application.
+    ApplicationKilled {
+        /// Application name.
+        app: String,
+        /// Processors in the killed pool.
+        pool: Vec<usize>,
+    },
+    /// The user was informed of the termination.
+    UserInformed {
+        /// Application name.
+        app: String,
+    },
+    /// A TC was restarted on a processor.
+    TcRestarted {
+        /// Processor id.
+        proc: usize,
+    },
+    /// A processor re-entered the available pool.
+    ProcessorRestored {
+        /// Processor id.
+        proc: usize,
+    },
+    /// The JSA started (or restarted) a job.
+    JobStarted {
+        /// Application name.
+        app: String,
+        /// Task count of this incarnation.
+        ntasks: usize,
+        /// Checkpoint prefix the incarnation restarted from, if any.
+        restart_from: Option<String>,
+    },
+    /// A job ran to completion.
+    JobCompleted {
+        /// Application name.
+        app: String,
+    },
+    /// The JSA raised the enabling-checkpoint signal for a job.
+    CheckpointEnabled {
+        /// Application name.
+        app: String,
+    },
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::ProcessorFailed { proc } => write!(f, "processor {proc} failed"),
+            Event::ConnectionLost { proc } => write!(f, "RC lost connection to TC {proc}"),
+            Event::ApplicationKilled { app, pool } => {
+                write!(f, "application {app} killed (pool {pool:?})")
+            }
+            Event::UserInformed { app } => write!(f, "user informed: {app} terminated"),
+            Event::TcRestarted { proc } => write!(f, "TC restarted on processor {proc}"),
+            Event::ProcessorRestored { proc } => {
+                write!(f, "processor {proc} returned to available pool")
+            }
+            Event::JobStarted { app, ntasks, restart_from } => match restart_from {
+                Some(p) => write!(f, "job {app} restarted on {ntasks} tasks from {p}"),
+                None => write!(f, "job {app} started on {ntasks} tasks"),
+            },
+            Event::JobCompleted { app } => write!(f, "job {app} completed"),
+            Event::CheckpointEnabled { app } => {
+                write!(f, "checkpoint enabled for {app}")
+            }
+        }
+    }
+}
+
+/// Shared, append-only event log.
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    inner: Arc<Mutex<Vec<Event>>>,
+}
+
+impl EventLog {
+    /// An empty log.
+    pub fn new() -> EventLog {
+        EventLog::default()
+    }
+
+    /// Appends an event.
+    pub fn record(&self, e: Event) {
+        self.inner.lock().push(e);
+    }
+
+    /// Snapshot of all events so far.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.inner.lock().clone()
+    }
+
+    /// Whether any recorded event satisfies `pred`.
+    pub fn any(&self, pred: impl Fn(&Event) -> bool) -> bool {
+        self.inner.lock().iter().any(pred)
+    }
+
+    /// Index of the first event satisfying `pred`.
+    pub fn position(&self, pred: impl Fn(&Event) -> bool) -> Option<usize> {
+        self.inner.lock().iter().position(pred)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order() {
+        let log = EventLog::new();
+        log.record(Event::ProcessorFailed { proc: 3 });
+        log.record(Event::ConnectionLost { proc: 3 });
+        let snap = log.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0], Event::ProcessorFailed { proc: 3 });
+        assert!(log.any(|e| matches!(e, Event::ConnectionLost { proc: 3 })));
+        assert_eq!(log.position(|e| matches!(e, Event::ConnectionLost { .. })), Some(1));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = Event::JobStarted { app: "bt".into(), ntasks: 8, restart_from: None };
+        assert_eq!(e.to_string(), "job bt started on 8 tasks");
+        let e = Event::JobStarted {
+            app: "bt".into(),
+            ntasks: 5,
+            restart_from: Some("ck/1".into()),
+        };
+        assert!(e.to_string().contains("restarted on 5 tasks from ck/1"));
+    }
+}

@@ -1,0 +1,149 @@
+//! Job abstraction: what the JSA schedules.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use drms_core::EnableFlag;
+use drms_msg::Ctx;
+use drms_piofs::Piofs;
+use parking_lot::Mutex;
+
+/// Cooperative kill signal: the RC raises it when the application must die
+/// (a processor in its pool failed); tasks observe it at their next SOP.
+#[derive(Debug, Clone, Default)]
+pub struct KillToken {
+    flag: Arc<AtomicBool>,
+    reason: Arc<Mutex<Option<String>>>,
+}
+
+impl KillToken {
+    /// A cleared token.
+    pub fn new() -> KillToken {
+        KillToken::default()
+    }
+
+    /// Raises the token with a reason.
+    pub fn kill(&self, reason: &str) {
+        *self.reason.lock() = Some(reason.to_string());
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the token is raised.
+    pub fn is_killed(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+
+    /// The kill reason, if raised.
+    pub fn reason(&self) -> Option<String> {
+        self.reason.lock().clone()
+    }
+
+    /// Clears the token (before a new incarnation).
+    pub fn reset(&self) {
+        self.flag.store(false, Ordering::SeqCst);
+        *self.reason.lock() = None;
+    }
+}
+
+/// Environment handed to each incarnation of a job.
+pub struct JobEnv {
+    /// The shared parallel file system.
+    pub fs: Arc<Piofs>,
+    /// Checkpoint prefix to restart from, if this incarnation is a restart.
+    pub restart_from: Option<String>,
+    /// Cooperative kill signal (check at every SOP via
+    /// [`JobEnv::sop_killed`]).
+    pub kill: KillToken,
+    /// Enable signal for system-initiated checkpoints.
+    pub enable: EnableFlag,
+    /// Incarnation number (0 = first start).
+    pub incarnation: usize,
+}
+
+impl JobEnv {
+    /// Collective SOP kill check: all tasks of the region agree on whether
+    /// the application has been killed.
+    ///
+    /// The decision **must** be collective — a task observing the token
+    /// alone could abandon a checkpoint collective its siblings have
+    /// already entered, deadlocking the region. SOPs are globally
+    /// consistent points precisely so that this agreement is possible.
+    pub fn sop_killed(&self, ctx: &mut Ctx) -> bool {
+        let (votes, _) = ctx.exchange(self.kill.is_killed());
+        votes.iter().any(|&k| k)
+    }
+}
+
+/// Outcome of one incarnation of a job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutcome {
+    /// Ran to completion.
+    Completed,
+    /// Observed the kill token at an SOP and exited.
+    Killed,
+    /// Application-level failure (bad state, unrecoverable error).
+    Failed(
+        /// Human-readable reason.
+        String,
+    ),
+}
+
+/// A schedulable DRMS application.
+///
+/// `run` executes one *incarnation* on the tasks of an SPMD region. The
+/// resource section of the job's SOQs is expressed by `task_range`: the JSA
+/// only launches the job on a task count within it.
+pub struct JobSpec {
+    /// Application name.
+    pub app: String,
+    /// Minimum and maximum tasks the job can run on (inclusive).
+    pub task_range: (usize, usize),
+    /// The SPMD body: every task of the region calls this once per
+    /// incarnation.
+    #[allow(clippy::type_complexity)]
+    pub body: Arc<dyn Fn(&mut Ctx, &JobEnv) -> JobOutcome + Send + Sync>,
+}
+
+impl JobSpec {
+    /// Builds a job from its parts.
+    pub fn new(
+        app: &str,
+        task_range: (usize, usize),
+        body: impl Fn(&mut Ctx, &JobEnv) -> JobOutcome + Send + Sync + 'static,
+    ) -> JobSpec {
+        assert!(task_range.0 >= 1 && task_range.0 <= task_range.1);
+        JobSpec { app: app.to_string(), task_range, body: Arc::new(body) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kill_token_lifecycle() {
+        let k = KillToken::new();
+        assert!(!k.is_killed());
+        assert_eq!(k.reason(), None);
+        k.kill("processor 3 failed");
+        assert!(k.is_killed());
+        assert_eq!(k.reason().unwrap(), "processor 3 failed");
+        k.reset();
+        assert!(!k.is_killed());
+        assert_eq!(k.reason(), None);
+    }
+
+    #[test]
+    fn kill_token_shared_between_clones() {
+        let k = KillToken::new();
+        let k2 = k.clone();
+        k.kill("x");
+        assert!(k2.is_killed());
+    }
+
+    #[test]
+    #[should_panic]
+    fn job_spec_validates_range() {
+        let _ = JobSpec::new("bad", (4, 2), |_, _| JobOutcome::Completed);
+    }
+}

@@ -1,0 +1,189 @@
+//! The job scheduler and analyzer (JSA): resource allocation and
+//! checkpoint-based restart policy.
+
+use std::sync::Arc;
+
+use drms_core::{find_checkpoints, EnableFlag};
+use drms_msg::{run_spmd_with_nodes, CostModel};
+use drms_piofs::Piofs;
+
+use crate::events::{Event, EventLog};
+use crate::job::{JobEnv, JobOutcome, JobSpec, KillToken};
+use crate::rc::ResourceCoordinator;
+
+/// Scheduling policy knobs.
+#[derive(Debug, Clone)]
+pub struct JsaPolicy {
+    /// Safety bound on incarnations per job (prevents a crash-looping
+    /// application from monopolizing the system).
+    pub max_incarnations: usize,
+    /// Repair all failed processors automatically when a job cannot fit in
+    /// the available pool (otherwise the job stays queued until `repair`).
+    pub repair_when_starved: bool,
+}
+
+impl Default for JsaPolicy {
+    fn default() -> Self {
+        JsaPolicy { max_incarnations: 16, repair_when_starved: false }
+    }
+}
+
+/// Record of one incarnation of a job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncarnationRecord {
+    /// Task count of this incarnation.
+    pub ntasks: usize,
+    /// Processors the incarnation ran on.
+    pub procs: Vec<usize>,
+    /// Checkpoint prefix it restarted from, if any.
+    pub restart_from: Option<String>,
+    /// How the incarnation ended.
+    pub outcome: JobOutcome,
+}
+
+/// What happened over the whole life of a job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSummary {
+    /// One record per incarnation, in order.
+    pub incarnations: Vec<IncarnationRecord>,
+    /// Whether the job eventually completed.
+    pub completed: bool,
+}
+
+impl RunSummary {
+    /// Number of restarts (incarnations after the first).
+    pub fn restarts(&self) -> usize {
+        self.incarnations.len().saturating_sub(1)
+    }
+}
+
+/// The scheduler: turns job specs into (re)incarnations on the processors
+/// the RC has available, restarting from the newest checkpoint after kills.
+pub struct Jsa {
+    rc: Arc<ResourceCoordinator>,
+    fs: Arc<Piofs>,
+    log: EventLog,
+    cost: CostModel,
+    policy: JsaPolicy,
+}
+
+impl Jsa {
+    /// Builds a scheduler over an RC and a file system.
+    pub fn new(
+        rc: Arc<ResourceCoordinator>,
+        fs: Arc<Piofs>,
+        log: EventLog,
+        cost: CostModel,
+        policy: JsaPolicy,
+    ) -> Jsa {
+        Jsa { rc, fs, log, cost, policy }
+    }
+
+    /// The shared enable flag for a job would normally live in a job table;
+    /// for this implementation each `run_job` call creates one and hands it
+    /// to every incarnation.
+    ///
+    /// Runs `job` to completion, reincarnating it from its latest
+    /// checkpoint after every kill (processor failure or preemption), with
+    /// equal, larger, or smaller task counts depending on what the RC has
+    /// available.
+    pub fn run_job(&self, job: &JobSpec) -> RunSummary {
+        let enable = EnableFlag::new();
+        self.run_job_with_enable(job, enable)
+    }
+
+    /// As [`Jsa::run_job`], with a caller-supplied enable flag (so tests
+    /// and steering tools can trigger system-initiated checkpoints).
+    pub fn run_job_with_enable(&self, job: &JobSpec, enable: EnableFlag) -> RunSummary {
+        let (min_tasks, max_tasks) = job.task_range;
+        let mut summary = RunSummary { incarnations: Vec::new(), completed: false };
+
+        for incarnation in 0..self.policy.max_incarnations {
+            // Allocate processors.
+            let mut avail = self.rc.available();
+            if avail.len() < min_tasks && self.policy.repair_when_starved {
+                for p in 0..self.rc.nprocs() {
+                    if self.rc.state_of(p) == crate::rc::ProcessorState::Failed {
+                        self.rc.repair(p);
+                    }
+                }
+                avail = self.rc.available();
+            }
+            if avail.len() < min_tasks {
+                break; // queued: not enough processors (caller may repair)
+            }
+            let ntasks = avail.len().min(max_tasks);
+            let procs: Vec<usize> = avail.into_iter().take(ntasks).collect();
+
+            // Restart from the newest complete checkpoint, if one exists.
+            let restart_from =
+                find_checkpoints(&self.fs, Some(&job.app)).first().map(|(p, _)| p.clone());
+
+            let kill = KillToken::new();
+            self.rc.form_pool(&job.app, &procs, kill.clone());
+            self.log.record(Event::JobStarted {
+                app: job.app.clone(),
+                ntasks,
+                restart_from: restart_from.clone(),
+            });
+
+            let env = JobEnv {
+                fs: Arc::clone(&self.fs),
+                restart_from: restart_from.clone(),
+                kill: kill.clone(),
+                enable: enable.clone(),
+                incarnation,
+            };
+            let body = Arc::clone(&job.body);
+            let outcomes =
+                run_spmd_with_nodes(ntasks, procs.clone(), self.cost, move |ctx| {
+                    body(ctx, &env)
+                })
+                .unwrap_or_else(|e| vec![JobOutcome::Failed(e.to_string())]);
+
+            // Merge task outcomes: any kill or failure dominates.
+            let outcome = outcomes
+                .iter()
+                .find(|o| matches!(o, JobOutcome::Failed(_)))
+                .or_else(|| outcomes.iter().find(|o| matches!(o, JobOutcome::Killed)))
+                .cloned()
+                .unwrap_or(JobOutcome::Completed);
+
+            summary.incarnations.push(IncarnationRecord {
+                ntasks,
+                procs: procs.clone(),
+                restart_from,
+                outcome: outcome.clone(),
+            });
+
+            match outcome {
+                JobOutcome::Completed => {
+                    self.rc.release_pool(&job.app);
+                    self.log.record(Event::JobCompleted { app: job.app.clone() });
+                    summary.completed = true;
+                    break;
+                }
+                JobOutcome::Killed => {
+                    // The RC's recovery already dissolved the pool (failure)
+                    // or the scheduler preempted it; release any leftover
+                    // allocation and reincarnate.
+                    self.rc.release_pool(&job.app);
+                    self.rc.detect_and_recover();
+                }
+                JobOutcome::Failed(_) => {
+                    self.rc.release_pool(&job.app);
+                    break;
+                }
+            }
+        }
+        summary
+    }
+
+    /// Raises the system-initiated-checkpoint signal for a job (feature 2
+    /// of Section 4: checkpointing under JSA direction for dynamic
+    /// scheduling).
+    pub fn enable_checkpoint(&self, app: &str, enable: &EnableFlag) {
+        enable.raise();
+        self.log.record(Event::CheckpointEnabled { app: app.to_string() });
+    }
+}

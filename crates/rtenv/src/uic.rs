@@ -1,0 +1,72 @@
+//! The user interface coordinator (UIC): the human-facing window into the
+//! DRMS environment — processor status, event history, archived states.
+
+use std::sync::Arc;
+
+use drms_core::manifest::Manifest;
+use drms_piofs::Piofs;
+
+use crate::events::EventLog;
+use crate::rc::{ProcessorState, ResourceCoordinator};
+
+/// Read-only facade over the control plane for users and administrators.
+pub struct Uic {
+    rc: Arc<ResourceCoordinator>,
+    fs: Arc<Piofs>,
+    log: EventLog,
+}
+
+impl Uic {
+    /// Builds the facade.
+    pub fn new(rc: Arc<ResourceCoordinator>, fs: Arc<Piofs>, log: EventLog) -> Uic {
+        Uic { rc, fs, log }
+    }
+
+    /// One status line per processor.
+    pub fn processor_status(&self) -> Vec<String> {
+        (0..self.rc.nprocs())
+            .map(|p| {
+                let s = match self.rc.state_of(p) {
+                    ProcessorState::Available => "available".to_string(),
+                    ProcessorState::InPool(app) => format!("running {app}"),
+                    ProcessorState::Failed => "FAILED (awaiting repair)".to_string(),
+                };
+                format!("processor {p:>2}: {s}")
+            })
+            .collect()
+    }
+
+    /// The event history, rendered one line per event.
+    pub fn event_history(&self) -> Vec<String> {
+        self.log.snapshot().iter().map(|e| e.to_string()).collect()
+    }
+
+    /// Archived (checkpointed) states available for restart, newest first.
+    pub fn archived_states(&self, app: Option<&str>) -> Vec<(String, Manifest)> {
+        drms_core::find_checkpoints(&self.fs, app)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::KillToken;
+    use crate::Event;
+
+    #[test]
+    fn status_reflects_processor_states() {
+        let log = EventLog::new();
+        let rc = Arc::new(ResourceCoordinator::new(3, log.clone()));
+        let fs = Piofs::new(drms_piofs::PiofsConfig::test_tiny(3), 1);
+        rc.form_pool("bt", &[1], KillToken::new());
+        rc.fail_processor(2);
+        let uic = Uic::new(Arc::clone(&rc), fs, log.clone());
+        let status = uic.processor_status();
+        assert!(status[0].contains("available"));
+        assert!(status[1].contains("running bt"));
+        assert!(status[2].contains("FAILED"));
+        assert!(!uic.event_history().is_empty());
+        assert!(log.any(|e| matches!(e, Event::ProcessorFailed { proc: 2 })));
+        assert!(uic.archived_states(None).is_empty());
+    }
+}

@@ -1,0 +1,314 @@
+//! End-to-end scalable recovery: a DRMS application loses a processor
+//! mid-run, the RC detects and kills it, and the JSA restarts it from its
+//! latest checkpoint on the remaining processors — without waiting for the
+//! failed processor to be repaired. The final answer must be bitwise
+//! identical to an uninterrupted run.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use drms_core::segment::DataSegment;
+use drms_core::{Drms, DrmsConfig, IoMode, Start};
+use drms_darray::{DistArray, Distribution};
+use drms_msg::CostModel;
+use drms_piofs::{Piofs, PiofsConfig};
+use drms_rtenv::{Event, EventLog, JobOutcome, JobSpec, Jsa, JsaPolicy, ResourceCoordinator, Uic};
+use drms_slices::{Order, Slice};
+use parking_lot::Mutex;
+
+const NITER: i64 = 12;
+const CKPT_EVERY: i64 = 4;
+
+fn domain() -> Slice {
+    Slice::boxed(&[(1, 20), (1, 16)])
+}
+
+fn cfg() -> DrmsConfig {
+    let mut c = DrmsConfig::new("solver");
+    c.text_bytes = 2048;
+    c.io = IoMode::Parallel;
+    c
+}
+
+/// Builds the solver job. `fail_at`: (incarnation 0 only) inject a failure
+/// of `fail_proc` at that iteration. Returns per-run final sums via `out`.
+fn solver_job(
+    rc: Arc<ResourceCoordinator>,
+    fail_at: Option<(i64, usize)>,
+    out: Arc<Mutex<Vec<f64>>>,
+) -> JobSpec {
+    JobSpec::new("solver", (1, 8), move |ctx, env| {
+        let (mut drms, start) = Drms::initialize(
+            ctx,
+            &env.fs,
+            cfg(),
+            env.enable.clone(),
+            env.restart_from.as_deref(),
+        )
+        .unwrap();
+
+        let dist = Distribution::block_auto(&domain(), ctx.ntasks(), 1).unwrap();
+        let mut u = DistArray::<f64>::new("u", Order::ColumnMajor, dist, ctx.rank());
+        let mut seg = DataSegment::new();
+        let mut start_iter = 1i64;
+
+        match start {
+            Start::Fresh => u.fill_assigned(|p| (p[0] * 31 + p[1]) as f64),
+            Start::Restarted(info) => {
+                seg = info.segment.clone();
+                start_iter = seg.control("iter").unwrap() + 1;
+                drms.restore_arrays(
+                    ctx,
+                    &env.fs,
+                    env.restart_from.as_deref().unwrap(),
+                    &info.manifest,
+                    &mut [&mut u],
+                )
+                .unwrap();
+            }
+        }
+
+        for iter in start_iter..=NITER {
+            // SOP: observe the kill token at the consistent point
+            // (collective decision, so no task abandons a collective).
+            if env.sop_killed(ctx) {
+                return JobOutcome::Killed;
+            }
+
+            // One deterministic step.
+            let region = u.assigned().clone();
+            region.points(Order::ColumnMajor).for_each(|p| {
+                let v = u.get(p).unwrap();
+                u.set(p, v * 1.0 + 2.0).unwrap();
+            });
+            seg.set_control("iter", iter);
+
+            if iter % CKPT_EVERY == 0 {
+                let prefix = format!("ck/solver/sop{iter}");
+                drms.reconfig_checkpoint(ctx, &env.fs, &prefix, &seg, &[&u]).unwrap();
+            }
+
+            // Failure injection (first incarnation only): rank 0 crashes a
+            // processor in the pool right after this iteration.
+            if let Some((at, proc)) = fail_at {
+                if env.incarnation == 0 && iter == at && ctx.rank() == 0 {
+                    rc.fail_processor(proc);
+                }
+            }
+        }
+
+        if env.sop_killed(ctx) {
+            return JobOutcome::Killed;
+        }
+        let sum = u.fold_assigned(0.0, |acc, _, v| acc + v);
+        out.lock().push(sum);
+        JobOutcome::Completed
+    })
+}
+
+fn run_cluster(fail_at: Option<(i64, usize)>) -> (f64, Vec<Event>, RunStats) {
+    let log = EventLog::new();
+    let rc = Arc::new(ResourceCoordinator::new(8, log.clone()));
+    let fs = Piofs::new(PiofsConfig::test_tiny(8), 5);
+    Drms::install_binary(&fs, &cfg());
+    let jsa = Jsa::new(
+        Arc::clone(&rc),
+        Arc::clone(&fs),
+        log.clone(),
+        CostModel::default(),
+        JsaPolicy::default(),
+    );
+    let out = Arc::new(Mutex::new(Vec::new()));
+    let job = solver_job(Arc::clone(&rc), fail_at, Arc::clone(&out));
+    let summary = jsa.run_job(&job);
+    assert!(summary.completed, "job must complete: {summary:?}");
+    let sums = out.lock();
+    let total: f64 = sums.iter().sum();
+    (
+        total,
+        log.snapshot(),
+        RunStats {
+            incarnations: summary.incarnations.len(),
+            task_counts: summary.incarnations.iter().map(|i| i.ntasks).collect(),
+            restart_prefixes: summary
+                .incarnations
+                .iter()
+                .map(|i| i.restart_from.clone())
+                .collect(),
+        },
+    )
+}
+
+struct RunStats {
+    incarnations: usize,
+    task_counts: Vec<usize>,
+    restart_prefixes: Vec<Option<String>>,
+}
+
+#[test]
+fn recovery_from_processor_failure_is_exact_and_reconfigured() {
+    // Reference: uninterrupted run on 8 processors.
+    let (reference, _, ref_stats) = run_cluster(None);
+    assert_eq!(ref_stats.incarnations, 1);
+    assert_eq!(ref_stats.task_counts, vec![8]);
+
+    // Faulty run: processor 3 dies at iteration 6 (after the SOP-4
+    // checkpoint).
+    let (recovered, events, stats) = run_cluster(Some((6, 3)));
+
+    // Same answer, bit for bit.
+    assert_eq!(recovered, reference);
+
+    // Two incarnations: 8 tasks, then 7 (the failed processor is NOT
+    // repaired before restart — scalable recovery).
+    assert_eq!(stats.incarnations, 2);
+    assert_eq!(stats.task_counts, vec![8, 7]);
+    assert_eq!(stats.restart_prefixes[0], None);
+    assert_eq!(stats.restart_prefixes[1].as_deref(), Some("ck/solver/sop4"));
+
+    // Protocol events in order: failure -> lost connection -> app killed ->
+    // user informed -> job restarted.
+    let pos = |pred: &dyn Fn(&Event) -> bool| events.iter().position(pred).expect("event");
+    let failed = pos(&|e| matches!(e, Event::ProcessorFailed { proc: 3 }));
+    let lost = pos(&|e| matches!(e, Event::ConnectionLost { proc: 3 }));
+    let killed = pos(&|e| matches!(e, Event::ApplicationKilled { .. }));
+    let restarted = events
+        .iter()
+        .position(|e| matches!(e, Event::JobStarted { restart_from: Some(_), .. }))
+        .unwrap();
+    let completed = pos(&|e| matches!(e, Event::JobCompleted { .. }));
+    assert!(failed < lost && lost < killed && killed < restarted && restarted < completed);
+}
+
+#[test]
+fn multiple_cascading_failures() {
+    // Two failures in successive incarnations; ends on 6 processors.
+    let log = EventLog::new();
+    let rc = Arc::new(ResourceCoordinator::new(8, log.clone()));
+    let fs = Piofs::new(PiofsConfig::test_tiny(8), 9);
+    Drms::install_binary(&fs, &cfg());
+    let jsa = Jsa::new(
+        Arc::clone(&rc),
+        Arc::clone(&fs),
+        log.clone(),
+        CostModel::default(),
+        JsaPolicy::default(),
+    );
+    let out = Arc::new(Mutex::new(Vec::new()));
+
+    // Fail a processor at iteration 6 of EVERY incarnation until two have
+    // died.
+    let failures = Arc::new(AtomicUsize::new(0));
+    let rc2 = Arc::clone(&rc);
+    let failures2 = Arc::clone(&failures);
+    let out2 = Arc::clone(&out);
+    let job = JobSpec::new("solver", (1, 8), move |ctx, env| {
+        let (mut drms, start) = Drms::initialize(
+            ctx,
+            &env.fs,
+            cfg(),
+            env.enable.clone(),
+            env.restart_from.as_deref(),
+        )
+        .unwrap();
+        let dist = Distribution::block_auto(&domain(), ctx.ntasks(), 1).unwrap();
+        let mut u = DistArray::<f64>::new("u", Order::ColumnMajor, dist, ctx.rank());
+        let mut seg = DataSegment::new();
+        let mut start_iter = 1i64;
+        match start {
+            Start::Fresh => u.fill_assigned(|p| (p[0] + p[1]) as f64),
+            Start::Restarted(info) => {
+                seg = info.segment.clone();
+                start_iter = seg.control("iter").unwrap() + 1;
+                drms.restore_arrays(
+                    ctx,
+                    &env.fs,
+                    env.restart_from.as_deref().unwrap(),
+                    &info.manifest,
+                    &mut [&mut u],
+                )
+                .unwrap();
+            }
+        }
+        for iter in start_iter..=NITER {
+            if env.sop_killed(ctx) {
+                return JobOutcome::Killed;
+            }
+            let region = u.assigned().clone();
+            region.points(Order::ColumnMajor).for_each(|p| {
+                let v = u.get(p).unwrap();
+                u.set(p, v + 1.0).unwrap();
+            });
+            seg.set_control("iter", iter);
+            if iter % CKPT_EVERY == 0 {
+                let prefix = format!("ck/solver/sop{iter}");
+                drms.reconfig_checkpoint(ctx, &env.fs, &prefix, &seg, &[&u]).unwrap();
+            }
+            if iter == 6 && ctx.rank() == 0 && failures2.load(Ordering::SeqCst) < 2 {
+                let victim = failures2.fetch_add(1, Ordering::SeqCst);
+                rc2.fail_processor(victim);
+            }
+        }
+        if env.sop_killed(ctx) {
+            return JobOutcome::Killed;
+        }
+        out2.lock().push(u.fold_assigned(0.0, |acc, _, v| acc + v));
+        JobOutcome::Completed
+    });
+
+    let summary = jsa.run_job(&job);
+    assert!(summary.completed);
+    assert_eq!(summary.incarnations.len(), 3);
+    let counts: Vec<usize> = summary.incarnations.iter().map(|i| i.ntasks).collect();
+    assert_eq!(counts, vec![8, 7, 6]);
+
+    // Ground truth: initial + NITER.
+    let expect: f64 = {
+        let mut s = 0.0;
+        domain().points(Order::ColumnMajor).for_each(|p| {
+            s += (p[0] + p[1]) as f64 + NITER as f64;
+        });
+        s
+    };
+    let total: f64 = out.lock().iter().sum();
+    assert_eq!(total, expect);
+
+    // UIC shows two failed processors awaiting repair.
+    let uic = Uic::new(Arc::clone(&rc), fs, log);
+    let failed_lines =
+        uic.processor_status().iter().filter(|l| l.contains("FAILED")).count();
+    assert_eq!(failed_lines, 2);
+}
+
+#[test]
+fn job_queues_when_starved_and_runs_after_repair() {
+    let log = EventLog::new();
+    let rc = Arc::new(ResourceCoordinator::new(2, log.clone()));
+    let fs = Piofs::new(PiofsConfig::test_tiny(2), 1);
+    Drms::install_binary(&fs, &cfg());
+    rc.fail_processor(0);
+    rc.fail_processor(1);
+
+    let jsa = Jsa::new(
+        Arc::clone(&rc),
+        Arc::clone(&fs),
+        log.clone(),
+        CostModel::default(),
+        JsaPolicy::default(),
+    );
+    let job = JobSpec::new("noop", (1, 2), |_, _| JobOutcome::Completed);
+    let summary = jsa.run_job(&job);
+    assert!(!summary.completed, "no processors -> job stays queued");
+
+    // With auto-repair the scheduler fixes the pool and runs the job.
+    let jsa = Jsa::new(
+        Arc::clone(&rc),
+        fs,
+        log,
+        CostModel::default(),
+        JsaPolicy { repair_when_starved: true, ..Default::default() },
+    );
+    let summary = jsa.run_job(&job);
+    assert!(summary.completed);
+    assert_eq!(summary.incarnations[0].ntasks, 2);
+}

@@ -1,0 +1,74 @@
+use std::fmt;
+
+/// Errors produced when constructing or combining ranges and slices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SliceError {
+    /// A stride of zero or a negative stride was supplied.
+    BadStride {
+        /// The offending stride.
+        step: i64,
+    },
+    /// An explicit index list was not strictly increasing.
+    NotIncreasing {
+        /// Position of the first violation.
+        at: usize,
+        /// Value at `at - 1`.
+        prev: i64,
+        /// Value at `at`.
+        next: i64,
+    },
+    /// Two slices of different rank were combined.
+    RankMismatch {
+        /// Rank of the left operand.
+        left: usize,
+        /// Rank of the right operand.
+        right: usize,
+    },
+    /// A point of the wrong rank was queried against a slice.
+    PointRankMismatch {
+        /// Rank of the slice.
+        rank: usize,
+        /// Length of the supplied point.
+        point: usize,
+    },
+    /// A requested partition count was not a power of two.
+    NotPowerOfTwo {
+        /// The offending count.
+        m: usize,
+    },
+    /// An element index was out of bounds for a range or slice.
+    OutOfBounds {
+        /// The requested position.
+        index: usize,
+        /// The number of elements available.
+        len: usize,
+    },
+}
+
+impl fmt::Display for SliceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SliceError::BadStride { step } => {
+                write!(f, "range stride must be positive, got {step}")
+            }
+            SliceError::NotIncreasing { at, prev, next } => write!(
+                f,
+                "explicit range must be strictly increasing: element {at} is {next} after {prev}"
+            ),
+            SliceError::RankMismatch { left, right } => {
+                write!(f, "slice rank mismatch: {left} vs {right}")
+            }
+            SliceError::PointRankMismatch { rank, point } => {
+                write!(f, "point of length {point} queried against rank-{rank} slice")
+            }
+            SliceError::NotPowerOfTwo { m } => {
+                write!(f, "partition count must be a power of two, got {m}")
+            }
+            SliceError::OutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for length {len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SliceError {}

@@ -1,0 +1,38 @@
+//! Ranges, slices, and stream-order partitioning for DRMS distributed arrays.
+//!
+//! This crate implements the index-space machinery of Section 3.1 of the
+//! SC'97 DRMS paper:
+//!
+//! * a [`Range`] is a monotonically increasing ordered set of integers,
+//!   generalizing the regular `l:u:s` triplets of Fortran 90 to arbitrary
+//!   index lists;
+//! * a [`Slice`] is an ordered set of `d` ranges describing a rank-`d`
+//!   array section;
+//! * intersection (`*` in the paper) is defined range-wise and slice-wise;
+//! * [`Order`] fixes a linearization (Fortran column-major or C row-major)
+//!   of the elements of a slice, which defines the *distribution-independent*
+//!   stream representation used for checkpoint files;
+//! * [`partition`](partition::partition) is the recursive algorithm of
+//!   Figure 5(a): it splits a slice into `m = 2^k` sub-slices whose streams
+//!   concatenate, in order, to the stream of the original slice.
+//!
+//! Everything here is pure, allocation-conscious, and independent of tasks,
+//! processors, and files; the higher layers (`drms-darray`, `drms-core`)
+//! build distributions and streaming on top of it.
+
+#![deny(missing_docs)]
+
+mod error;
+mod order;
+mod range;
+mod slice;
+
+pub mod partition;
+
+pub use error::SliceError;
+pub use order::{Order, PointCursor};
+pub use range::Range;
+pub use slice::Slice;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, SliceError>;

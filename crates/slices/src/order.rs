@@ -1,0 +1,202 @@
+use crate::Slice;
+
+/// Linearization order for the elements of an array section.
+///
+/// DRMS streams array sections in a convention other applications can
+/// understand (paper, Section 3.2): FORTRAN-style column-major (first axis
+/// varies fastest) or C-style row-major (last axis varies fastest). The
+/// resulting stream depends only on the section and the order — never on how
+/// the array is distributed — which is what makes checkpoint files
+/// reconfigurable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Order {
+    /// FORTRAN-style: axis 0 varies fastest.
+    #[default]
+    ColumnMajor,
+    /// C-style: the last axis varies fastest.
+    RowMajor,
+}
+
+impl Order {
+    /// Axis indices from the fastest-varying to the slowest-varying, for a
+    /// rank-`rank` slice.
+    pub fn axes_fast_to_slow(self, rank: usize) -> impl Iterator<Item = usize> {
+        let axes: Box<dyn Iterator<Item = usize>> = match self {
+            Order::ColumnMajor => Box::new(0..rank),
+            Order::RowMajor => Box::new((0..rank).rev()),
+        };
+        axes
+    }
+
+    /// Axis indices from the slowest-varying to the fastest-varying.
+    pub fn axes_slow_to_fast(self, rank: usize) -> impl Iterator<Item = usize> {
+        let v: Vec<usize> = self.axes_fast_to_slow(rank).collect();
+        v.into_iter().rev()
+    }
+
+    /// The slowest-varying axis of `slice` whose range has more than one
+    /// element, i.e. the axis along which a stream-order split must happen.
+    ///
+    /// Returns `None` when every axis has length <= 1 (the slice holds at
+    /// most one point and cannot be split).
+    pub fn split_axis(self, slice: &Slice) -> Option<usize> {
+        self.axes_slow_to_fast(slice.rank())
+            .find(|&ax| slice.range(ax).len() > 1)
+    }
+}
+
+/// A cursor enumerating the points of a slice in stream order.
+///
+/// The cursor owns a reusable coordinate buffer so that walking a slice
+/// performs no per-point allocation — essential for the packing loops in
+/// redistribution and streaming, which touch every element of multi-megabyte
+/// sections.
+pub struct PointCursor<'a> {
+    slice: &'a Slice,
+    order: Order,
+    /// Per-axis rank (position within the axis range).
+    idx: Vec<usize>,
+    /// Current point coordinates.
+    point: Vec<i64>,
+    /// Whether the cursor currently designates a valid point.
+    valid: bool,
+}
+
+impl<'a> PointCursor<'a> {
+    /// Creates a cursor positioned at the first point of `slice` (if any).
+    pub fn new(slice: &'a Slice, order: Order) -> PointCursor<'a> {
+        let rank = slice.rank();
+        let valid = !slice.is_empty();
+        let mut point = vec![0; rank];
+        if valid {
+            for (ax, slot) in point.iter_mut().enumerate() {
+                *slot = slice.range(ax).first().expect("nonempty");
+            }
+        }
+        PointCursor { slice, order, idx: vec![0; rank], point, valid }
+    }
+
+    /// The current point, when the cursor is valid.
+    pub fn point(&self) -> Option<&[i64]> {
+        self.valid.then_some(self.point.as_slice())
+    }
+
+    /// Advances to the next point in stream order. Returns `false` when the
+    /// slice is exhausted.
+    pub fn advance(&mut self) -> bool {
+        if !self.valid {
+            return false;
+        }
+        for ax in self.order.axes_fast_to_slow(self.slice.rank()) {
+            let r = self.slice.range(ax);
+            self.idx[ax] += 1;
+            if self.idx[ax] < r.len() {
+                self.point[ax] = r.get(self.idx[ax]).expect("in bounds");
+                return true;
+            }
+            self.idx[ax] = 0;
+            self.point[ax] = r.first().expect("nonempty");
+        }
+        self.valid = false;
+        false
+    }
+
+    /// Visits every point of the slice in stream order.
+    pub fn for_each(mut self, mut f: impl FnMut(&[i64])) {
+        while let Some(p) = self.point() {
+            f(p);
+            if !self.advance() {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Range;
+
+    fn slice2(rows: Range, cols: Range) -> Slice {
+        Slice::new(vec![rows, cols])
+    }
+
+    #[test]
+    fn column_major_axis0_fastest() {
+        let s = slice2(Range::contiguous(0, 1), Range::contiguous(10, 12));
+        let mut pts = Vec::new();
+        PointCursor::new(&s, Order::ColumnMajor).for_each(|p| pts.push(p.to_vec()));
+        assert_eq!(
+            pts,
+            vec![
+                vec![0, 10],
+                vec![1, 10],
+                vec![0, 11],
+                vec![1, 11],
+                vec![0, 12],
+                vec![1, 12]
+            ]
+        );
+    }
+
+    #[test]
+    fn row_major_last_axis_fastest() {
+        let s = slice2(Range::contiguous(0, 1), Range::contiguous(10, 12));
+        let mut pts = Vec::new();
+        PointCursor::new(&s, Order::RowMajor).for_each(|p| pts.push(p.to_vec()));
+        assert_eq!(
+            pts,
+            vec![
+                vec![0, 10],
+                vec![0, 11],
+                vec![0, 12],
+                vec![1, 10],
+                vec![1, 11],
+                vec![1, 12]
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_slice_yields_nothing() {
+        let s = slice2(Range::empty(), Range::contiguous(0, 3));
+        let mut n = 0;
+        PointCursor::new(&s, Order::ColumnMajor).for_each(|_| n += 1);
+        assert_eq!(n, 0);
+        assert!(PointCursor::new(&s, Order::ColumnMajor).point().is_none());
+    }
+
+    #[test]
+    fn rank_zero_slice_single_point() {
+        let s = Slice::new(vec![]);
+        let mut n = 0;
+        PointCursor::new(&s, Order::ColumnMajor).for_each(|p| {
+            assert!(p.is_empty());
+            n += 1;
+        });
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn split_axis_prefers_slowest() {
+        let s = slice2(Range::contiguous(0, 5), Range::contiguous(0, 5));
+        assert_eq!(Order::ColumnMajor.split_axis(&s), Some(1));
+        assert_eq!(Order::RowMajor.split_axis(&s), Some(0));
+        let s = slice2(Range::contiguous(0, 5), Range::single(3));
+        assert_eq!(Order::ColumnMajor.split_axis(&s), Some(0));
+        let s = slice2(Range::single(1), Range::single(3));
+        assert_eq!(Order::ColumnMajor.split_axis(&s), None);
+    }
+
+    #[test]
+    fn cursor_count_matches_size_irregular() {
+        let s = Slice::new(vec![
+            Range::from_indices(&[8, 9, 10, 12]).unwrap(),
+            Range::from_indices(&[16, 18, 19, 20, 22]).unwrap(),
+        ]);
+        let mut n = 0;
+        PointCursor::new(&s, Order::ColumnMajor).for_each(|_| n += 1);
+        assert_eq!(n, s.size());
+        assert_eq!(n, 20);
+    }
+}

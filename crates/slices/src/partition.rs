@@ -1,0 +1,169 @@
+//! Recursive stream-order partitioning of array sections (paper, Figure 5a).
+//!
+//! `stream(A[x])` equals the concatenation `stream(A[lo(x)]) ++
+//! stream(A[hi(x)])`, where `lo`/`hi` split the slice along its
+//! slowest-varying non-trivial axis. Applying the split recursively yields a
+//! vector of `m = 2^k` sub-slices whose streams concatenate, in order, to the
+//! stream of `x`. Each sub-slice can then be written (or read) independently
+//! at a known stream offset, which is what enables parallel I/O.
+
+use crate::{Order, Result, Slice, SliceError};
+
+/// Partitions `x` into `m` stream-contiguous sub-slices.
+///
+/// `m` must be a power of two (the recursion halves at every level, exactly
+/// as in Figure 5a). When the slice runs out of splittable axes before
+/// reaching depth `k`, the remaining pieces come back empty, so the result
+/// always has exactly `m` entries and their streams concatenate to the
+/// stream of `x`.
+pub fn partition(x: &Slice, m: usize, order: Order) -> Result<Vec<Slice>> {
+    if m == 0 || !m.is_power_of_two() {
+        return Err(SliceError::NotPowerOfTwo { m });
+    }
+    let mut out = Vec::with_capacity(m);
+    partition_rec(x, m, order, &mut out);
+    Ok(out)
+}
+
+fn partition_rec(x: &Slice, m: usize, order: Order, out: &mut Vec<Slice>) {
+    if m == 1 {
+        out.push(x.clone());
+        return;
+    }
+    let (lo, hi) = x.split_half(order);
+    partition_rec(&lo, m / 2, order, out);
+    partition_rec(&hi, m / 2, order, out);
+}
+
+/// Chooses the partition count for streaming a section of `total_bytes`
+/// bytes across `tasks` tasks.
+///
+/// Per the paper: aim for roughly `target_bytes` (~1 MB) per piece — small
+/// enough to bound intermediate buffer memory, large enough to keep per-piece
+/// overhead low — but always use at least one piece per task so every task
+/// can participate in parallel I/O. The result is the smallest power of two
+/// satisfying both constraints.
+pub fn choose_piece_count(total_bytes: usize, tasks: usize, target_bytes: usize) -> usize {
+    let by_size = total_bytes.div_ceil(target_bytes.max(1)).max(1);
+    let wanted = by_size.max(tasks.max(1));
+    wanted.next_power_of_two()
+}
+
+/// Stream offsets (in elements) of each piece of a partition: entry `j` is
+/// the number of elements streamed before piece `j`, i.e.
+/// `sum(size(pieces[i]) for i < j)`.
+pub fn stream_offsets(pieces: &[Slice]) -> Vec<usize> {
+    let mut offsets = Vec::with_capacity(pieces.len());
+    let mut acc = 0usize;
+    for p in pieces {
+        offsets.push(acc);
+        acc += p.size();
+    }
+    offsets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Range;
+
+    fn enumerate(s: &Slice, order: Order) -> Vec<Vec<i64>> {
+        let mut v = Vec::new();
+        s.points(order).for_each(|p| v.push(p.to_vec()));
+        v
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        let s = Slice::boxed(&[(0, 7)]);
+        assert!(matches!(
+            partition(&s, 3, Order::ColumnMajor),
+            Err(SliceError::NotPowerOfTwo { m: 3 })
+        ));
+        assert!(partition(&s, 0, Order::ColumnMajor).is_err());
+    }
+
+    #[test]
+    fn partition_one_is_identity() {
+        let s = Slice::boxed(&[(0, 7), (2, 5)]);
+        let p = partition(&s, 1, Order::ColumnMajor).unwrap();
+        assert_eq!(p, vec![s]);
+    }
+
+    #[test]
+    fn pieces_concatenate_to_original_stream() {
+        let s = Slice::new(vec![
+            Range::contiguous(0, 6),
+            Range::strided(1, 9, 2).unwrap(),
+            Range::from_indices(&[3, 4, 9]).unwrap(),
+        ]);
+        for order in [Order::ColumnMajor, Order::RowMajor] {
+            for m in [1usize, 2, 4, 8, 16, 64] {
+                let pieces = partition(&s, m, order).unwrap();
+                assert_eq!(pieces.len(), m);
+                let mut cat = Vec::new();
+                for p in &pieces {
+                    cat.extend(enumerate(p, order));
+                }
+                assert_eq!(cat, enumerate(&s, order), "m={m} order={order:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_m_gives_empty_tail_pieces() {
+        let s = Slice::boxed(&[(0, 1)]); // two elements
+        let pieces = partition(&s, 8, Order::ColumnMajor).unwrap();
+        assert_eq!(pieces.len(), 8);
+        let total: usize = pieces.iter().map(Slice::size).sum();
+        assert_eq!(total, 2);
+        assert_eq!(pieces.iter().filter(|p| !p.is_empty()).count(), 2);
+    }
+
+    #[test]
+    fn pieces_are_balanced_for_dense_boxes() {
+        let s = Slice::boxed(&[(0, 63), (0, 63)]);
+        let pieces = partition(&s, 16, Order::ColumnMajor).unwrap();
+        let sizes: Vec<usize> = pieces.iter().map(Slice::size).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert_eq!(sizes.iter().sum::<usize>(), 64 * 64);
+        assert!(max - min <= 64, "sizes {sizes:?}");
+    }
+
+    #[test]
+    fn column_major_splits_last_axis_first() {
+        let s = Slice::boxed(&[(0, 9), (0, 9)]);
+        let pieces = partition(&s, 2, Order::ColumnMajor).unwrap();
+        assert_eq!(pieces[0], Slice::boxed(&[(0, 9), (0, 4)]));
+        assert_eq!(pieces[1], Slice::boxed(&[(0, 9), (5, 9)]));
+        let pieces = partition(&s, 2, Order::RowMajor).unwrap();
+        assert_eq!(pieces[0], Slice::boxed(&[(0, 4), (0, 9)]));
+        assert_eq!(pieces[1], Slice::boxed(&[(5, 9), (0, 9)]));
+    }
+
+    #[test]
+    fn stream_offsets_accumulate() {
+        let s = Slice::boxed(&[(0, 9)]);
+        let pieces = partition(&s, 4, Order::ColumnMajor).unwrap();
+        let offs = stream_offsets(&pieces);
+        assert_eq!(offs[0], 0);
+        for j in 1..pieces.len() {
+            assert_eq!(offs[j], offs[j - 1] + pieces[j - 1].size());
+        }
+        assert_eq!(offs.last().unwrap() + pieces.last().unwrap().size(), s.size());
+    }
+
+    #[test]
+    fn choose_piece_count_honours_both_constraints() {
+        // ~1 MB target on an 8 MB section with 4 tasks -> 8 pieces.
+        assert_eq!(choose_piece_count(8 << 20, 4, 1 << 20), 8);
+        // Small section: at least one piece per task, rounded to a power of 2.
+        assert_eq!(choose_piece_count(100, 5, 1 << 20), 8);
+        // Degenerate inputs stay sane.
+        assert_eq!(choose_piece_count(0, 0, 1 << 20), 1);
+        assert_eq!(choose_piece_count(1, 1, 0), 1);
+        // Exactly divisible.
+        assert_eq!(choose_piece_count(4 << 20, 2, 1 << 20), 4);
+    }
+}

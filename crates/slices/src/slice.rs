@@ -1,0 +1,296 @@
+use std::fmt;
+
+use crate::{Order, PointCursor, Range, Result, SliceError};
+
+/// An ordered set of `d` ranges describing a rank-`d` array section.
+///
+/// `|s|` (the rank) is the number of ranges; the size is the product of the
+/// range sizes. Slices describe both regular sections (`l:u:s` per axis) and
+/// irregular ones (index lists per axis), per Section 3.1 of the paper.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Slice {
+    ranges: Vec<Range>,
+}
+
+impl Slice {
+    /// A slice from per-axis ranges.
+    pub fn new(ranges: Vec<Range>) -> Slice {
+        Slice { ranges }
+    }
+
+    /// A rank-`d` slice covering a dense box: axis `i` spans
+    /// `bounds[i].0 ..= bounds[i].1`.
+    pub fn boxed(bounds: &[(i64, i64)]) -> Slice {
+        Slice { ranges: bounds.iter().map(|&(l, u)| Range::contiguous(l, u)).collect() }
+    }
+
+    /// A slice that is empty along every axis of rank `rank`.
+    pub fn empty(rank: usize) -> Slice {
+        Slice { ranges: (0..rank).map(|_| Range::empty()).collect() }
+    }
+
+    /// The rank (number of axes) of the slice.
+    pub fn rank(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// The range along axis `ax`.
+    pub fn range(&self, ax: usize) -> &Range {
+        &self.ranges[ax]
+    }
+
+    /// All ranges, in axis order.
+    pub fn ranges(&self) -> &[Range] {
+        &self.ranges
+    }
+
+    /// Number of elements: the product of the per-axis range sizes.
+    pub fn size(&self) -> usize {
+        self.ranges.iter().map(Range::len).product()
+    }
+
+    /// Whether the slice contains no points.
+    ///
+    /// A rank-0 slice contains exactly one (empty) point and is *not* empty.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.iter().any(Range::is_empty)
+    }
+
+    /// Per-axis extents (number of elements along each axis).
+    pub fn extents(&self) -> Vec<usize> {
+        self.ranges.iter().map(Range::len).collect()
+    }
+
+    /// Intersection of two slices (`s * t` in the paper): the slice of the
+    /// axis-wise range intersections. Fails on rank mismatch.
+    pub fn intersect(&self, other: &Slice) -> Result<Slice> {
+        if self.rank() != other.rank() {
+            return Err(SliceError::RankMismatch { left: self.rank(), right: other.rank() });
+        }
+        Ok(Slice {
+            ranges: self
+                .ranges
+                .iter()
+                .zip(&other.ranges)
+                .map(|(a, b)| a.intersect(b))
+                .collect(),
+        })
+    }
+
+    /// Whether the point `p` lies inside the slice.
+    pub fn contains(&self, p: &[i64]) -> Result<bool> {
+        if p.len() != self.rank() {
+            return Err(SliceError::PointRankMismatch { rank: self.rank(), point: p.len() });
+        }
+        Ok(self.ranges.iter().zip(p).all(|(r, &v)| r.contains(v)))
+    }
+
+    /// Whether every point of `self` is contained in `other`.
+    pub fn is_subset_of(&self, other: &Slice) -> bool {
+        if self.rank() != other.rank() {
+            return false;
+        }
+        if self.is_empty() {
+            return true;
+        }
+        self.ranges.iter().zip(&other.ranges).all(|(a, b)| a.is_subset_of(b))
+    }
+
+    /// The position of point `p` in the stream linearization of this slice
+    /// under `order`: the number of slice points that are streamed before it.
+    pub fn stream_position(&self, p: &[i64], order: Order) -> Result<Option<usize>> {
+        if p.len() != self.rank() {
+            return Err(SliceError::PointRankMismatch { rank: self.rank(), point: p.len() });
+        }
+        let mut pos = 0usize;
+        let mut stride = 1usize;
+        for ax in order.axes_fast_to_slow(self.rank()) {
+            let r = &self.ranges[ax];
+            match r.position(p[ax]) {
+                Some(k) => pos += k * stride,
+                None => return Ok(None),
+            }
+            stride *= r.len();
+        }
+        Ok(Some(pos))
+    }
+
+    /// Cursor over the points of the slice in stream order under `order`.
+    pub fn points(&self, order: Order) -> PointCursor<'_> {
+        PointCursor::new(self, order)
+    }
+
+    /// Splits the slice into stream-order lower and upper halves.
+    ///
+    /// The split happens along the slowest-varying axis with more than one
+    /// element (so the two streams concatenate to the original stream). When
+    /// the slice holds at most one point, the "upper half" is empty.
+    pub fn split_half(&self, order: Order) -> (Slice, Slice) {
+        match order.split_axis(self) {
+            Some(ax) => {
+                let (lo, hi) = self.ranges[ax].split_half();
+                let mut lo_s = self.clone();
+                let mut hi_s = self.clone();
+                lo_s.ranges[ax] = lo;
+                hi_s.ranges[ax] = hi;
+                (lo_s, hi_s)
+            }
+            None => (self.clone(), Slice::empty(self.rank())),
+        }
+    }
+
+    /// Replaces the range along axis `ax`, returning a new slice.
+    pub fn with_range(&self, ax: usize, r: Range) -> Slice {
+        let mut s = self.clone();
+        s.ranges[ax] = r;
+        s
+    }
+}
+
+impl fmt::Debug for Slice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, r) in self.ranges.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{r:?}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Slice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_and_rank() {
+        let s = Slice::boxed(&[(0, 3), (0, 4)]);
+        assert_eq!(s.rank(), 2);
+        assert_eq!(s.size(), 20);
+        assert_eq!(s.extents(), vec![4, 5]);
+    }
+
+    #[test]
+    fn paper_figure2_slice() {
+        // s = ((8, 9, 10, 12), (16, 18, 19, 20, 22))
+        let s = Slice::new(vec![
+            Range::from_indices(&[8, 9, 10, 12]).unwrap(),
+            Range::from_indices(&[16, 18, 19, 20, 22]).unwrap(),
+        ]);
+        assert_eq!(s.rank(), 2);
+        assert_eq!(s.size(), 20);
+        assert!(s.contains(&[10, 19]).unwrap());
+        assert!(!s.contains(&[11, 19]).unwrap());
+    }
+
+    #[test]
+    fn intersection_axiswise() {
+        let a = Slice::boxed(&[(0, 10), (0, 10)]);
+        let b = Slice::boxed(&[(5, 15), (8, 9)]);
+        let i = a.intersect(&b).unwrap();
+        assert_eq!(i, Slice::boxed(&[(5, 10), (8, 9)]));
+        let c = Slice::boxed(&[(11, 12), (0, 10)]);
+        assert!(a.intersect(&c).unwrap().is_empty());
+    }
+
+    #[test]
+    fn intersection_rank_mismatch() {
+        let a = Slice::boxed(&[(0, 1)]);
+        let b = Slice::boxed(&[(0, 1), (0, 1)]);
+        assert!(matches!(a.intersect(&b), Err(SliceError::RankMismatch { .. })));
+    }
+
+    #[test]
+    fn empty_detection() {
+        assert!(Slice::boxed(&[(3, 2), (0, 5)]).is_empty());
+        assert!(!Slice::boxed(&[(0, 0)]).is_empty());
+        assert!(!Slice::new(vec![]).is_empty(), "rank-0 slice holds one point");
+        assert_eq!(Slice::new(vec![]).size(), 1);
+    }
+
+    #[test]
+    fn subset_relation() {
+        let inner = Slice::boxed(&[(2, 3), (2, 3)]);
+        let outer = Slice::boxed(&[(0, 5), (0, 5)]);
+        assert!(inner.is_subset_of(&outer));
+        assert!(!outer.is_subset_of(&inner));
+        assert!(Slice::empty(2).is_subset_of(&inner));
+    }
+
+    #[test]
+    fn stream_position_column_major() {
+        let s = Slice::boxed(&[(0, 2), (0, 1)]); // 3 x 2
+        // Column-major order: (0,0) (1,0) (2,0) (0,1) (1,1) (2,1)
+        assert_eq!(s.stream_position(&[0, 0], Order::ColumnMajor).unwrap(), Some(0));
+        assert_eq!(s.stream_position(&[2, 0], Order::ColumnMajor).unwrap(), Some(2));
+        assert_eq!(s.stream_position(&[0, 1], Order::ColumnMajor).unwrap(), Some(3));
+        assert_eq!(s.stream_position(&[2, 1], Order::ColumnMajor).unwrap(), Some(5));
+        assert_eq!(s.stream_position(&[3, 0], Order::ColumnMajor).unwrap(), None);
+    }
+
+    #[test]
+    fn stream_position_row_major() {
+        let s = Slice::boxed(&[(0, 2), (0, 1)]);
+        assert_eq!(s.stream_position(&[0, 0], Order::RowMajor).unwrap(), Some(0));
+        assert_eq!(s.stream_position(&[0, 1], Order::RowMajor).unwrap(), Some(1));
+        assert_eq!(s.stream_position(&[1, 0], Order::RowMajor).unwrap(), Some(2));
+    }
+
+    #[test]
+    fn stream_position_matches_cursor_enumeration() {
+        let s = Slice::new(vec![
+            Range::from_indices(&[1, 4, 5]).unwrap(),
+            Range::strided(0, 8, 2).unwrap(),
+            Range::contiguous(7, 8),
+        ]);
+        for order in [Order::ColumnMajor, Order::RowMajor] {
+            let mut expected = 0usize;
+            s.points(order).for_each(|p| {
+                assert_eq!(s.stream_position(p, order).unwrap(), Some(expected));
+                expected += 1;
+            });
+            assert_eq!(expected, s.size());
+        }
+    }
+
+    #[test]
+    fn split_half_stream_concatenation() {
+        let s = Slice::boxed(&[(0, 4), (0, 3)]);
+        for order in [Order::ColumnMajor, Order::RowMajor] {
+            let (lo, hi) = s.split_half(order);
+            assert_eq!(lo.size() + hi.size(), s.size());
+            let mut cat = Vec::new();
+            lo.points(order).for_each(|p| cat.push(p.to_vec()));
+            hi.points(order).for_each(|p| cat.push(p.to_vec()));
+            let mut full = Vec::new();
+            s.points(order).for_each(|p| full.push(p.to_vec()));
+            assert_eq!(cat, full, "order {order:?}");
+        }
+    }
+
+    #[test]
+    fn split_half_single_point() {
+        let s = Slice::boxed(&[(3, 3), (4, 4)]);
+        let (lo, hi) = s.split_half(Order::ColumnMajor);
+        assert_eq!(lo, s);
+        assert!(hi.is_empty());
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = Slice::new(vec![
+            Range::contiguous(0, 4),
+            Range::strided(0, 8, 2).unwrap(),
+            Range::from_indices(&[1, 5, 6]).unwrap(),
+        ]);
+        assert_eq!(format!("{s}"), "(0:4, 0:8:2, [1, 5, 6])");
+    }
+}

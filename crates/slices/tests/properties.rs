@@ -1,0 +1,146 @@
+//! Property-based tests for ranges, slices, and the partition algorithm.
+
+use drms_slices::{partition, Order, Range, Slice};
+use proptest::prelude::*;
+
+/// Strategy producing an arbitrary (possibly empty) range with small bounds.
+fn arb_range() -> impl Strategy<Value = Range> {
+    prop_oneof![
+        // Contiguous (possibly empty when lo > hi).
+        (-20i64..20, -20i64..20).prop_map(|(a, b)| Range::contiguous(a, b)),
+        // Strided.
+        (-20i64..20, 0i64..40, 1i64..6)
+            .prop_map(|(lo, span, step)| Range::strided(lo, lo + span, step).unwrap()),
+        // Explicit increasing list built from a set.
+        proptest::collection::btree_set(-30i64..30, 0..10)
+            .prop_map(|s| Range::from_indices(&s.into_iter().collect::<Vec<_>>()).unwrap()),
+    ]
+}
+
+fn arb_slice(rank: std::ops::Range<usize>) -> impl Strategy<Value = Slice> {
+    proptest::collection::vec(arb_range(), rank).prop_map(Slice::new)
+}
+
+fn elements(r: &Range) -> Vec<i64> {
+    r.to_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn range_intersection_is_set_intersection(a in arb_range(), b in arb_range()) {
+        let got = elements(&a.intersect(&b));
+        let bs: std::collections::BTreeSet<i64> = elements(&b).into_iter().collect();
+        let expect: Vec<i64> = elements(&a).into_iter().filter(|v| bs.contains(v)).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn range_intersection_commutes(a in arb_range(), b in arb_range()) {
+        prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+    }
+
+    #[test]
+    fn range_intersection_idempotent(a in arb_range()) {
+        prop_assert_eq!(a.intersect(&a), a.clone());
+    }
+
+    #[test]
+    fn range_normalization_canonical(a in arb_range()) {
+        // Rebuilding a range from its element list yields a structurally
+        // equal range: representation is canonical.
+        let rebuilt = Range::from_indices(&elements(&a)).unwrap();
+        prop_assert_eq!(rebuilt, a);
+    }
+
+    #[test]
+    fn range_split_half_concatenates(a in arb_range()) {
+        let (lo, hi) = a.split_half();
+        let mut cat = elements(&lo);
+        cat.extend(elements(&hi));
+        prop_assert_eq!(cat, elements(&a));
+        prop_assert!(lo.len() >= hi.len() && lo.len() - hi.len() <= 1);
+    }
+
+    #[test]
+    fn range_position_get_inverse(a in arb_range()) {
+        for (i, v) in a.iter().enumerate() {
+            prop_assert_eq!(a.position(v), Some(i));
+            prop_assert_eq!(a.get(i).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn slice_intersection_subset_of_both(a in arb_slice(1..4), b in arb_slice(1..4)) {
+        if a.rank() == b.rank() {
+            let i = a.intersect(&b).unwrap();
+            prop_assert!(i.is_subset_of(&a));
+            prop_assert!(i.is_subset_of(&b));
+        }
+    }
+
+    #[test]
+    fn slice_size_is_extent_product(a in arb_slice(0..4)) {
+        let product: usize = a.extents().iter().product();
+        prop_assert_eq!(a.size(), product);
+        prop_assert_eq!(a.is_empty(), product == 0);
+    }
+
+    #[test]
+    fn partition_streams_concatenate(
+        a in arb_slice(1..4),
+        k in 0u32..6,
+        col in proptest::bool::ANY,
+    ) {
+        let order = if col { Order::ColumnMajor } else { Order::RowMajor };
+        let m = 1usize << k;
+        let pieces = partition::partition(&a, m, order).unwrap();
+        prop_assert_eq!(pieces.len(), m);
+
+        let mut cat: Vec<Vec<i64>> = Vec::new();
+        for p in &pieces {
+            p.points(order).for_each(|pt| cat.push(pt.to_vec()));
+        }
+        let mut full: Vec<Vec<i64>> = Vec::new();
+        a.points(order).for_each(|pt| full.push(pt.to_vec()));
+        prop_assert_eq!(cat, full);
+    }
+
+    #[test]
+    fn partition_pieces_disjoint(a in arb_slice(1..4), k in 0u32..5) {
+        let pieces = partition::partition(&a, 1usize << k, Order::ColumnMajor).unwrap();
+        for i in 0..pieces.len() {
+            for j in (i + 1)..pieces.len() {
+                let both = pieces[i].intersect(&pieces[j]).unwrap();
+                prop_assert!(both.is_empty(), "pieces {i} and {j} overlap: {both:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn stream_position_bijective(a in arb_slice(1..3), col in proptest::bool::ANY) {
+        let order = if col { Order::ColumnMajor } else { Order::RowMajor };
+        prop_assume!(a.size() <= 512);
+        let mut seen = vec![false; a.size()];
+        a.points(order).for_each(|p| {
+            let pos = a.stream_position(p, order).unwrap().unwrap();
+            assert!(!seen[pos]);
+            seen[pos] = true;
+        });
+        prop_assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn choose_piece_count_is_power_of_two_and_sufficient(
+        total in 0usize..(64 << 20),
+        tasks in 0usize..64,
+    ) {
+        let target = 1usize << 20;
+        let m = partition::choose_piece_count(total, tasks, target);
+        prop_assert!(m.is_power_of_two());
+        prop_assert!(m >= tasks.max(1));
+        // Pieces of a dense section of `total` bytes are ~total/m each.
+        prop_assert!(total.div_ceil(m) <= target || m >= total.div_ceil(target));
+    }
+}

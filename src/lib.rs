@@ -1,0 +1,24 @@
+//! # drms — reconfigurable checkpointing for distributed parallel applications
+//!
+//! A Rust reproduction of *"A Checkpointing Strategy for Scalable Recovery on
+//! Distributed Parallel Systems"* (Naik, Midkiff, Moreira — SC '97). This
+//! facade crate re-exports the full workspace; see the individual crates for
+//! the subsystems:
+//!
+//! * [`slices`] — ranges, slices, stream linearization, recursive partition;
+//! * [`msg`] — the SPMD task runtime with virtual-time message passing;
+//! * [`piofs`] — the striped parallel file system simulator;
+//! * [`darray`] — distributions, distributed arrays, redistribution,
+//!   parallel array-section streaming;
+//! * [`core`] — the DRMS programming model: data segments, reconfigurable
+//!   checkpoint/restart, and the conventional SPMD checkpointing baseline;
+//! * [`rtenv`] — the RC/TC/JSA run-time environment and failure recovery;
+//! * [`apps`] — mini NAS-parallel-benchmark applications (BT, LU, SP).
+
+pub use drms_apps as apps;
+pub use drms_core as core;
+pub use drms_darray as darray;
+pub use drms_msg as msg;
+pub use drms_piofs as piofs;
+pub use drms_rtenv as rtenv;
+pub use drms_slices as slices;

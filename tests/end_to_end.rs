@@ -1,0 +1,126 @@
+//! Full-stack integration: mini-application + DRMS runtime + simulated
+//! PIOFS with the calibrated 1997 cost model, exercising the reconfigurable
+//! checkpoint path end to end.
+
+use std::sync::Arc;
+
+use drms::apps::{bt, lu, sp, AppVariant, Class, MiniApp};
+use drms::core::{Drms, EnableFlag};
+use drms::msg::{run_spmd, CostModel};
+use drms::piofs::{Piofs, PiofsConfig};
+
+fn fs(class: Class, seed: u64) -> Arc<Piofs> {
+    Piofs::new(PiofsConfig::sp_1997().scale_memory(class.memory_scale()), seed)
+}
+
+fn snapshot(
+    fsys: &Arc<Piofs>,
+    spec: &drms::apps::AppSpec,
+    variant: AppVariant,
+    ntasks: usize,
+    restart_from: Option<&str>,
+    ckpt_at: Option<(i64, &str)>,
+    end_iter: i64,
+) -> Vec<((usize, Vec<i64>), f64)> {
+    let out = run_spmd(ntasks, CostModel::default(), |ctx| {
+        let mut app = MiniApp::start(
+            ctx,
+            fsys,
+            spec.clone(),
+            variant,
+            EnableFlag::new(),
+            restart_from,
+        )
+        .unwrap();
+        while app.iter() < end_iter {
+            app.step(ctx);
+            if let Some((at, prefix)) = ckpt_at {
+                if app.iter() == at {
+                    app.checkpoint(ctx, fsys, prefix).unwrap();
+                }
+            }
+        }
+        app.snapshot_assigned()
+    })
+    .unwrap();
+    let mut all: Vec<((usize, Vec<i64>), f64)> = out.into_iter().flatten().collect();
+    all.sort_by(|a, b| a.0.cmp(&b.0));
+    all
+}
+
+#[test]
+fn reconfigured_restart_under_realistic_cost_model() {
+    // The same invariant the fast tests check, but through the calibrated
+    // PIOFS (residency ledgers, interference, jitter) — proving the cost
+    // model never perturbs data.
+    let spec = bt(Class::T);
+    let reference = snapshot(&fs(Class::T, 5), &spec, AppVariant::Drms, 4, None, None, 6);
+
+    let f = fs(Class::T, 5);
+    Drms::install_binary(&f, &spec.drms_config());
+    snapshot(&f, &spec, AppVariant::Drms, 4, None, Some((3, "ck/e2e")), 3);
+    f.clear_residency();
+    f.reset_time();
+    let resumed = snapshot(&f, &spec, AppVariant::Drms, 7, Some("ck/e2e"), None, 6);
+    assert_eq!(reference, resumed, "4 -> 7 task restart must be bitwise exact");
+}
+
+#[test]
+fn all_three_apps_roundtrip_spmd_and_drms() {
+    for spec_fn in [bt as fn(Class) -> drms::apps::AppSpec, lu, sp] {
+        let spec = spec_fn(Class::T);
+        for variant in [AppVariant::Drms, AppVariant::Spmd] {
+            let reference =
+                snapshot(&fs(Class::T, 9), &spec, variant, 4, None, None, 4);
+            let f = fs(Class::T, 9);
+            Drms::install_binary(&f, &spec.drms_config());
+            snapshot(&f, &spec, variant, 4, None, Some((2, "ck/rt")), 2);
+            f.clear_residency();
+            f.reset_time();
+            let resumed = snapshot(&f, &spec, variant, 4, Some("ck/rt"), None, 4);
+            assert_eq!(reference, resumed, "{} {variant:?}", spec.name);
+        }
+    }
+}
+
+#[test]
+fn checkpoint_files_follow_documented_layout() {
+    let spec = sp(Class::T);
+    let f = fs(Class::T, 2);
+    Drms::install_binary(&f, &spec.drms_config());
+    snapshot(&f, &spec, AppVariant::Drms, 4, None, Some((1, "ck/layout")), 1);
+    assert!(f.exists("ck/layout/manifest"));
+    assert!(f.exists("ck/layout/segment"));
+    for field in &spec.fields {
+        let path = format!("ck/layout/array-{}", field.name);
+        assert!(f.exists(&path), "missing {path}");
+        assert_eq!(
+            f.size(&path).unwrap(),
+            (spec.domain(field.components).size() * 8) as u64,
+            "stream size of {path}"
+        );
+    }
+    // 1 manifest + 1 segment + one stream per field.
+    assert_eq!(f.list("ck/layout/").len(), 2 + spec.fields.len());
+}
+
+#[test]
+fn facade_reexports_compose() {
+    // The `drms` facade exposes every subsystem; compose a tiny pipeline
+    // touching each one.
+    let dom = drms::slices::Slice::boxed(&[(0, 7)]);
+    let dist = drms::darray::Distribution::block_auto(&dom, 2, 1).unwrap();
+    let f = Piofs::new(PiofsConfig::test_tiny(2), 1);
+    let sums = run_spmd(2, CostModel::default(), |ctx| {
+        let mut a =
+            drms::darray::DistArray::<f64>::new("a", drms::slices::Order::ColumnMajor, dist.clone(), ctx.rank());
+        a.fill_assigned(|p| p[0] as f64);
+        drms::darray::stream::write_array(ctx, &f, &a, "x", 2).unwrap();
+        let mut b =
+            drms::darray::DistArray::<f64>::new("a", drms::slices::Order::ColumnMajor, dist.clone(), ctx.rank());
+        drms::darray::stream::read_array(ctx, &f, &mut b, "x", 2).unwrap();
+        b.fold_assigned(0.0, |acc, _, v| acc + v)
+    })
+    .unwrap();
+    assert_eq!(sums.iter().sum::<f64>(), 28.0);
+}

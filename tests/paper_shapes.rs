@@ -1,0 +1,159 @@
+//! The paper's qualitative results, asserted as tests at reduced scale
+//! (class S is a 1/64-scale replica of the class-A experiments: all byte
+//! sizes, memory thresholds, and fixed costs scale together).
+//!
+//! Every claim below is a sentence from Section 5 of the paper.
+
+use drms::apps::{bt, lu, sp, AppVariant, Class};
+use drms_bench::experiment::{run_pair, run_state_size};
+
+const CLASS: Class = Class::S;
+const SEED: u64 = 4242;
+
+#[test]
+fn drms_state_constant_spmd_state_linear() {
+    // "the size of saved state for DRMS applications is independent of the
+    //  number of tasks, while the saved state for SPMD applications grows
+    //  linearly in size with the number of tasks."
+    for spec in [bt(CLASS), lu(CLASS), sp(CLASS)] {
+        let d8 = run_state_size(&spec, AppVariant::Drms, 8).unwrap();
+        let d16 = run_state_size(&spec, AppVariant::Drms, 16).unwrap();
+        let drift = (d8.total as f64 - d16.total as f64).abs() / d8.total as f64;
+        assert!(drift < 0.001, "{}: DRMS drift {drift}", spec.name);
+
+        let s4 = run_state_size(&spec, AppVariant::Spmd, 4).unwrap();
+        let s8 = run_state_size(&spec, AppVariant::Spmd, 8).unwrap();
+        let s16 = run_state_size(&spec, AppVariant::Spmd, 16).unwrap();
+        let r1 = s8.total as f64 / s4.total as f64;
+        let r2 = s16.total as f64 / s8.total as f64;
+        assert!((r1 - 2.0).abs() < 0.05, "{}: 4->8 ratio {r1}", spec.name);
+        assert!((r2 - 2.0).abs() < 0.05, "{}: 8->16 ratio {r2}", spec.name);
+
+        // "even when the SPMD applications run on 4 processors (minimum
+        //  possible), the DRMS applications are more efficient in the size
+        //  of saved state."
+        assert!(d8.total < s4.total, "{}: DRMS {} vs SPMD@4 {}", spec.name, d8.total, s4.total);
+    }
+}
+
+#[test]
+fn drms_checkpoint_always_faster_and_gap_widens() {
+    // "the DRMS version of checkpointing is always faster than the SPMD
+    //  version ... advantages become more pronounced as the number of
+    //  processors increases."
+    for spec in [bt(CLASS), lu(CLASS), sp(CLASS)] {
+        let mut gaps = Vec::new();
+        for pes in [8usize, 16] {
+            let d = run_pair(&spec, AppVariant::Drms, pes, SEED, 0).unwrap();
+            let s = run_pair(&spec, AppVariant::Spmd, pes, SEED, 0).unwrap();
+            assert!(
+                d.ckpt.total() < s.ckpt.total(),
+                "{} @ {pes}: DRMS {:.2}s vs SPMD {:.2}s",
+                spec.name,
+                d.ckpt.total(),
+                s.ckpt.total()
+            );
+            gaps.push(s.ckpt.total() / d.ckpt.total());
+        }
+        assert!(gaps[1] > gaps[0], "{}: gaps {gaps:?}", spec.name);
+    }
+}
+
+#[test]
+fn drms_restart_improves_with_processors() {
+    // "The restart time for DRMS applications decreases when the number of
+    //  processors is increased" (client-limited shared reads).
+    for spec in [bt(CLASS), sp(CLASS)] {
+        let r8 = run_pair(&spec, AppVariant::Drms, 8, SEED, 0).unwrap();
+        let r16 = run_pair(&spec, AppVariant::Drms, 16, SEED, 0).unwrap();
+        assert!(
+            r16.restart.total() < r8.restart.total(),
+            "{}: restart 8PE {:.2}s vs 16PE {:.2}s",
+            spec.name,
+            r8.restart.total(),
+            r16.restart.total()
+        );
+    }
+}
+
+#[test]
+fn spmd_restart_crosses_buffer_threshold() {
+    // "in cases below the threshold (BT and SP on 8 processors), the SPMD
+    //  restart is actually faster than the DRMS restart"; "BT has a
+    //  five-fold increase [8 -> 16]"; "SP['s] restart time only doubles";
+    //  "LU is so large initially that this threshold is crossed even when
+    //  it is run on eight processors".
+    let bt8_d = run_pair(&bt(CLASS), AppVariant::Drms, 8, SEED, 0).unwrap();
+    let bt8_s = run_pair(&bt(CLASS), AppVariant::Spmd, 8, SEED, 0).unwrap();
+    let bt16_s = run_pair(&bt(CLASS), AppVariant::Spmd, 16, SEED, 0).unwrap();
+    assert!(bt8_s.restart.total() < bt8_d.restart.total(), "BT@8: SPMD beats DRMS");
+    let bt_jump = bt16_s.restart.total() / bt8_s.restart.total();
+    assert!(bt_jump > 3.0, "BT collapse 8->16 must be large, got {bt_jump:.1}x");
+
+    let sp8_s = run_pair(&sp(CLASS), AppVariant::Spmd, 8, SEED, 0).unwrap();
+    let sp16_s = run_pair(&sp(CLASS), AppVariant::Spmd, 16, SEED, 0).unwrap();
+    let sp_jump = sp16_s.restart.total() / sp8_s.restart.total();
+    assert!(
+        sp_jump > 1.5 && sp_jump < 3.0,
+        "SP restart should roughly double, got {sp_jump:.1}x"
+    );
+    assert!(bt_jump > sp_jump, "BT (larger segments) collapses harder than SP");
+
+    // LU is over the threshold already at 8: its per-byte restart rate is
+    // far worse than SP's at the same processor count.
+    let lu8_s = run_pair(&lu(CLASS), AppVariant::Spmd, 8, SEED, 0).unwrap();
+    let lu_rate = lu8_s.restart.segment_bytes as f64 / lu8_s.restart.total();
+    let sp_rate = sp8_s.restart.segment_bytes as f64 / sp8_s.restart.total();
+    assert!(
+        lu_rate < 0.6 * sp_rate,
+        "LU@8 rate {:.1} MB/s vs SP@8 {:.1} MB/s",
+        lu_rate / 1e6,
+        sp_rate / 1e6
+    );
+}
+
+#[test]
+fn read_rates_rise_write_rates_fall_with_processors() {
+    // Table 6: "read rates go up with the number of processors ... while
+    //  write rates go down", and the segment-restore rate roughly doubles
+    //  from 8 to 16 (29 -> 55 MB/s for BT).
+    for spec in [bt(CLASS), sp(CLASS)] {
+        let p8 = run_pair(&spec, AppVariant::Drms, 8, SEED, 0).unwrap();
+        let p16 = run_pair(&spec, AppVariant::Drms, 16, SEED, 0).unwrap();
+        let read8 = p8.restart.segment_bytes as f64 / p8.restart.segment;
+        let read16 = p16.restart.segment_bytes as f64 / p16.restart.segment;
+        assert!(
+            read16 > 1.5 * read8,
+            "{}: segment read rate should ~double, {:.1} -> {:.1} MB/s",
+            spec.name,
+            read8 / 1e6,
+            read16 / 1e6
+        );
+        let write8 = p8.ckpt.segment_bytes as f64 / p8.ckpt.segment;
+        let write16 = p16.ckpt.segment_bytes as f64 / p16.ckpt.segment;
+        assert!(
+            write16 < write8,
+            "{}: segment write rate should fall, {:.1} -> {:.1} MB/s",
+            spec.name,
+            write8 / 1e6,
+            write16 / 1e6
+        );
+    }
+}
+
+#[test]
+fn drms_checkpoint_time_grows_slightly_with_processors() {
+    // "The checkpoint time for DRMS applications typically increases as we
+    //  move from 8 to 16 processors" (server interference) — but far less
+    //  than the SPMD version's near-doubling.
+    for spec in [bt(CLASS), sp(CLASS)] {
+        let c8 = run_pair(&spec, AppVariant::Drms, 8, SEED, 0).unwrap();
+        let c16 = run_pair(&spec, AppVariant::Drms, 16, SEED, 0).unwrap();
+        let growth = c16.ckpt.total() / c8.ckpt.total();
+        assert!(
+            growth > 1.0 && growth < 1.8,
+            "{}: DRMS checkpoint growth {growth:.2}x",
+            spec.name
+        );
+    }
+}
