@@ -70,8 +70,7 @@ impl MiniApp {
 
         let mut app = match variant {
             AppVariant::Drms => {
-                let (drms, start) =
-                    Drms::initialize(ctx, fs, cfg, enable, restart_from)?;
+                let (drms, start) = Drms::initialize(ctx, fs, cfg, enable, restart_from)?;
                 let mut fields = make_fields(&spec, ctx);
                 match start {
                     Start::Fresh => {
@@ -213,9 +212,7 @@ impl MiniApp {
         let handles: Vec<&dyn CheckpointArray> =
             self.fields.iter().map(|f| f as &dyn CheckpointArray).collect();
         match self.variant {
-            AppVariant::Drms => {
-                self.drms.reconfig_checkpoint(ctx, fs, prefix, &self.seg, &handles)
-            }
+            AppVariant::Drms => self.drms.reconfig_checkpoint(ctx, fs, prefix, &self.seg, &handles),
             AppVariant::Spmd => {
                 self.spmd_sop += 1;
                 spmd::checkpoint(
@@ -313,15 +310,9 @@ mod tests {
         end_iter: i64,
     ) -> Vec<((usize, Vec<i64>), f64)> {
         let out = run_spmd(ntasks, CostModel::default(), |ctx| {
-            let mut app = MiniApp::start(
-                ctx,
-                fs,
-                spec.clone(),
-                variant,
-                EnableFlag::new(),
-                restart_from,
-            )
-            .unwrap();
+            let mut app =
+                MiniApp::start(ctx, fs, spec.clone(), variant, EnableFlag::new(), restart_from)
+                    .unwrap();
             while app.iter() < end_iter {
                 app.step(ctx);
                 if let Some((at, prefix)) = ckpt_at {
@@ -348,8 +339,7 @@ mod tests {
             let f = fs();
             Drms::install_binary(&f, &spec.drms_config());
             run_app(&f, spec.clone(), AppVariant::Drms, 4, None, Some((3, "ck/x")), 3);
-            let resumed =
-                run_app(&f, spec.clone(), AppVariant::Drms, 3, Some("ck/x"), None, 6);
+            let resumed = run_app(&f, spec.clone(), AppVariant::Drms, 3, Some("ck/x"), None, 6);
             assert_eq!(reference.len(), resumed.len(), "{name}");
             for (a, b) in reference.iter().zip(&resumed) {
                 assert_eq!(a.0, b.0, "{name}");
@@ -375,16 +365,9 @@ mod tests {
         let f = fs();
         run_app(&f, spec.clone(), AppVariant::Spmd, 4, None, Some((2, "ck/s")), 2);
         let errs = run_spmd(2, CostModel::default(), |ctx| {
-            MiniApp::start(
-                ctx,
-                &f,
-                spec.clone(),
-                AppVariant::Spmd,
-                EnableFlag::new(),
-                Some("ck/s"),
-            )
-            .err()
-            .map(|e| e.to_string())
+            MiniApp::start(ctx, &f, spec.clone(), AppVariant::Spmd, EnableFlag::new(), Some("ck/s"))
+                .err()
+                .map(|e| e.to_string())
         })
         .unwrap();
         assert!(errs[0].as_ref().unwrap().contains("cannot restart with 2"));
@@ -395,15 +378,9 @@ mod tests {
         let spec = lu(Class::S);
         let f = fs();
         let anatomies = run_spmd(4, CostModel::default(), |ctx| {
-            let app = MiniApp::start(
-                ctx,
-                &f,
-                spec.clone(),
-                AppVariant::Drms,
-                EnableFlag::new(),
-                None,
-            )
-            .unwrap();
+            let app =
+                MiniApp::start(ctx, &f, spec.clone(), AppVariant::Drms, EnableFlag::new(), None)
+                    .unwrap();
             app.segment_anatomy()
         })
         .unwrap();
@@ -429,8 +406,7 @@ mod tests {
             spmd_sizes.push(f.total_bytes("ck/s/"));
         }
         // DRMS: constant (manifest bytes differ by a few bytes at most).
-        let drift =
-            (drms_sizes[0] as f64 - drms_sizes[1] as f64).abs() / drms_sizes[0] as f64;
+        let drift = (drms_sizes[0] as f64 - drms_sizes[1] as f64).abs() / drms_sizes[0] as f64;
         assert!(drift < 0.001, "DRMS sizes {drms_sizes:?}");
         // SPMD: linear in tasks.
         let ratio = spmd_sizes[1] as f64 / spmd_sizes[0] as f64;

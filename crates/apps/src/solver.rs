@@ -114,8 +114,7 @@ mod tests {
     fn field(name: &str, rank: usize, p: usize, comps: i64) -> DistArray<f64> {
         let n = 6i64;
         let dom = Slice::boxed(&[(0, comps - 1), (1, n), (1, n), (1, n)]);
-        let dist =
-            Distribution::block(&dom, &[1, p, 1, 1], &[0, 1, 1, 1]).unwrap();
+        let dist = Distribution::block(&dom, &[1, p, 1, 1], &[0, 1, 1, 1]).unwrap();
         DistArray::new(name, Order::ColumnMajor, dist, rank)
     }
 
@@ -149,13 +148,7 @@ mod tests {
             assert_eq!(got.len(), ref1.len());
             for (a, b) in ref1.iter().zip(&got) {
                 assert_eq!(a.0, b.0);
-                assert!(
-                    a.1 == b.1,
-                    "point {:?}: {} (1 task) vs {} ({p} tasks)",
-                    a.0,
-                    a.1,
-                    b.1
-                );
+                assert!(a.1 == b.1, "point {:?}: {} (1 task) vs {} ({p} tasks)", a.0, a.1, b.1);
             }
         }
     }

@@ -170,10 +170,7 @@ impl AppSpec {
     /// Local-section storage fixed at compile time: the mapped storage of a
     /// representative task when running on the minimum task count.
     pub fn fixed_local_bytes(&self) -> u64 {
-        self.fields
-            .iter()
-            .map(|f| self.dist(f, self.min_tasks).mapped(0).size() as u64 * 8)
-            .sum()
+        self.fields.iter().map(|f| self.dist(f, self.min_tasks).mapped(0).size() as u64 * 8).sum()
     }
 
     /// Total bytes of all distribution-independent field streams (the

@@ -13,25 +13,16 @@ use drms_piofs::{Piofs, PiofsConfig};
 
 /// Sum over all fields' assigned elements (in sorted global order) after
 /// 3 iterations of class T, captured from the reference implementation.
-const GOLDEN: &[(&str, f64)] = &[
-    ("bt", 76011.24000000159),
-    ("lu", 31735.208000000064),
-    ("sp", 44070.384000002836),
-];
+const GOLDEN: &[(&str, f64)] =
+    &[("bt", 76011.24000000159), ("lu", 31735.208000000064), ("sp", 44070.384000002836)];
 
 fn checksum(spec: &AppSpec, ntasks: usize) -> f64 {
     let fs = Piofs::new(PiofsConfig::test_tiny(8), 1);
     let spec = spec.clone();
     let out = run_spmd(ntasks, CostModel::default(), move |ctx| {
-        let mut app = MiniApp::start(
-            ctx,
-            &fs,
-            spec.clone(),
-            AppVariant::Drms,
-            EnableFlag::new(),
-            None,
-        )
-        .unwrap();
+        let mut app =
+            MiniApp::start(ctx, &fs, spec.clone(), AppVariant::Drms, EnableFlag::new(), None)
+                .unwrap();
         for _ in 0..3 {
             app.step(ctx);
         }
@@ -51,11 +42,7 @@ fn solver_numerics_match_golden_values() {
         let spec = spec_fn(Class::T);
         let golden = GOLDEN.iter().find(|(n, _)| *n == spec.name).unwrap().1;
         let got = checksum(&spec, 2);
-        assert!(
-            got == golden,
-            "{}: checksum {got:?} drifted from golden {golden:?}",
-            spec.name
-        );
+        assert!(got == golden, "{}: checksum {got:?} drifted from golden {golden:?}", spec.name);
     }
 }
 

@@ -26,14 +26,13 @@ impl Options {
         let mut opts = Options::default();
         let mut it = args.peekable();
         while let Some(flag) = it.next() {
-            let mut value = |flag: &str| {
-                it.next().unwrap_or_else(|| usage(&format!("{flag} needs a value")))
-            };
+            let mut value =
+                |flag: &str| it.next().unwrap_or_else(|| usage(&format!("{flag} needs a value")));
             match flag.as_str() {
                 "--class" => {
                     let v = value("--class");
-                    opts.class = Class::parse(&v)
-                        .unwrap_or_else(|| usage(&format!("unknown class {v:?}")));
+                    opts.class =
+                        Class::parse(&v).unwrap_or_else(|| usage(&format!("unknown class {v:?}")));
                 }
                 "--runs" => {
                     let v = value("--runs");

@@ -35,8 +35,7 @@ fn main() {
             let mut rinit = Vec::new();
             for run in 0..opts.runs {
                 let seed = 3000 + run as u64 * 65537;
-                let pair =
-                    run_pair(&spec, AppVariant::Drms, pes, seed, 1).expect("experiment");
+                let pair = run_pair(&spec, AppVariant::Drms, pes, seed, 1).expect("experiment");
                 cseg.push(pair.ckpt.segment);
                 carr.push(pair.ckpt.arrays);
                 rseg.push(pair.restart.segment);

@@ -7,8 +7,8 @@
 //! cargo run --release -p drms-bench --bin shadow_model
 //! ```
 
-use drms_darray::{shadow, Distribution};
 use drms_bench::table::render;
+use drms_darray::{shadow, Distribution};
 use drms_slices::Slice;
 
 fn main() {
@@ -44,12 +44,7 @@ fn main() {
         } else {
             "-".to_string()
         };
-        rows.push(vec![
-            p.to_string(),
-            format!("{n:.1}"),
-            format!("{analytic:.3}"),
-            measured,
-        ]);
+        rows.push(vec![p.to_string(), format!("{n:.1}"), format!("{analytic:.3}"), measured]);
     }
     println!("{}", render(&header, &rows));
     println!(

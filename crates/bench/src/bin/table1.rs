@@ -39,10 +39,7 @@ const DRMS_MARKERS: &[&str] = &[
 ];
 
 fn code_lines(src: &str) -> usize {
-    src.lines()
-        .map(str::trim)
-        .filter(|l| !l.is_empty() && !l.starts_with("//"))
-        .count()
+    src.lines().map(str::trim).filter(|l| !l.is_empty() && !l.starts_with("//")).count()
 }
 
 fn drms_lines(src: &str) -> usize {

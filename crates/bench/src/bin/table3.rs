@@ -26,9 +26,18 @@ fn main() {
     println!("class {}\n", opts.class);
 
     let header = vec![
-        "app", "DRMS data", "DRMS array", "DRMS total", "SPMD 4PE", "SPMD 8PE", "SPMD 16PE",
+        "app",
+        "DRMS data",
+        "DRMS array",
+        "DRMS total",
+        "SPMD 4PE",
+        "SPMD 8PE",
+        "SPMD 16PE",
         "", // spacer
-        "paper: D-total", "S-4", "S-8", "S-16",
+        "paper: D-total",
+        "S-4",
+        "S-8",
+        "S-16",
     ];
     let mut rows = Vec::new();
     for spec in [bt(opts.class), lu(opts.class), sp(opts.class)] {

@@ -26,9 +26,7 @@ fn main() {
     println!("Table 4 — components of a representative task's data segment (bytes)");
     println!("class {} | paper values are class A\n", opts.class);
 
-    let header = vec![
-        "app", "component", "measured", "paper (class A)", "delta",
-    ];
+    let header = vec!["app", "component", "measured", "paper (class A)", "delta"];
     let mut rows = Vec::new();
     for spec in [bt(opts.class), lu(opts.class), sp(opts.class)] {
         let fs = experiment_fs(opts.class, 1);
@@ -37,15 +35,9 @@ fn main() {
         // The paper's applications compile for a minimum of 4 tasks; the
         // representative segment is measured on that minimum.
         let anatomies = run_spmd(4, CostModel::default(), move |ctx| {
-            let app = MiniApp::start(
-                ctx,
-                &fs2,
-                spec2.clone(),
-                AppVariant::Drms,
-                EnableFlag::new(),
-                None,
-            )
-            .expect("start");
+            let app =
+                MiniApp::start(ctx, &fs2, spec2.clone(), AppVariant::Drms, EnableFlag::new(), None)
+                    .expect("start");
             app.segment_anatomy()
         })
         .expect("region");

@@ -24,21 +24,12 @@ struct PaperRow {
 const PAPER: &[PaperRow] = &[
     PaperRow {
         app: "bt",
-        ckpt: [
-            [Some((16.0, 2.0)), Some((41.0, 16.0))],
-            [Some((20.0, 2.0)), Some((114.0, 16.0))],
-        ],
-        restart: [
-            [Some((42.0, 3.0)), Some((21.0, 1.0))],
-            [Some((32.0, 5.0)), Some((109.0, 10.0))],
-        ],
+        ckpt: [[Some((16.0, 2.0)), Some((41.0, 16.0))], [Some((20.0, 2.0)), Some((114.0, 16.0))]],
+        restart: [[Some((42.0, 3.0)), Some((21.0, 1.0))], [Some((32.0, 5.0)), Some((109.0, 10.0))]],
     },
     PaperRow {
         app: "lu",
-        ckpt: [
-            [Some((19.0, 2.0)), Some((128.0, 18.0))],
-            [Some((18.0, 4.0)), Some((185.0, 10.0))],
-        ],
+        ckpt: [[Some((19.0, 2.0)), Some((128.0, 18.0))], [Some((18.0, 4.0)), Some((185.0, 10.0))]],
         restart: [
             [Some((46.0, 20.0)), Some((125.0, 20.0))],
             [Some((31.0, 3.0)), Some((145.0, 27.0))],
@@ -53,7 +44,13 @@ const PAPER: &[PaperRow] = &[
 
 fn paper_cell(app: &str, restart: bool, pes: usize, variant: AppVariant) -> String {
     let Some(row) = PAPER.iter().find(|r| r.app == app) else { return "-".into() };
-    let pi = if pes == 8 { 0 } else if pes == 16 { 1 } else { return "-".into() };
+    let pi = if pes == 8 {
+        0
+    } else if pes == 16 {
+        1
+    } else {
+        return "-".into();
+    };
     let vi = match variant {
         AppVariant::Drms => 0,
         AppVariant::Spmd => 1,
@@ -87,17 +84,20 @@ fn main() {
     }
 
     let header = vec![
-        "app", "PEs", "op", "DRMS (measured)", "DRMS (paper)", "SPMD (measured)",
+        "app",
+        "PEs",
+        "op",
+        "DRMS (measured)",
+        "DRMS (paper)",
+        "SPMD (measured)",
         "SPMD (paper)",
     ];
     let mut rows: Vec<Vec<String>> = Vec::new();
 
     for spec in &specs {
         for &pes in &opts.pes {
-            let mut measured: [[Option<Summary>; 2]; 2] =
-                [[None, None], [None, None]];
-            for (vi, variant) in [AppVariant::Drms, AppVariant::Spmd].into_iter().enumerate()
-            {
+            let mut measured: [[Option<Summary>; 2]; 2] = [[None, None], [None, None]];
+            for (vi, variant) in [AppVariant::Drms, AppVariant::Spmd].into_iter().enumerate() {
                 let mut ckpts = Vec::new();
                 let mut restarts = Vec::new();
                 for run in 0..opts.runs {

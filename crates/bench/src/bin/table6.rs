@@ -38,15 +38,11 @@ fn six(b: &OpBreakdown) -> [f64; 6] {
 
 fn main() {
     let opts = Options::from_env();
-    println!(
-        "Table 6 — components of DRMS checkpoint and restart (mean of {} runs)",
-        opts.runs
-    );
+    println!("Table 6 — components of DRMS checkpoint and restart (mean of {} runs)", opts.runs);
     println!("class {} | paper values are class A\n", opts.class);
 
-    let header = vec![
-        "app", "PEs", "op", "", "total(s)", "rate", "seg %", "seg rate", "arr %", "arr rate",
-    ];
+    let header =
+        vec!["app", "PEs", "op", "", "total(s)", "rate", "seg %", "seg rate", "arr %", "arr rate"];
     let mut rows = Vec::new();
     for spec in [bt(opts.class), lu(opts.class), sp(opts.class)] {
         for &pes in &opts.pes {
@@ -54,8 +50,7 @@ fn main() {
             let mut rs: Vec<[f64; 6]> = Vec::new();
             for run in 0..opts.runs {
                 let seed = 2000 + run as u64 * 104729;
-                let pair =
-                    run_pair(&spec, AppVariant::Drms, pes, seed, 1).expect("experiment");
+                let pair = run_pair(&spec, AppVariant::Drms, pes, seed, 1).expect("experiment");
                 cs.push(six(&pair.ckpt));
                 rs.push(six(&pair.restart));
             }
@@ -66,9 +61,7 @@ fn main() {
                 }
                 out
             };
-            let paper = PAPER
-                .iter()
-                .find(|(n, p, _, _)| *n == spec.name && *p == pes);
+            let paper = PAPER.iter().find(|(n, p, _, _)| *n == spec.name && *p == pes);
             for (op, measured, paper_vals) in [
                 ("checkpoint", mean6(&cs), paper.map(|p| p.2)),
                 ("restart", mean6(&rs), paper.map(|p| p.3)),
@@ -92,8 +85,8 @@ fn main() {
                 row.extend(fmt(measured));
                 rows.push(row);
                 if let Some(p) = paper_vals {
-                    let mut row = vec![String::new(), String::new(), String::new(),
-                        "paper".to_string()];
+                    let mut row =
+                        vec![String::new(), String::new(), String::new(), "paper".to_string()];
                     row.extend(fmt(p));
                     rows.push(row);
                 }

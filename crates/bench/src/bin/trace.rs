@@ -1,0 +1,179 @@
+//! Observability trace of one checkpoint/restart cycle per mini-app.
+//!
+//! ```text
+//! cargo run --release -p drms-bench --bin trace [--class W] [--pes 4] [--out target/trace]
+//! ```
+//!
+//! For each of BT, LU and SP: runs a fresh incarnation to the mid-point,
+//! takes a DRMS checkpoint under a [`TraceRecorder`], then restarts a second
+//! incarnation from it under another recorder. Each operation's trace is
+//! written as Chrome `trace_event` JSON (load in Perfetto or
+//! `chrome://tracing`) plus a JSONL event/counter log, and its per-phase
+//! summary table is printed. The binary verifies — and aborts otherwise —
+//! that [`OpBreakdown::from_trace`] over the recorded spans equals the
+//! breakdown the operation itself returned: the report and the trace are two
+//! views of the same timestamps.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use drms_apps::{bt, lu, sp, AppSpec, AppVariant, Class, MiniApp};
+use drms_bench::experiment::experiment_fs;
+use drms_core::report::OpBreakdown;
+use drms_core::{Drms, EnableFlag};
+use drms_msg::{run_spmd_traced, CostModel};
+use drms_obs::{Recorder, TraceRecorder};
+
+const SEED: u64 = 42;
+
+struct TraceOpts {
+    class: Class,
+    pes: usize,
+    out: PathBuf,
+}
+
+fn parse_args() -> TraceOpts {
+    let mut opts = TraceOpts { class: Class::W, pes: 4, out: PathBuf::from("target/trace") };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value =
+            |flag: &str| it.next().unwrap_or_else(|| usage(&format!("{flag} needs a value")));
+        match flag.as_str() {
+            "--class" => {
+                let v = value("--class");
+                opts.class =
+                    Class::parse(&v).unwrap_or_else(|| usage(&format!("unknown class {v:?}")));
+            }
+            "--pes" => {
+                let v = value("--pes");
+                opts.pes = v
+                    .parse()
+                    .ok()
+                    .filter(|p| (1..=16).contains(p))
+                    .unwrap_or_else(|| usage(&format!("bad PE count {v:?}")));
+            }
+            "--out" => opts.out = PathBuf::from(value("--out")),
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown flag {other:?}")),
+        }
+    }
+    opts
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: trace [--class T|S|W|A] [--pes N] [--out DIR]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let opts = parse_args();
+    std::fs::create_dir_all(&opts.out).expect("create output directory");
+    println!(
+        "Tracing one DRMS checkpoint/restart cycle per app (class {}, {} PEs, seed {SEED})",
+        opts.class, opts.pes
+    );
+    println!("Trace files go to {}\n", opts.out.display());
+
+    for spec in [bt(opts.class), lu(opts.class), sp(opts.class)] {
+        trace_app(&spec, opts.pes, &opts.out);
+    }
+    println!("All trace-derived breakdowns matched the reported ones exactly.");
+}
+
+/// Runs the checkpoint/restart cycle for one app, tracing each operation
+/// with its own recorder so each trace covers exactly one operation.
+fn trace_app(spec: &AppSpec, pes: usize, out: &Path) {
+    let fs = experiment_fs(spec.class, SEED);
+    Drms::install_binary(&fs, &spec.drms_config());
+
+    // --- incarnation 1: run to mid-point and checkpoint -----------------
+    let rec = Arc::new(TraceRecorder::new());
+    let spec_c = spec.clone();
+    let fs_c = Arc::clone(&fs);
+    let ckpts = run_spmd_traced(
+        pes,
+        CostModel::default(),
+        Arc::clone(&rec) as Arc<dyn Recorder>,
+        move |ctx| {
+            let mut app = MiniApp::start(
+                ctx,
+                &fs_c,
+                spec_c.clone(),
+                AppVariant::Drms,
+                EnableFlag::new(),
+                None,
+            )
+            .expect("fresh start");
+            app.step(ctx);
+            app.checkpoint(ctx, &fs_c, "ck/mid").expect("checkpoint")
+        },
+    )
+    .expect("checkpoint incarnation");
+    emit(&rec, ckpts[0], spec.name, "checkpoint", out);
+
+    // --- incarnation 2: restart from the mid-point ----------------------
+    fs.clear_residency();
+    fs.reset_time();
+    let rec = Arc::new(TraceRecorder::new());
+    let spec_r = spec.clone();
+    let fs_r = Arc::clone(&fs);
+    let restarts = run_spmd_traced(
+        pes,
+        CostModel::default(),
+        Arc::clone(&rec) as Arc<dyn Recorder>,
+        move |ctx| {
+            let app = MiniApp::start(
+                ctx,
+                &fs_r,
+                spec_r.clone(),
+                AppVariant::Drms,
+                EnableFlag::new(),
+                Some("ck/mid"),
+            )
+            .expect("restart");
+            app.restart_report.expect("restarted")
+        },
+    )
+    .expect("restart incarnation");
+    emit(&rec, restarts[0], spec.name, "restart", out);
+}
+
+/// Checks the trace against the reported breakdown, writes the export files,
+/// and prints the phase summary.
+fn emit(rec: &TraceRecorder, reported: OpBreakdown, app: &str, op: &str, out: &Path) {
+    let summary = rec.phase_summary();
+    let derived = OpBreakdown::from_trace(&summary, rec.metrics());
+    assert_eq!(
+        derived, reported,
+        "{app} {op}: trace-derived breakdown diverges from the reported one"
+    );
+
+    let chrome = out.join(format!("{app}-{op}.trace.json"));
+    let jsonl = out.join(format!("{app}-{op}.events.jsonl"));
+    std::fs::write(&chrome, rec.to_chrome_trace()).expect("write Chrome trace");
+    std::fs::write(&jsonl, rec.to_jsonl()).expect("write JSONL log");
+
+    println!("== {app} {op} ==");
+    println!("{}", summary.render_table());
+    println!(
+        "total {:.3} s  |  {:.1} MB moved  |  {:.1} MB/s  |  segment {:.0}% / arrays {:.0}%",
+        reported.total(),
+        reported.total_bytes() as f64 / 1e6,
+        reported.rate_mb_s(),
+        reported.segment_pct(),
+        reported.arrays_pct(),
+    );
+    let m = rec.metrics();
+    println!(
+        "events {}  |  messages {} ({:.1} MB)  |  pieces {}  |  io phases {}",
+        rec.events().len(),
+        m.counter_total(drms_obs::names::MESSAGES_SENT),
+        m.counter_total(drms_obs::names::MESSAGE_BYTES) as f64 / 1e6,
+        m.counter_total(drms_obs::names::PIECES_WRITTEN),
+        m.counter_total(drms_obs::names::IO_PHASES),
+    );
+    println!("wrote {} and {}\n", chrome.display(), jsonl.display());
+}

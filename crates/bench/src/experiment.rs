@@ -49,15 +49,8 @@ pub fn run_pair(
     let spec_c = spec.clone();
     let fs_c = Arc::clone(&fs);
     let ckpts = run_spmd(pes, CostModel::default(), move |ctx| {
-        let mut app = MiniApp::start(
-            ctx,
-            &fs_c,
-            spec_c.clone(),
-            variant,
-            EnableFlag::new(),
-            None,
-        )
-        .expect("fresh start");
+        let mut app = MiniApp::start(ctx, &fs_c, spec_c.clone(), variant, EnableFlag::new(), None)
+            .expect("fresh start");
         for _ in 0..warm_iters {
             app.step(ctx);
         }
@@ -72,15 +65,9 @@ pub fn run_pair(
     let spec_r = spec.clone();
     let fs_r = Arc::clone(&fs);
     let restarts = run_spmd(pes, CostModel::default(), move |ctx| {
-        let app = MiniApp::start(
-            ctx,
-            &fs_r,
-            spec_r.clone(),
-            variant,
-            EnableFlag::new(),
-            Some("ck/mid"),
-        )
-        .expect("restart");
+        let app =
+            MiniApp::start(ctx, &fs_r, spec_r.clone(), variant, EnableFlag::new(), Some("ck/mid"))
+                .expect("restart");
         app.restart_report.expect("restarted")
     })?;
     Ok(PairResult { ckpt, restart: restarts[0], state_bytes })
@@ -98,15 +85,8 @@ pub fn run_state_size(
     let spec_c = spec.clone();
     let fs_c = Arc::clone(&fs);
     let reports = run_spmd(pes, CostModel::default(), move |ctx| {
-        let mut app = MiniApp::start(
-            ctx,
-            &fs_c,
-            spec_c.clone(),
-            variant,
-            EnableFlag::new(),
-            None,
-        )
-        .expect("fresh start");
+        let mut app = MiniApp::start(ctx, &fs_c, spec_c.clone(), variant, EnableFlag::new(), None)
+            .expect("fresh start");
         app.checkpoint(ctx, &fs_c, "ck/size").expect("checkpoint")
     })?;
     let segment_file = match variant {

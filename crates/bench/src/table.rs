@@ -47,10 +47,7 @@ mod tests {
     fn aligned_output() {
         let t = render(
             &["app", "value"],
-            &[
-                vec!["bt".into(), "147".into()],
-                vec!["lu".into(), "9".into()],
-            ],
+            &[vec!["bt".into(), "147".into()], vec!["lu".into(), "9".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -2,6 +2,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use drms_msg::Ctx;
+use drms_obs::{names, Phase};
 use drms_piofs::{Piofs, ReadAccess, ReadReq};
 
 use crate::handle::{encode_locals, CheckpointArray};
@@ -119,7 +120,10 @@ impl Drms {
         restart_from: Option<&str>,
     ) -> Result<(Drms, Start)> {
         let Some(prefix) = restart_from else {
-            return Ok((Drms { cfg, enable, sop: 0, saved_versions: Default::default() }, Start::Fresh));
+            return Ok((
+                Drms { cfg, enable, sop: 0, saved_versions: Default::default() },
+                Start::Fresh,
+            ));
         };
         let manifest = read_manifest_collective(ctx, fs, prefix)?;
         if manifest.kind != CkptKind::Drms {
@@ -158,17 +162,23 @@ impl Drms {
         let segment = DataSegment::decode(&got.pop().expect("one request"))?;
         ctx.barrier();
         let t2 = ctx.now();
+        phase_span(ctx, Phase::Init, "load_text", t0, t1);
+        phase_span(ctx, Phase::Segment, "load_segment", t1, t2);
+        // Every task reads the whole shared segment file, so the bytes moved
+        // in this phase are ntasks x file size: record per rank, matching the
+        // aggregate the restart report uses.
+        if ctx.recorder().enabled() {
+            ctx.recorder().counter_add(ctx.rank(), names::SEGMENT_BYTES, None, len);
+        }
 
         let delta = ctx.ntasks() as i64 - manifest.ntasks as i64;
         let sop = manifest.sop;
-        let info = RestartInfo {
-            manifest,
-            segment,
-            delta,
-            init_time: t1 - t0,
-            segment_time: t2 - t1,
-        };
-        Ok((Drms { cfg, enable, sop, saved_versions: Default::default() }, Start::Restarted(Box::new(info))))
+        let info =
+            RestartInfo { manifest, segment, delta, init_time: t1 - t0, segment_time: t2 - t1 };
+        Ok((
+            Drms { cfg, enable, sop, saved_versions: Default::default() },
+            Start::Restarted(Box::new(info)),
+        ))
     }
 
     /// The configuration in effect.
@@ -250,18 +260,24 @@ impl Drms {
             fs.write_at(ctx, &manifest_path(prefix), 0, &bytes);
         }
         ctx.barrier();
+        let t3 = ctx.now();
 
         for &a in arrays {
             self.saved_versions
                 .insert((prefix.to_string(), a.array_name().to_string()), a.version());
         }
-        Ok(OpBreakdown {
+        let breakdown = OpBreakdown {
             init: 0.0,
             segment: t1 - t0,
             arrays: t2 - t1,
             segment_bytes: fs.size(&seg_path)?,
             array_bytes: arrays.iter().map(|a| a.stream_bytes()).sum(),
-        })
+        };
+        phase_span(ctx, Phase::Segment, "write_segment", t0, t1);
+        phase_span(ctx, Phase::Arrays, "stream_arrays", t1, t2);
+        phase_span(ctx, Phase::Manifest, "write_manifest", t2, t3);
+        record_bytes(ctx, breakdown.segment_bytes, breakdown.array_bytes);
+        Ok(breakdown)
     }
 
     /// Incremental variant of [`Drms::reconfig_checkpoint`]: arrays whose
@@ -343,6 +359,7 @@ impl Drms {
             fs.write_at(ctx, &manifest_path(prefix), 0, &bytes);
         }
         ctx.barrier();
+        let t3 = ctx.now();
 
         for &a in arrays {
             self.saved_versions
@@ -355,6 +372,10 @@ impl Drms {
             segment_bytes: fs.size(&seg_path)?,
             array_bytes: to_write.iter().map(|a| a.stream_bytes()).sum(),
         };
+        phase_span(ctx, Phase::Segment, "write_segment", t0, t1);
+        phase_span(ctx, Phase::Arrays, "stream_arrays", t1, t2);
+        phase_span(ctx, Phase::Manifest, "write_manifest", t2, t3);
+        record_bytes(ctx, breakdown.segment_bytes, breakdown.array_bytes);
         Ok((breakdown, skipped))
     }
 
@@ -396,10 +417,7 @@ impl Drms {
         let io = self.cfg.io.resolve(ctx.ntasks());
         for a in arrays.iter_mut() {
             let entry = manifest.array(a.array_name()).ok_or_else(|| {
-                CoreError::ManifestMismatch(format!(
-                    "checkpoint has no array {:?}",
-                    a.array_name()
-                ))
+                CoreError::ManifestMismatch(format!("checkpoint has no array {:?}", a.array_name()))
             })?;
             if entry.elem_code != a.elem_code() {
                 return Err(CoreError::ManifestMismatch(format!(
@@ -420,7 +438,10 @@ impl Drms {
             a.read_stream(ctx, fs, &array_path(prefix, a.array_name()), io)?;
         }
         ctx.barrier();
-        Ok(ctx.now() - t0)
+        let t1 = ctx.now();
+        phase_span(ctx, Phase::Arrays, "restore_arrays", t0, t1);
+        record_bytes(ctx, 0, arrays.iter().map(|a| a.stream_bytes()).sum());
+        Ok(t1 - t0)
     }
 }
 
@@ -467,6 +488,30 @@ pub fn retain_checkpoints(fs: &Piofs, app: &str, keep: usize) -> Vec<String> {
         deleted.push(prefix);
     }
     deleted
+}
+
+/// Emits a closed rank-0 phase span over `[start, end]`. The phase totals in
+/// the trace summary are built from exactly these spans, with the same
+/// timestamps that build the returned [`OpBreakdown`] — so the two can never
+/// disagree.
+pub(crate) fn phase_span(ctx: &Ctx, phase: Phase, name: &str, start: f64, end: f64) {
+    if ctx.rank() != 0 || !ctx.recorder().enabled() {
+        return;
+    }
+    let rec = ctx.recorder();
+    rec.span_start(start, 0, phase, name);
+    rec.span_end(end, 0, phase, name);
+}
+
+/// Records the byte totals of one checkpoint/restart operation (rank 0 only,
+/// mirroring the synchronized-maximum convention of [`OpBreakdown`]).
+pub(crate) fn record_bytes(ctx: &Ctx, segment_bytes: u64, array_bytes: u64) {
+    if ctx.rank() != 0 || !ctx.recorder().enabled() {
+        return;
+    }
+    let rec = ctx.recorder();
+    rec.counter_add(0, names::SEGMENT_BYTES, None, segment_bytes);
+    rec.counter_add(0, names::ARRAY_BYTES, None, array_bytes);
 }
 
 /// Collective read + decode of a manifest.

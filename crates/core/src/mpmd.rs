@@ -93,11 +93,7 @@ impl MpmdSession {
         MpmdSession {
             app: app.to_string(),
             ncomponents,
-            gate: Arc::new(Gate {
-                n: ncomponents,
-                state: Mutex::new((0, 0)),
-                cv: Condvar::new(),
-            }),
+            gate: Arc::new(Gate { n: ncomponents, state: Mutex::new((0, 0)), cv: Condvar::new() }),
         }
     }
 
@@ -145,18 +141,14 @@ impl MpmdSession {
                 prefix: sub,
                 ntasks: ctx.ntasks(),
             };
-            fs.preload(
-                &format!("{prefix}/.entry{component_id}"),
-                encode_entry(&entry),
-            );
+            fs.preload(&format!("{prefix}/.entry{component_id}"), encode_entry(&entry));
             self.gate.wait();
             if component_id == 0 {
                 let mut components = Vec::with_capacity(self.ncomponents);
                 for id in 0..self.ncomponents {
                     let path = format!("{prefix}/.entry{id}");
-                    let bytes = fs
-                        .peek(&path)
-                        .ok_or_else(|| CoreError::NoCheckpoint(path.clone()))?;
+                    let bytes =
+                        fs.peek(&path).ok_or_else(|| CoreError::NoCheckpoint(path.clone()))?;
                     components.push(decode_entry(&bytes)?);
                     fs.delete(&path);
                 }
@@ -207,8 +199,7 @@ impl MpmdManifest {
     /// Reads the umbrella manifest of an archived MPMD state.
     pub fn load(fs: &Piofs, prefix: &str) -> Result<MpmdManifest> {
         let path = MpmdSession::manifest_path(prefix);
-        let bytes =
-            fs.peek(&path).ok_or_else(|| CoreError::NoCheckpoint(prefix.to_string()))?;
+        let bytes = fs.peek(&path).ok_or_else(|| CoreError::NoCheckpoint(prefix.to_string()))?;
         Ok(Self::decode(&bytes)?)
     }
 
@@ -228,11 +219,7 @@ fn encode_entry(e: &MpmdComponent) -> Vec<u8> {
 
 fn decode_entry(bytes: &[u8]) -> std::result::Result<MpmdComponent, WireError> {
     let mut r = Reader::new(bytes);
-    Ok(MpmdComponent {
-        name: r.string()?,
-        prefix: r.string()?,
-        ntasks: r.u64()? as usize,
-    })
+    Ok(MpmdComponent { name: r.string()?, prefix: r.string()?, ntasks: r.u64()? as usize })
 }
 
 #[cfg(test)]

@@ -1,6 +1,8 @@
 //! Timing and size reports for checkpoint/restart operations — the raw
 //! material of Tables 5 and 6 of the paper.
 
+use drms_obs::{names, MetricsRegistry, Phase, PhaseSummary};
+
 /// Breakdown of one checkpoint or restart operation, in simulated seconds
 /// and bytes. All times are synchronized maxima across tasks (the paper
 /// reports blocking operations).
@@ -19,6 +21,22 @@ pub struct OpBreakdown {
 }
 
 impl OpBreakdown {
+    /// Rebuilds a breakdown from a recorded trace: phase times come from the
+    /// rank-0 spans in `summary`, byte totals from the metrics registry. The
+    /// run-time emits those spans with the very timestamps that build its
+    /// returned `OpBreakdown`, so for a trace covering exactly one operation
+    /// this reconstruction is equal to the returned value — the report and
+    /// the trace cannot disagree.
+    pub fn from_trace(summary: &PhaseSummary, metrics: &MetricsRegistry) -> OpBreakdown {
+        OpBreakdown {
+            init: summary.total(Phase::Init),
+            segment: summary.total(Phase::Segment),
+            arrays: summary.total(Phase::Arrays),
+            segment_bytes: metrics.counter_total(names::SEGMENT_BYTES),
+            array_bytes: metrics.counter_total(names::ARRAY_BYTES),
+        }
+    }
+
     /// Total operation time.
     pub fn total(&self) -> f64 {
         self.init + self.segment + self.arrays
@@ -31,28 +49,41 @@ impl OpBreakdown {
 
     /// Aggregate rate in MB/s (SI megabytes, matching the paper's tables:
     /// its byte counts in Table 4 divided by its MB figures give 10^6).
+    /// Zero when no time elapsed (an empty operation moves no data).
     pub fn rate_mb_s(&self) -> f64 {
-        mb(self.total_bytes()) / self.total()
+        ratio(mb(self.total_bytes()), self.total())
     }
 
-    /// Segment-phase rate in MB/s.
+    /// Segment-phase rate in MB/s. Zero when the phase took no time.
     pub fn segment_rate_mb_s(&self) -> f64 {
-        mb(self.segment_bytes) / self.segment
+        ratio(mb(self.segment_bytes), self.segment)
     }
 
-    /// Array-phase rate in MB/s.
+    /// Array-phase rate in MB/s. Zero when the phase took no time.
     pub fn array_rate_mb_s(&self) -> f64 {
-        mb(self.array_bytes) / self.arrays
+        ratio(mb(self.array_bytes), self.arrays)
     }
 
-    /// Segment phase as a percentage of total time.
+    /// Segment phase as a percentage of total time (zero for an empty
+    /// operation).
     pub fn segment_pct(&self) -> f64 {
-        100.0 * self.segment / self.total()
+        ratio(100.0 * self.segment, self.total())
     }
 
-    /// Array phase as a percentage of total time.
+    /// Array phase as a percentage of total time (zero for an empty
+    /// operation).
     pub fn arrays_pct(&self) -> f64 {
-        100.0 * self.arrays / self.total()
+        ratio(100.0 * self.arrays, self.total())
+    }
+}
+
+/// `num / den`, defined as 0.0 when `den` is zero so that degenerate
+/// breakdowns report zero rates instead of NaN/inf.
+fn ratio(num: f64, den: f64) -> f64 {
+    if den == 0.0 {
+        0.0
+    } else {
+        num / den
     }
 }
 
@@ -87,5 +118,70 @@ mod tests {
     fn mb_uses_si_megabytes() {
         assert_eq!(mb(1_000_000), 1.0);
         assert_eq!(mb(0), 0.0);
+    }
+
+    #[test]
+    fn zero_duration_breakdown_reports_zero_rates_not_nan() {
+        let b = OpBreakdown::default();
+        assert_eq!(b.rate_mb_s(), 0.0);
+        assert_eq!(b.segment_rate_mb_s(), 0.0);
+        assert_eq!(b.array_rate_mb_s(), 0.0);
+        assert_eq!(b.segment_pct(), 0.0);
+        assert_eq!(b.arrays_pct(), 0.0);
+
+        // Bytes without time (free cost model) must not yield infinities.
+        let b = OpBreakdown { segment_bytes: 1_000_000, ..OpBreakdown::default() };
+        assert_eq!(b.rate_mb_s(), 0.0);
+        assert_eq!(b.segment_rate_mb_s(), 0.0);
+    }
+
+    #[test]
+    fn from_trace_rebuilds_breakdown_from_spans_and_counters() {
+        use drms_obs::{EventKind, TraceEvent};
+
+        let events = vec![
+            TraceEvent {
+                t: 0.0,
+                rank: 0,
+                phase: Phase::Segment,
+                name: "s".into(),
+                kind: EventKind::Begin,
+            },
+            TraceEvent {
+                t: 4.0,
+                rank: 0,
+                phase: Phase::Segment,
+                name: "s".into(),
+                kind: EventKind::End,
+            },
+            TraceEvent {
+                t: 4.0,
+                rank: 0,
+                phase: Phase::Arrays,
+                name: "a".into(),
+                kind: EventKind::Begin,
+            },
+            TraceEvent {
+                t: 9.0,
+                rank: 0,
+                phase: Phase::Arrays,
+                name: "a".into(),
+                kind: EventKind::End,
+            },
+        ];
+        let summary = PhaseSummary::from_events(&events);
+        let metrics = MetricsRegistry::default();
+        metrics.counter_add(0, names::SEGMENT_BYTES, None, 40_000_000);
+        metrics.counter_add(0, names::ARRAY_BYTES, None, 60_000_000);
+
+        let b = OpBreakdown::from_trace(&summary, &metrics);
+        let want = OpBreakdown {
+            init: 0.0,
+            segment: 4.0,
+            arrays: 5.0,
+            segment_bytes: 40_000_000,
+            array_bytes: 60_000_000,
+        };
+        assert_eq!(b, want);
     }
 }

@@ -157,8 +157,7 @@ impl DataSegment {
             w.blob(v);
         }
         let skip = |r: &&Region| extra.map(|e| e.name != r.name).unwrap_or(true);
-        let nregions =
-            self.regions.iter().filter(skip).count() + usize::from(extra.is_some());
+        let nregions = self.regions.iter().filter(skip).count() + usize::from(extra.is_some());
         w.u32(nregions as u32);
         for r in self.regions.iter().filter(skip).chain(extra) {
             w.string(&r.name);

@@ -12,8 +12,10 @@
 //!   recovery.
 
 use drms_msg::Ctx;
+use drms_obs::Phase;
 use drms_piofs::{Piofs, ReadAccess, ReadReq, WriteReq};
 
+use crate::drms::{phase_span, record_bytes};
 use crate::handle::{encode_locals, CheckpointArray};
 use crate::manifest::{manifest_path, task_segment_path, CkptKind, Manifest};
 use crate::report::OpBreakdown;
@@ -59,10 +61,13 @@ pub fn checkpoint(
         fs.write_at(ctx, &manifest_path(prefix), 0, &bytes);
     }
     ctx.barrier();
+    let t2 = ctx.now();
 
-    let total: u64 = (0..ctx.ntasks())
-        .map(|r| fs.size(&task_segment_path(prefix, r)).unwrap_or(0))
-        .sum();
+    let total: u64 =
+        (0..ctx.ntasks()).map(|r| fs.size(&task_segment_path(prefix, r)).unwrap_or(0)).sum();
+    phase_span(ctx, Phase::Segment, "spmd_write_segments", t0, t1);
+    phase_span(ctx, Phase::Manifest, "write_manifest", t1, t2);
+    record_bytes(ctx, total, 0);
     Ok(OpBreakdown {
         init: 0.0,
         segment: t1 - t0,
@@ -118,9 +123,11 @@ pub fn restart(
     ctx.barrier();
     let t2 = ctx.now();
 
-    let total: u64 = (0..ctx.ntasks())
-        .map(|r| fs.size(&task_segment_path(prefix, r)).unwrap_or(0))
-        .sum();
+    let total: u64 =
+        (0..ctx.ntasks()).map(|r| fs.size(&task_segment_path(prefix, r)).unwrap_or(0)).sum();
+    phase_span(ctx, Phase::Init, "load_text", t0, t1);
+    phase_span(ctx, Phase::Segment, "spmd_read_segment", t1, t2);
+    record_bytes(ctx, total, 0);
     Ok((
         segment,
         OpBreakdown {
@@ -165,8 +172,7 @@ mod tests {
             let a = make_array(ctx.rank(), 4);
             let mut seg = DataSegment::new();
             seg.set_control("iter", 7);
-            let report =
-                checkpoint(ctx, &fs, &cfg, "ck/spmd", &seg, &[&a], 1).unwrap();
+            let report = checkpoint(ctx, &fs, &cfg, "ck/spmd", &seg, &[&a], 1).unwrap();
             assert!(report.segment > 0.0 || report.segment_bytes > 0);
             assert_eq!(report.array_bytes, 0);
 
@@ -199,14 +205,10 @@ mod tests {
             checkpoint(ctx, &fs, &cfg, "ck/s", &seg, &[&a], 1).unwrap();
         })
         .unwrap();
-        let out = run_spmd(2, CostModel::default(), |ctx| {
-            restart(ctx, &fs, &cfg, "ck/s").err().unwrap()
-        })
-        .unwrap();
-        assert!(matches!(
-            out[0],
-            CoreError::TaskCountFixed { checkpointed: 4, restarting: 2 }
-        ));
+        let out =
+            run_spmd(2, CostModel::default(), |ctx| restart(ctx, &fs, &cfg, "ck/s").err().unwrap())
+                .unwrap();
+        assert!(matches!(out[0], CoreError::TaskCountFixed { checkpointed: 4, restarting: 2 }));
     }
 
     #[test]
@@ -240,15 +242,10 @@ mod tests {
         let (fs, cfg) = setup();
         run_spmd(2, CostModel::default(), |ctx| {
             let a = make_array(ctx.rank(), 2);
-            let mut drms = crate::Drms::initialize(
-                ctx,
-                &fs,
-                cfg.clone(),
-                crate::EnableFlag::new(),
-                None,
-            )
-            .map(|(d, _)| d)
-            .unwrap();
+            let mut drms =
+                crate::Drms::initialize(ctx, &fs, cfg.clone(), crate::EnableFlag::new(), None)
+                    .map(|(d, _)| d)
+                    .unwrap();
             let seg = DataSegment::new();
             drms.reconfig_checkpoint(ctx, &fs, "ck/d", &seg, &[&a]).unwrap();
             let err = restart(ctx, &fs, &cfg, "ck/d").err().unwrap();

@@ -243,10 +243,7 @@ mod tests {
         let buf = w.finish();
         let (_, v) = Reader::with_header(&buf, *b"DRMS").unwrap();
         assert_eq!(v, 3);
-        assert!(matches!(
-            Reader::with_header(&buf, *b"XXXX"),
-            Err(WireError::BadMagic { .. })
-        ));
+        assert!(matches!(Reader::with_header(&buf, *b"XXXX"), Err(WireError::BadMagic { .. })));
     }
 
     #[test]

@@ -31,31 +31,27 @@ fn unchanged_arrays_are_skipped_but_state_stays_complete() {
     Drms::install_binary(&f, &DrmsConfig::new("inc"));
     run_spmd(4, CostModel::default(), |ctx| {
         let (mut drms, _) =
-            Drms::initialize(ctx, &f, DrmsConfig::new("inc"), EnableFlag::new(), None)
-                .unwrap();
+            Drms::initialize(ctx, &f, DrmsConfig::new("inc"), EnableFlag::new(), None).unwrap();
         let (mut u, forcing) = arrays(4, ctx.rank());
         let seg = DataSegment::new();
 
         // First incremental checkpoint: everything written.
-        let (r1, skipped) = drms
-            .reconfig_checkpoint_incremental(ctx, &f, "ck/inc", &seg, &[&u, &forcing])
-            .unwrap();
+        let (r1, skipped) =
+            drms.reconfig_checkpoint_incremental(ctx, &f, "ck/inc", &seg, &[&u, &forcing]).unwrap();
         assert!(skipped.is_empty(), "first checkpoint writes all");
         assert_eq!(r1.array_bytes, 2 * 32 * 8);
 
         // Mutate only u; checkpoint again to the same prefix.
         u.fill_assigned(|p| p[0] as f64 + 100.0);
-        let (r2, skipped) = drms
-            .reconfig_checkpoint_incremental(ctx, &f, "ck/inc", &seg, &[&u, &forcing])
-            .unwrap();
+        let (r2, skipped) =
+            drms.reconfig_checkpoint_incremental(ctx, &f, "ck/inc", &seg, &[&u, &forcing]).unwrap();
         assert_eq!(skipped, vec!["forcing".to_string()]);
         assert_eq!(r2.array_bytes, 32 * 8, "only u rewritten");
         assert!(r2.arrays < r1.arrays || r2.array_bytes < r1.array_bytes);
 
         // Nothing changed: both skipped.
-        let (r3, skipped) = drms
-            .reconfig_checkpoint_incremental(ctx, &f, "ck/inc", &seg, &[&u, &forcing])
-            .unwrap();
+        let (r3, skipped) =
+            drms.reconfig_checkpoint_incremental(ctx, &f, "ck/inc", &seg, &[&u, &forcing]).unwrap();
         assert_eq!(skipped.len(), 2);
         assert_eq!(r3.array_bytes, 0);
     })
@@ -63,14 +59,9 @@ fn unchanged_arrays_are_skipped_but_state_stays_complete() {
 
     // Restart (reconfigured to 3 tasks) sees the complete, newest state.
     run_spmd(3, CostModel::default(), |ctx| {
-        let (drms, start) = Drms::initialize(
-            ctx,
-            &f,
-            DrmsConfig::new("inc"),
-            EnableFlag::new(),
-            Some("ck/inc"),
-        )
-        .unwrap();
+        let (drms, start) =
+            Drms::initialize(ctx, &f, DrmsConfig::new("inc"), EnableFlag::new(), Some("ck/inc"))
+                .unwrap();
         let Start::Restarted(info) = start else { panic!() };
         let (mut u, mut forcing) = arrays(3, ctx.rank());
         drms.restore_arrays(ctx, &f, "ck/inc", &info.manifest, &mut [&mut u, &mut forcing])
@@ -86,24 +77,20 @@ fn different_prefix_forces_full_write() {
     let f = fs();
     run_spmd(2, CostModel::default(), |ctx| {
         let (mut drms, _) =
-            Drms::initialize(ctx, &f, DrmsConfig::new("inc"), EnableFlag::new(), None)
-                .unwrap();
+            Drms::initialize(ctx, &f, DrmsConfig::new("inc"), EnableFlag::new(), None).unwrap();
         let (u, forcing) = arrays(2, ctx.rank());
         let seg = DataSegment::new();
-        let (_, skipped) = drms
-            .reconfig_checkpoint_incremental(ctx, &f, "ck/a", &seg, &[&u, &forcing])
-            .unwrap();
+        let (_, skipped) =
+            drms.reconfig_checkpoint_incremental(ctx, &f, "ck/a", &seg, &[&u, &forcing]).unwrap();
         assert!(skipped.is_empty());
         // Same (untouched) arrays, new prefix: data is not there yet, so
         // nothing may be skipped.
-        let (_, skipped) = drms
-            .reconfig_checkpoint_incremental(ctx, &f, "ck/b", &seg, &[&u, &forcing])
-            .unwrap();
+        let (_, skipped) =
+            drms.reconfig_checkpoint_incremental(ctx, &f, "ck/b", &seg, &[&u, &forcing]).unwrap();
         assert!(skipped.is_empty(), "new prefix has no prior streams");
         // And back to the first prefix: everything is current now.
-        let (_, skipped) = drms
-            .reconfig_checkpoint_incremental(ctx, &f, "ck/a", &seg, &[&u, &forcing])
-            .unwrap();
+        let (_, skipped) =
+            drms.reconfig_checkpoint_incremental(ctx, &f, "ck/a", &seg, &[&u, &forcing]).unwrap();
         assert_eq!(skipped.len(), 2);
     })
     .unwrap();
@@ -117,17 +104,15 @@ fn redistribution_counts_as_mutation() {
     let f = fs();
     run_spmd(2, CostModel::default(), |ctx| {
         let (mut drms, _) =
-            Drms::initialize(ctx, &f, DrmsConfig::new("inc"), EnableFlag::new(), None)
-                .unwrap();
+            Drms::initialize(ctx, &f, DrmsConfig::new("inc"), EnableFlag::new(), None).unwrap();
         let (mut u, _) = arrays(2, ctx.rank());
         let seg = DataSegment::new();
         drms.reconfig_checkpoint_incremental(ctx, &f, "ck/r", &seg, &[&u]).unwrap();
 
         use drms_core::CheckpointArray;
         (&mut u as &mut dyn CheckpointArray).adjust_redistribute(ctx).unwrap();
-        let (_, skipped) = drms
-            .reconfig_checkpoint_incremental(ctx, &f, "ck/r", &seg, &[&u])
-            .unwrap();
+        let (_, skipped) =
+            drms.reconfig_checkpoint_incremental(ctx, &f, "ck/r", &seg, &[&u]).unwrap();
         assert!(skipped.is_empty());
     })
     .unwrap();

@@ -14,8 +14,7 @@ use drms_msg::{run_spmd, CostModel};
 use drms_piofs::{Piofs, PiofsConfig};
 use drms_slices::{Order, Slice};
 
-const COMPONENTS: [(&str, usize, (i64, i64)); 2] =
-    [("ocean", 0, (24, 18)), ("atmos", 1, (16, 12))];
+const COMPONENTS: [(&str, usize, (i64, i64)); 2] = [("ocean", 0, (24, 18)), ("atmos", 1, (16, 12))];
 
 fn domain(dims: (i64, i64)) -> Slice {
     Slice::boxed(&[(0, dims.0 - 1), (0, dims.1 - 1)])
@@ -39,8 +38,7 @@ fn run_component(
     ckpt_at: Option<(i64, String)>,
     end_iter: i64,
 ) -> Vec<(Vec<i64>, f64)> {
-    let component_restart =
-        restart_prefix.map(|p| MpmdSession::component_prefix(&p, id));
+    let component_restart = restart_prefix.map(|p| MpmdSession::component_prefix(&p, id));
     let out = run_spmd(ntasks, CostModel::default(), move |ctx| {
         let (mut drms, start) = Drms::initialize(
             ctx,
@@ -79,9 +77,7 @@ fn run_component(
             if let Some((at, prefix)) = &ckpt_at {
                 if iter == *at {
                     session
-                        .coordinated_checkpoint(
-                            ctx, &fs, id, name, &mut drms, prefix, &seg, &[&u],
-                        )
+                        .coordinated_checkpoint(ctx, &fs, id, name, &mut drms, prefix, &seg, &[&u])
                         .unwrap();
                 }
             }

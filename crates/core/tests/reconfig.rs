@@ -58,14 +58,8 @@ fn run_app(
                 start_iter = seg.control("iter").unwrap() + 1;
                 // delta != 0 exercises the reconfigured path; arrays were
                 // created under the new distribution above, so just load.
-                drms.restore_arrays(
-                    ctx,
-                    fs,
-                    restart_from.unwrap(),
-                    &info.manifest,
-                    &mut [&mut u],
-                )
-                .unwrap();
+                drms.restore_arrays(ctx, fs, restart_from.unwrap(), &info.manifest, &mut [&mut u])
+                    .unwrap();
             }
         }
 
@@ -99,9 +93,7 @@ fn reconfigured_restart_is_bitwise_identical() {
         // Run on 4 tasks, checkpoint at iteration 5.
         run_app(&fs, 4, None, Some((5, "ck/a")), 5);
         // Restart on a different task count, run to completion.
-        let total: f64 = run_app(&fs, restart_tasks, Some("ck/a"), None, 10)
-            .into_iter()
-            .sum();
+        let total: f64 = run_app(&fs, restart_tasks, Some("ck/a"), None, 10).into_iter().sum();
         assert_eq!(
             total, reference,
             "restart with {restart_tasks} tasks diverged from uninterrupted run"
@@ -133,8 +125,7 @@ fn every_element_survives_reconfiguration() {
 fn multiple_prefixes_coexist_and_restart_from_any() {
     let fs = fs();
     run_spmd(2, CostModel::default(), |ctx| {
-        let (mut drms, _) =
-            Drms::initialize(ctx, &fs, cfg(), EnableFlag::new(), None).unwrap();
+        let (mut drms, _) = Drms::initialize(ctx, &fs, cfg(), EnableFlag::new(), None).unwrap();
         let dist = Distribution::block_auto(&domain(), 2, 0).unwrap();
         let mut u = DistArray::<f64>::new("u", Order::ColumnMajor, dist, ctx.rank());
         let mut seg = DataSegment::new();
@@ -171,8 +162,7 @@ fn chkenable_only_fires_when_raised() {
     let flag = EnableFlag::new();
     let flag2 = flag.clone();
     run_spmd(2, CostModel::default(), |ctx| {
-        let (mut drms, _) =
-            Drms::initialize(ctx, &fs, cfg(), flag2.clone(), None).unwrap();
+        let (mut drms, _) = Drms::initialize(ctx, &fs, cfg(), flag2.clone(), None).unwrap();
         let dist = Distribution::block_auto(&domain(), 2, 0).unwrap();
         let mut u = DistArray::<f64>::new("u", Order::ColumnMajor, dist, ctx.rank());
         u.fill_assigned(|p| truth(p, 9));
@@ -210,26 +200,23 @@ fn restart_validates_manifest() {
         // Wrong element type.
         let dist = Distribution::block_auto(&domain(), 2, 0).unwrap();
         let mut wrong_t = DistArray::<f32>::new("u", Order::ColumnMajor, dist.clone(), ctx.rank());
-        let err = drms
-            .restore_arrays(ctx, &fs, "ck/v", &info.manifest, &mut [&mut wrong_t])
-            .unwrap_err();
+        let err =
+            drms.restore_arrays(ctx, &fs, "ck/v", &info.manifest, &mut [&mut wrong_t]).unwrap_err();
         assert!(err.to_string().contains("element code"));
 
         // Wrong domain.
         let other = Slice::boxed(&[(1, 10), (1, 10)]);
         let dist2 = Distribution::block_auto(&other, 2, 0).unwrap();
         let mut wrong_d = DistArray::<f64>::new("u", Order::ColumnMajor, dist2, ctx.rank());
-        let err = drms
-            .restore_arrays(ctx, &fs, "ck/v", &info.manifest, &mut [&mut wrong_d])
-            .unwrap_err();
+        let err =
+            drms.restore_arrays(ctx, &fs, "ck/v", &info.manifest, &mut [&mut wrong_d]).unwrap_err();
         assert!(err.to_string().contains("domain"));
 
         // Unknown array name.
         let dist3 = Distribution::block_auto(&domain(), 2, 0).unwrap();
         let mut unknown = DistArray::<f64>::new("zz", Order::ColumnMajor, dist3, ctx.rank());
-        let err = drms
-            .restore_arrays(ctx, &fs, "ck/v", &info.manifest, &mut [&mut unknown])
-            .unwrap_err();
+        let err =
+            drms.restore_arrays(ctx, &fs, "ck/v", &info.manifest, &mut [&mut unknown]).unwrap_err();
         assert!(err.to_string().contains("no array"));
     })
     .unwrap();

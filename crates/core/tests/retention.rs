@@ -15,14 +15,8 @@ use drms_slices::{Order, Slice};
 fn take_checkpoints(fs: &Arc<Piofs>, prefixes: &[&str]) {
     let dom = Slice::boxed(&[(0, 15)]);
     run_spmd(2, CostModel::default(), |ctx| {
-        let (mut drms, _) = Drms::initialize(
-            ctx,
-            fs,
-            DrmsConfig::new("gc"),
-            EnableFlag::new(),
-            None,
-        )
-        .unwrap();
+        let (mut drms, _) =
+            Drms::initialize(ctx, fs, DrmsConfig::new("gc"), EnableFlag::new(), None).unwrap();
         let dist = Distribution::block_auto(&dom, 2, 0).unwrap();
         let mut u = DistArray::<f64>::new("u", Order::ColumnMajor, dist, ctx.rank());
         u.fill_assigned(|p| p[0] as f64);
@@ -78,14 +72,8 @@ fn retention_is_per_application() {
     // A second app's checkpoint must not be collected by the first's policy.
     let dom = Slice::boxed(&[(0, 7)]);
     run_spmd(1, CostModel::default(), |ctx| {
-        let (mut drms, _) = Drms::initialize(
-            ctx,
-            &fs,
-            DrmsConfig::new("other"),
-            EnableFlag::new(),
-            None,
-        )
-        .unwrap();
+        let (mut drms, _) =
+            Drms::initialize(ctx, &fs, DrmsConfig::new("other"), EnableFlag::new(), None).unwrap();
         let dist = Distribution::block_auto(&dom, 1, 0).unwrap();
         let u = DistArray::<f64>::new("v", Order::ColumnMajor, dist, 0);
         drms.reconfig_checkpoint(ctx, &fs, "ck/other", &DataSegment::new(), &[&u]).unwrap();

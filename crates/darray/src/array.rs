@@ -330,10 +330,8 @@ mod tests {
         let dom = Slice::boxed(&[(0, 4), (0, 4)]);
         let mut a = DistArray::<f64>::new("a", Order::ColumnMajor, dist_1x1(&dom), 0);
         a.fill_mapped(|p| (p[0] * 100 + p[1]) as f64);
-        let region = Slice::new(vec![
-            Range::from_indices(&[0, 2, 3]).unwrap(),
-            Range::contiguous(1, 3),
-        ]);
+        let region =
+            Slice::new(vec![Range::from_indices(&[0, 2, 3]).unwrap(), Range::contiguous(1, 3)]);
         let bytes = a.pack_region(&region);
         assert_eq!(bytes.len(), region.size() * 8);
 

@@ -17,6 +17,7 @@
 use std::sync::Arc;
 
 use drms_msg::Ctx;
+use drms_obs::names;
 
 use crate::{DarrayError, DistArray, Distribution, Element, Result};
 
@@ -63,6 +64,14 @@ pub fn assign<T: Element>(ctx: &mut Ctx, dst: &mut DistArray<T>, src: &DistArray
     }
 
     ctx.charge((packed_bytes + unpacked_bytes) as f64 / ctx.cost().memcpy_bw);
+    if ctx.recorder().enabled() {
+        ctx.recorder().counter_add(
+            ctx.rank(),
+            names::REDISTRIBUTION_BYTES,
+            Some(src.name()),
+            packed_bytes as u64,
+        );
+    }
     Ok(())
 }
 
@@ -116,6 +125,14 @@ pub fn refresh_shadows<T: Element>(ctx: &mut Ctx, array: &mut DistArray<T>) -> R
         array.unpack_region(&region, buf);
     }
     ctx.charge(moved as f64 / ctx.cost().memcpy_bw);
+    if ctx.recorder().enabled() {
+        ctx.recorder().counter_add(
+            ctx.rank(),
+            names::REDISTRIBUTION_BYTES,
+            Some(array.name()),
+            moved as u64,
+        );
+    }
     Ok(())
 }
 

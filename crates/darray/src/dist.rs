@@ -183,9 +183,7 @@ impl Distribution {
                 let parts = factorize(new_ntasks, &extents);
                 Distribution::block(&self.domain, &parts, shadow)
             }
-            DistKind::CyclicAxis { axis } => {
-                Distribution::cyclic(&self.domain, new_ntasks, *axis)
-            }
+            DistKind::CyclicAxis { axis } => Distribution::cyclic(&self.domain, new_ntasks, *axis),
             DistKind::Pieces | DistKind::Irregular => Err(DarrayError::NotAdjustable),
         }
     }
@@ -305,8 +303,7 @@ mod tests {
         assert_eq!(total, dom.size());
         // Validation already rejects overlaps; spot-check coverage.
         for p in [[1i64, 1, 1], [8, 8, 8], [4, 5, 6]] {
-            let owners =
-                (0..8).filter(|&t| dist.assigned(t).contains(&p).unwrap()).count();
+            let owners = (0..8).filter(|&t| dist.assigned(t).contains(&p).unwrap()).count();
             assert_eq!(owners, 1, "point {p:?}");
         }
     }

@@ -27,7 +27,14 @@ pub fn shadow_ratio_for_tasks(n_global: f64, p: usize, gamma: f64, d: u32) -> f6
 /// Extra bytes a local-view checkpoint saves relative to the global view,
 /// for `fields` arrays of `elem_size`-byte elements over an `n_global^d`
 /// grid on `p` tasks.
-pub fn extra_bytes(n_global: f64, p: usize, gamma: f64, d: u32, fields: f64, elem_size: f64) -> f64 {
+pub fn extra_bytes(
+    n_global: f64,
+    p: usize,
+    gamma: f64,
+    d: u32,
+    fields: f64,
+    elem_size: f64,
+) -> f64 {
     let grid_points = n_global.powi(d as i32);
     let r = shadow_ratio_for_tasks(n_global, p, gamma, d);
     grid_points * fields * elem_size * (r - 1.0)

@@ -18,6 +18,7 @@
 //! built on.
 
 use drms_msg::Ctx;
+use drms_obs::{names, Phase};
 use drms_piofs::{Piofs, ReadAccess, ReadReq, WriteReq};
 use drms_slices::partition::{choose_piece_count, partition, stream_offsets};
 use drms_slices::Slice;
@@ -60,14 +61,25 @@ pub fn write_section_with<T: Element>(
     io_tasks: usize,
     target_piece_bytes: usize,
 ) -> Result<()> {
-    let plan =
-        Plan::new(ctx, array.domain(), section, io_tasks, T::SIZE, array.order(), target_piece_bytes)?;
+    let plan = Plan::new(
+        ctx,
+        array.domain(),
+        section,
+        io_tasks,
+        T::SIZE,
+        array.order(),
+        target_piece_bytes,
+    )?;
     if ctx.rank() == 0 {
         fs.create(path); // truncate: a stream fully defines the file
     }
     ctx.barrier();
 
+    let traced = ctx.recorder().enabled();
     for wave in 0..plan.waves() {
+        if traced {
+            ctx.recorder().span_start(ctx.now(), ctx.rank(), Phase::StreamWave, array.name());
+        }
         let canonical = plan.canonical(wave, array.domain())?;
         let mut aux: DistArray<T> =
             DistArray::new(array.name(), array.order(), canonical, ctx.rank());
@@ -84,7 +96,21 @@ pub fn write_section_with<T: Element>(
                 });
             }
         }
+        if traced {
+            let bytes: usize = reqs.iter().map(|r| r.data.len()).sum();
+            let rec = ctx.recorder();
+            rec.counter_add(
+                ctx.rank(),
+                names::PIECES_WRITTEN,
+                Some(array.name()),
+                reqs.len() as u64,
+            );
+            rec.counter_add(ctx.rank(), names::BYTES_STREAMED, Some(array.name()), bytes as u64);
+        }
         fs.collective_write(ctx, reqs);
+        if traced {
+            ctx.recorder().span_end(ctx.now(), ctx.rank(), Phase::StreamWave, array.name());
+        }
     }
     Ok(())
 }
@@ -115,8 +141,15 @@ pub fn read_section_with<T: Element>(
     io_tasks: usize,
     target_piece_bytes: usize,
 ) -> Result<()> {
-    let plan =
-        Plan::new(ctx, array.domain(), section, io_tasks, T::SIZE, array.order(), target_piece_bytes)?;
+    let plan = Plan::new(
+        ctx,
+        array.domain(),
+        section,
+        io_tasks,
+        T::SIZE,
+        array.order(),
+        target_piece_bytes,
+    )?;
     let need = (section.size() * T::SIZE) as u64;
     let have = fs.size(path).map_err(|e| DarrayError::Io(e.to_string()))?;
     if have < need {
@@ -126,7 +159,11 @@ pub fn read_section_with<T: Element>(
     }
     let access = if plan.io_tasks == 1 { ReadAccess::Sequential } else { ReadAccess::Strided };
 
+    let traced = ctx.recorder().enabled();
     for wave in 0..plan.waves() {
+        if traced {
+            ctx.recorder().span_start(ctx.now(), ctx.rank(), Phase::StreamWave, array.name());
+        }
         let canonical = plan.canonical(wave, array.domain())?;
         let mut aux: DistArray<T> =
             DistArray::new(array.name(), array.order(), canonical, ctx.rank());
@@ -143,9 +180,16 @@ pub fn read_section_with<T: Element>(
                 });
             }
         }
-        let mut got = fs
-            .collective_read(ctx, reqs)
-            .map_err(|e| DarrayError::Io(e.to_string()))?;
+        if traced {
+            let bytes: u64 = reqs.iter().map(|r| r.len).sum();
+            ctx.recorder().counter_add(
+                ctx.rank(),
+                names::BYTES_STREAMED,
+                Some(array.name()),
+                bytes,
+            );
+        }
+        let mut got = fs.collective_read(ctx, reqs).map_err(|e| DarrayError::Io(e.to_string()))?;
         if let Some(bytes) = got.pop() {
             let vals = decode::<T>(&bytes);
             aux.local_mut().copy_from_slice(&vals);
@@ -374,15 +418,9 @@ mod tests {
         run_spmd(1, CostModel::free(), |ctx| {
             let dist = Distribution::block(&dom, &[1], &[0]).unwrap();
             let mut a = DistArray::<f64>::new("u", Order::ColumnMajor, dist, ctx.rank());
-            assert!(matches!(
-                read_array(ctx, &fs, &mut a, "nope", 1),
-                Err(DarrayError::Io(_))
-            ));
+            assert!(matches!(read_array(ctx, &fs, &mut a, "nope", 1), Err(DarrayError::Io(_))));
             fs.write_at(ctx, "short", 0, &[0u8; 8]);
-            assert!(matches!(
-                read_array(ctx, &fs, &mut a, "short", 1),
-                Err(DarrayError::Io(_))
-            ));
+            assert!(matches!(read_array(ctx, &fs, &mut a, "short", 1), Err(DarrayError::Io(_))));
         })
         .unwrap();
     }

@@ -49,11 +49,7 @@ fn build_dist(choice: &DistChoice, domain: &Slice, ntasks: usize) -> Arc<Distrib
 }
 
 fn value(p: &[i64]) -> f64 {
-    p.iter()
-        .enumerate()
-        .map(|(i, &x)| (i as f64 + 1.0) * (x as f64 + 0.25))
-        .product::<f64>()
-        + 1.0
+    p.iter().enumerate().map(|(i, &x)| (i as f64 + 1.0) * (x as f64 + 0.25)).product::<f64>() + 1.0
 }
 
 proptest! {

@@ -104,10 +104,7 @@ impl Board {
         }
 
         let published = g.published.as_ref().expect("published above");
-        let all = published
-            .downcast_ref::<Arc<Vec<T>>>()
-            .expect("uniform exchange type")
-            .clone();
+        let all = published.downcast_ref::<Arc<Vec<T>>>().expect("uniform exchange type").clone();
         let max_time = g.max_time;
 
         g.leaving += 1;
@@ -158,8 +155,7 @@ mod tests {
                 s.spawn(move || {
                     for generation in 0..50u64 {
                         let got = board.exchange(rank, 0.0, (generation, rank));
-                        let expect: Vec<(u64, usize)> =
-                            (0..3).map(|r| (generation, r)).collect();
+                        let expect: Vec<(u64, usize)> = (0..3).map(|r| (generation, r)).collect();
                         assert_eq!(*got.all, expect);
                     }
                 });

@@ -1,19 +1,21 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use drms_obs::{names, NullRecorder, Recorder};
 use parking_lot::{Condvar, Mutex};
 
 use crate::board::Board;
 use crate::{CostModel, Rank, SimClock};
 
 /// Shared state of one SPMD region: mailboxes, the exchange board, the cost
-/// model, and the task → node placement.
+/// model, the task → node placement, and the observability recorder.
 pub struct World {
     ntasks: usize,
     node_of: Vec<usize>,
     cost: CostModel,
     mailboxes: Vec<Mailbox>,
     board: Board,
+    recorder: Arc<dyn Recorder>,
 }
 
 struct Mailbox {
@@ -32,6 +34,17 @@ impl World {
     /// Creates a world of `ntasks` tasks placed on nodes `node_of`
     /// (one entry per task).
     pub fn new(ntasks: usize, node_of: Vec<usize>, cost: CostModel) -> Arc<World> {
+        Self::new_traced(ntasks, node_of, cost, Arc::new(NullRecorder))
+    }
+
+    /// Like [`World::new`], but every task reports spans, events, and
+    /// counters to `recorder` (in simulated time).
+    pub fn new_traced(
+        ntasks: usize,
+        node_of: Vec<usize>,
+        cost: CostModel,
+        recorder: Arc<dyn Recorder>,
+    ) -> Arc<World> {
         assert!(ntasks > 0, "an SPMD region needs at least one task");
         assert_eq!(node_of.len(), ntasks, "one node per task");
         Arc::new(World {
@@ -42,6 +55,7 @@ impl World {
                 .map(|_| Mailbox { queue: Mutex::new(Vec::new()), cv: Condvar::new() })
                 .collect(),
             board: Board::new(ntasks),
+            recorder,
         })
     }
 
@@ -118,6 +132,12 @@ impl Ctx {
         &self.world.cost
     }
 
+    /// The observability recorder for this region ([`NullRecorder`] unless
+    /// the world was built with [`World::new_traced`]).
+    pub fn recorder(&self) -> &dyn Recorder {
+        &*self.world.recorder
+    }
+
     /// Current simulated time, seconds.
     pub fn now(&self) -> f64 {
         self.clock.now()
@@ -145,6 +165,11 @@ impl Ctx {
     pub fn send(&mut self, dst: Rank, tag: u64, payload: Vec<u8>) {
         assert!(dst < self.world.ntasks, "send to nonexistent rank {dst}");
         let cost = &self.world.cost;
+        if self.world.recorder.enabled() {
+            let rec = &self.world.recorder;
+            rec.counter_add(self.rank, names::MESSAGES_SENT, None, 1);
+            rec.counter_add(self.rank, names::MESSAGE_BYTES, None, payload.len() as u64);
+        }
         self.clock.advance(cost.send_overhead + cost.wire_time(payload.len()));
         let arrival = self.clock.now() + cost.latency;
         let mb = &self.world.mailboxes[dst];
@@ -168,10 +193,7 @@ impl Ctx {
                 return env.payload;
             }
             if mb.cv.wait_for(&mut q, Duration::from_secs(120)).timed_out() {
-                panic!(
-                    "rank {} stalled waiting for message (src {src}, tag {tag})",
-                    self.rank
-                );
+                panic!("rank {} stalled waiting for message (src {src}, tag {tag})", self.rank);
             }
         }
     }
@@ -264,6 +286,16 @@ impl Ctx {
             .filter(|&(d, _)| d != self.rank)
             .map(|(_, b)| b.len())
             .sum();
+        if self.world.recorder.enabled() {
+            let msgs = outgoing
+                .iter()
+                .enumerate()
+                .filter(|&(d, b)| d != self.rank && !b.is_empty())
+                .count() as u64;
+            let rec = &*self.world.recorder;
+            rec.counter_add(self.rank, names::MESSAGES_SENT, None, msgs);
+            rec.counter_add(self.rank, names::MESSAGE_BYTES, None, sent as u64);
+        }
         let (all, t) = self.exchange(outgoing);
         let received: usize = all
             .iter()
@@ -432,8 +464,7 @@ mod tests {
     fn alltoallv_routes_buffers() {
         let out = run_spmd(4, CostModel::default(), |ctx| {
             let me = ctx.rank() as u8;
-            let outgoing: Vec<Vec<u8>> =
-                (0..4).map(|d| vec![me * 10 + d as u8]).collect();
+            let outgoing: Vec<Vec<u8>> = (0..4).map(|d| vec![me * 10 + d as u8]).collect();
             let incoming = ctx.alltoallv(outgoing);
             (0..4).map(|s| incoming.from(s)[0]).collect::<Vec<u8>>()
         })
@@ -477,5 +508,47 @@ mod tests {
         assert_eq!(ctx.node(), 7);
         assert_eq!(ctx.node_of(0), 5);
         assert_eq!(ctx.ntasks(), 3);
+    }
+
+    #[test]
+    fn traced_world_counts_sends_and_alltoallv_volume() {
+        use drms_obs::TraceRecorder;
+
+        let rec = Arc::new(TraceRecorder::new());
+        crate::run_spmd_traced(
+            2,
+            CostModel::default(),
+            Arc::clone(&rec) as Arc<dyn Recorder>,
+            |ctx| {
+                if ctx.rank() == 0 {
+                    ctx.send(1, 9, vec![0u8; 100]);
+                } else {
+                    assert_eq!(ctx.recv(0, 9).len(), 100);
+                }
+                // Each rank ships 10 bytes to the other (self-buffer free).
+                let outgoing = if ctx.rank() == 0 {
+                    vec![Vec::new(), vec![0; 10]]
+                } else {
+                    vec![vec![0; 10], Vec::new()]
+                };
+                let _ = ctx.alltoallv(outgoing);
+            },
+        )
+        .unwrap();
+        // One p2p message plus one alltoallv message per rank.
+        assert_eq!(rec.metrics().counter_total(names::MESSAGES_SENT), 3);
+        assert_eq!(rec.metrics().counter_total(names::MESSAGE_BYTES), 120);
+    }
+
+    #[test]
+    fn untraced_world_records_nothing() {
+        let rec = drms_obs::TraceRecorder::new();
+        run_spmd(2, CostModel::default(), |ctx| {
+            assert!(!ctx.recorder().enabled());
+            let _ = ctx.alltoallv(vec![vec![1], vec![2]]);
+        })
+        .unwrap();
+        assert!(rec.events().is_empty());
+        assert_eq!(rec.metrics().counters().len(), 0);
     }
 }

@@ -17,6 +17,12 @@
 //! The paper's experiments map tasks one-to-one onto processors; the runtime
 //! records the task → node placement so the file-system layer can model
 //! client/server co-location interference (paper, Section 5).
+//!
+//! **Observability.** A world optionally carries a `drms-obs`
+//! [`Recorder`](drms_obs::Recorder) (see [`World::new_traced`] /
+//! [`run_spmd_traced`]); tasks reach it through [`Ctx::recorder`] and the
+//! send path counts messages and payload bytes. The default recorder is the
+//! zero-cost [`NullRecorder`](drms_obs::NullRecorder).
 
 #![deny(missing_docs)]
 
@@ -27,7 +33,7 @@ mod runner;
 
 pub use clock::{CostModel, SimClock};
 pub use comm::{Ctx, Incoming, ReduceOp, World};
-pub use runner::{run_spmd, run_spmd_with_nodes, SpmdError};
+pub use runner::{run_spmd, run_spmd_traced, run_spmd_with_nodes, SpmdError};
 
 /// Task identifier within an SPMD region (0-based rank).
 pub type Rank = usize;

@@ -1,4 +1,7 @@
 use std::fmt;
+use std::sync::Arc;
+
+use drms_obs::Recorder;
 
 use crate::{CostModel, Ctx, World};
 
@@ -53,7 +56,31 @@ where
     R: Send,
     F: Fn(&mut Ctx) -> R + Sync,
 {
-    let world = World::new(ntasks, node_of, cost);
+    run_world(World::new(ntasks, node_of, cost), f)
+}
+
+/// Runs `f` as an SPMD region whose tasks report to `recorder` (available
+/// inside via `ctx.recorder()`). Placement is one-to-one onto nodes
+/// `0..ntasks`, as in [`run_spmd`].
+pub fn run_spmd_traced<R, F>(
+    ntasks: usize,
+    cost: CostModel,
+    recorder: Arc<dyn Recorder>,
+    f: F,
+) -> Result<Vec<R>, SpmdError>
+where
+    R: Send,
+    F: Fn(&mut Ctx) -> R + Sync,
+{
+    run_world(World::new_traced(ntasks, (0..ntasks).collect(), cost, recorder), f)
+}
+
+fn run_world<R, F>(world: Arc<World>, f: F) -> Result<Vec<R>, SpmdError>
+where
+    R: Send,
+    F: Fn(&mut Ctx) -> R + Sync,
+{
+    let ntasks = world.ntasks();
     let mut results: Vec<Option<R>> = (0..ntasks).map(|_| None).collect();
 
     let outcome: Result<(), SpmdError> = std::thread::scope(|s| {
@@ -104,8 +131,7 @@ mod tests {
     #[test]
     fn custom_node_placement() {
         let out =
-            run_spmd_with_nodes(3, vec![10, 20, 30], CostModel::free(), |ctx| ctx.node())
-                .unwrap();
+            run_spmd_with_nodes(3, vec![10, 20, 30], CostModel::free(), |ctx| ctx.node()).unwrap();
         assert_eq!(out, vec![10, 20, 30]);
     }
 

@@ -1,0 +1,126 @@
+//! Observability layer for the DRMS checkpoint/restart pipeline.
+//!
+//! Every hot path in the workspace (message passing, PIOFS phase pricing,
+//! array streaming, checkpoint orchestration, the runtime environment)
+//! reports through a [`Recorder`]. Two implementations exist:
+//!
+//! * [`NullRecorder`] — every method is an empty default body and
+//!   [`Recorder::enabled`] returns `false`, so instrumented code can skip
+//!   label construction entirely. This is the default everywhere; existing
+//!   call sites pay nothing.
+//! * [`TraceRecorder`] — collects [`TraceEvent`]s in **simulated** clock
+//!   time behind a single mutex and aggregates counters/gauges in a
+//!   [`MetricsRegistry`].
+//!
+//! Timestamps are always supplied by the caller (from the task's simulated
+//! clock), never sampled from the host, so recorded traces are exactly as
+//! deterministic as the simulation itself.
+//!
+//! Collected traces export three ways (see [`TraceRecorder`]):
+//! a JSONL event log, Chrome `trace_event` JSON loadable in Perfetto
+//! (`chrome://tracing`), and a plain-text per-phase summary table built by
+//! [`PhaseSummary`]. The summary is derived from the same span timestamps
+//! the core crate uses to build its operation report, so the two can never
+//! disagree.
+
+#![deny(missing_docs)]
+
+mod export;
+mod metrics;
+mod recorder;
+mod summary;
+mod trace;
+
+pub use metrics::{CounterKey, MetricsRegistry};
+pub use recorder::{NullRecorder, Recorder};
+pub use summary::{PhaseRow, PhaseSummary};
+pub use trace::{EventKind, TraceEvent, TraceRecorder};
+
+/// Well-known counter and gauge names, shared by instrumentation sites and
+/// consumers so they cannot drift apart.
+pub mod names {
+    /// Counter: point-to-point messages sent (`Ctx::send`).
+    pub const MESSAGES_SENT: &str = "msg.messages_sent";
+    /// Counter: payload bytes of point-to-point messages.
+    pub const MESSAGE_BYTES: &str = "msg.message_bytes";
+    /// Counter: bytes moved through `alltoallv` (redistribution volume).
+    pub const REDISTRIBUTION_BYTES: &str = "redistribute.bytes";
+    /// Counter: ~1 MB stream pieces written by array streaming.
+    pub const PIECES_WRITTEN: &str = "stream.pieces_written";
+    /// Counter: bytes streamed to or from checkpoint array files.
+    pub const BYTES_STREAMED: &str = "stream.bytes";
+    /// Counter: PIOFS collective I/O phases priced.
+    pub const IO_PHASES: &str = "piofs.phases";
+    /// Counter: individual I/O requests inside PIOFS phases.
+    pub const IO_REQUESTS: &str = "piofs.requests";
+    /// Counter: file-stripe touches across PIOFS servers.
+    pub const STRIPES_TOUCHED: &str = "piofs.stripes";
+    /// Counter: checkpoint segment bytes written (core report input).
+    pub const SEGMENT_BYTES: &str = "core.segment_bytes";
+    /// Counter: checkpoint array bytes written (core report input).
+    pub const ARRAY_BYTES: &str = "core.array_bytes";
+    /// Counter: job (re)starts observed by the runtime environment; the
+    /// count above the first start is the retry count.
+    pub const JOB_STARTS: &str = "rtenv.job_starts";
+    /// Counter: recovery retries (task-coordinator restarts).
+    pub const RETRIES: &str = "rtenv.retries";
+    /// Gauge (indexed by server): accumulated PIOFS server busy horizon
+    /// in simulated seconds.
+    pub const SERVER_BUSY: &str = "piofs.server_busy";
+}
+
+/// Pipeline phase a span or event belongs to. Doubles as the Chrome-trace
+/// category, so Perfetto can filter on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Restart initialization: program text plus data-segment read.
+    Init,
+    /// Data-segment write (checkpoint) or read (restart).
+    Segment,
+    /// Distributed-array streaming, all arrays of one operation.
+    Arrays,
+    /// Checkpoint manifest write or read.
+    Manifest,
+    /// One wave of array-section streaming.
+    StreamWave,
+    /// Redistribution between distributions (`alltoallv` pack/unpack).
+    Redistribute,
+    /// A PIOFS collective I/O phase.
+    IoPhase,
+    /// Runtime-environment / control-plane activity.
+    Control,
+}
+
+impl Phase {
+    /// Stable lowercase name, used in exports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Phase::Init => "init",
+            Phase::Segment => "segment",
+            Phase::Arrays => "arrays",
+            Phase::Manifest => "manifest",
+            Phase::StreamWave => "stream_wave",
+            Phase::Redistribute => "redistribute",
+            Phase::IoPhase => "io_phase",
+            Phase::Control => "control",
+        }
+    }
+
+    /// All phases, in summary-table order.
+    pub const ALL: [Phase; 8] = [
+        Phase::Init,
+        Phase::Segment,
+        Phase::Arrays,
+        Phase::Manifest,
+        Phase::StreamWave,
+        Phase::Redistribute,
+        Phase::IoPhase,
+        Phase::Control,
+    ];
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}

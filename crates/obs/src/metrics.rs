@@ -1,0 +1,116 @@
+//! Registry of monotonic counters and indexed gauges.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+
+/// Label set identifying one counter series: metric name, reporting rank,
+/// and optional array name. Ordered so exports are deterministic.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CounterKey {
+    /// Metric name (see [`crate::names`]).
+    pub name: &'static str,
+    /// Reporting task rank.
+    pub rank: usize,
+    /// Array the sample belongs to, when applicable.
+    pub array: Option<String>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<CounterKey, u64>,
+    gauges: BTreeMap<(&'static str, usize), f64>,
+}
+
+/// Thread-safe registry of monotonic counters (labelled by rank and
+/// optional array name) and indexed gauges. One lock covers both maps;
+/// instrumentation holds it only for a map update.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to a counter series, creating it at zero first.
+    pub fn counter_add(&self, rank: usize, name: &'static str, array: Option<&str>, delta: u64) {
+        let key = CounterKey { name, rank, array: array.map(str::to_owned) };
+        *self.inner.lock().counters.entry(key).or_insert(0) += delta;
+    }
+
+    /// Sum of a counter over all ranks and array labels.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.inner.lock().counters.iter().filter(|(k, _)| k.name == name).map(|(_, v)| *v).sum()
+    }
+
+    /// Every counter series, sorted by key.
+    pub fn counters(&self) -> Vec<(CounterKey, u64)> {
+        self.inner.lock().counters.iter().map(|(k, v)| (k.clone(), *v)).collect()
+    }
+
+    /// Sets gauge `name[index]`.
+    pub fn gauge_set(&self, name: &'static str, index: usize, value: f64) {
+        self.inner.lock().gauges.insert((name, index), value);
+    }
+
+    /// Reads gauge `name[index]`, if ever set.
+    pub fn gauge(&self, name: &str, index: usize) -> Option<f64> {
+        self.inner
+            .lock()
+            .gauges
+            .iter()
+            .find(|((n, i), _)| *n == name && *i == index)
+            .map(|(_, v)| *v)
+    }
+
+    /// Every gauge, sorted by `(name, index)`.
+    pub fn gauges(&self) -> Vec<((&'static str, usize), f64)> {
+        self.inner.lock().gauges.iter().map(|(k, v)| (*k, *v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_aggregate_across_ranks_and_labels() {
+        let m = MetricsRegistry::new();
+        m.counter_add(0, "stream.bytes", Some("u"), 100);
+        m.counter_add(1, "stream.bytes", Some("u"), 50);
+        m.counter_add(0, "stream.bytes", Some("v"), 7);
+        m.counter_add(0, "stream.bytes", None, 1);
+        m.counter_add(0, "other", None, 999);
+        assert_eq!(m.counter_total("stream.bytes"), 158);
+        assert_eq!(m.counter_total("other"), 999);
+        assert_eq!(m.counter_total("missing"), 0);
+        let series = m.counters();
+        assert_eq!(series.len(), 5);
+        // Sorted deterministically: by name, then rank, then array.
+        assert!(series.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn counter_is_monotonic_per_series() {
+        let m = MetricsRegistry::new();
+        m.counter_add(2, "msg.messages_sent", None, 1);
+        m.counter_add(2, "msg.messages_sent", None, 1);
+        m.counter_add(2, "msg.messages_sent", None, 3);
+        assert_eq!(m.counter_total("msg.messages_sent"), 5);
+    }
+
+    #[test]
+    fn gauges_overwrite_by_index() {
+        let m = MetricsRegistry::new();
+        m.gauge_set("piofs.server_busy", 0, 1.0);
+        m.gauge_set("piofs.server_busy", 1, 2.0);
+        m.gauge_set("piofs.server_busy", 0, 3.5);
+        assert_eq!(m.gauge("piofs.server_busy", 0), Some(3.5));
+        assert_eq!(m.gauge("piofs.server_busy", 1), Some(2.0));
+        assert_eq!(m.gauge("piofs.server_busy", 9), None);
+        assert_eq!(m.gauges().len(), 2);
+    }
+}

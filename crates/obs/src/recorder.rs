@@ -1,0 +1,61 @@
+//! The [`Recorder`] trait and its zero-cost null implementation.
+
+use crate::Phase;
+
+/// Sink for structured spans, instant events, counters, and gauges.
+///
+/// All timestamps (`t`) are **simulated** seconds supplied by the caller's
+/// task clock; implementations must not consult host time. `rank` is the
+/// reporting task's rank (control-plane callers pass rank 0). `array`
+/// optionally labels the checkpoint array a sample belongs to.
+///
+/// Every method has an empty default body so null recording costs nothing;
+/// instrumentation sites may additionally check [`Recorder::enabled`] to
+/// skip building labels.
+#[allow(unused_variables)]
+pub trait Recorder: Send + Sync {
+    /// Whether this recorder keeps anything. When `false`, callers may
+    /// skip instrumentation entirely.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Opens a span named `name` at simulated time `t`.
+    fn span_start(&self, t: f64, rank: usize, phase: Phase, name: &str) {}
+
+    /// Closes the most recent open span with this `(rank, phase, name)`.
+    fn span_end(&self, t: f64, rank: usize, phase: Phase, name: &str) {}
+
+    /// Records an instantaneous event.
+    fn event(&self, t: f64, rank: usize, phase: Phase, name: &str) {}
+
+    /// Adds `delta` to the monotonic counter `name`, labelled by `rank`
+    /// and optionally an `array` name.
+    fn counter_add(&self, rank: usize, name: &'static str, array: Option<&str>, delta: u64) {}
+
+    /// Sets gauge `name[index]` to `value` (e.g. per-server busy time).
+    fn gauge_set(&self, name: &'static str, index: usize, value: f64) {}
+}
+
+/// Recorder that drops everything; the default wherever a recorder is
+/// optional. `enabled()` is `false`, so instrumented code short-circuits.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_recorder_is_disabled_and_inert() {
+        let r = NullRecorder;
+        assert!(!r.enabled());
+        r.span_start(0.0, 0, Phase::Init, "x");
+        r.span_end(1.0, 0, Phase::Init, "x");
+        r.event(0.5, 1, Phase::Control, "e");
+        r.counter_add(0, crate::names::MESSAGES_SENT, None, 3);
+        r.gauge_set(crate::names::SERVER_BUSY, 2, 1.5);
+    }
+}

@@ -1,0 +1,133 @@
+//! The collecting recorder.
+
+use crate::metrics::MetricsRegistry;
+use crate::recorder::Recorder;
+use crate::summary::PhaseSummary;
+use crate::Phase;
+use parking_lot::Mutex;
+
+/// What a [`TraceEvent`] marks: a span boundary or an instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Span opening.
+    Begin,
+    /// Span closing.
+    End,
+    /// Instantaneous event.
+    Instant,
+}
+
+/// One recorded event, timestamped in simulated seconds.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Simulated time of the event.
+    pub t: f64,
+    /// Reporting task rank.
+    pub rank: usize,
+    /// Pipeline phase (export category).
+    pub phase: Phase,
+    /// Span or event name.
+    pub name: String,
+    /// Boundary kind.
+    pub kind: EventKind,
+}
+
+/// Recorder that appends events to a vector under one short-lived mutex
+/// and aggregates counters/gauges into a [`MetricsRegistry`]. Event order
+/// is append order; consumers sort by time where needed.
+#[derive(Debug, Default)]
+pub struct TraceRecorder {
+    events: Mutex<Vec<TraceEvent>>,
+    metrics: MetricsRegistry,
+}
+
+impl TraceRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of all recorded events, sorted by (time, rank). The rank
+    /// tiebreak matters for determinism: ranks append concurrently, so at
+    /// equal timestamps the raw append order races across runs. Within one
+    /// (time, rank) group the stable sort keeps that rank's own append
+    /// order, which preserves Begin-before-End at equal timestamps.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut ev = self.events.lock().clone();
+        ev.sort_by(|a, b| a.t.total_cmp(&b.t).then(a.rank.cmp(&b.rank)));
+        ev
+    }
+
+    /// The aggregated counters and gauges.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Per-phase summary derived from the recorded rank-0 spans.
+    pub fn phase_summary(&self) -> PhaseSummary {
+        PhaseSummary::from_events(&self.events())
+    }
+
+    fn push(&self, ev: TraceEvent) {
+        self.events.lock().push(ev);
+    }
+}
+
+impl Recorder for TraceRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn span_start(&self, t: f64, rank: usize, phase: Phase, name: &str) {
+        self.push(TraceEvent { t, rank, phase, name: name.to_owned(), kind: EventKind::Begin });
+    }
+
+    fn span_end(&self, t: f64, rank: usize, phase: Phase, name: &str) {
+        self.push(TraceEvent { t, rank, phase, name: name.to_owned(), kind: EventKind::End });
+    }
+
+    fn event(&self, t: f64, rank: usize, phase: Phase, name: &str) {
+        self.push(TraceEvent { t, rank, phase, name: name.to_owned(), kind: EventKind::Instant });
+    }
+
+    fn counter_add(&self, rank: usize, name: &'static str, array: Option<&str>, delta: u64) {
+        self.metrics.counter_add(rank, name, array, delta);
+    }
+
+    fn gauge_set(&self, name: &'static str, index: usize, value: f64) {
+        self.metrics.gauge_set(name, index, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_spans_events_and_metrics() {
+        let r = TraceRecorder::new();
+        assert!(r.enabled());
+        r.span_start(1.0, 0, Phase::Segment, "write");
+        r.event(1.5, 1, Phase::Control, "mark");
+        r.span_end(2.0, 0, Phase::Segment, "write");
+        r.counter_add(0, crate::names::SEGMENT_BYTES, None, 64);
+        r.gauge_set(crate::names::SERVER_BUSY, 3, 0.25);
+        let ev = r.events();
+        assert_eq!(ev.len(), 3);
+        assert_eq!(ev[0].kind, EventKind::Begin);
+        assert_eq!(ev[1].kind, EventKind::Instant);
+        assert_eq!(ev[2].kind, EventKind::End);
+        assert_eq!(r.metrics().counter_total(crate::names::SEGMENT_BYTES), 64);
+        assert_eq!(r.metrics().gauge(crate::names::SERVER_BUSY, 3), Some(0.25));
+    }
+
+    #[test]
+    fn events_sorted_by_simulated_time() {
+        let r = TraceRecorder::new();
+        r.event(5.0, 0, Phase::Control, "late");
+        r.event(1.0, 1, Phase::Control, "early");
+        let ev = r.events();
+        assert_eq!(ev[0].name, "early");
+        assert_eq!(ev[1].name, "late");
+    }
+}

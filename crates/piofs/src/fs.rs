@@ -5,11 +5,13 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use drms_msg::Ctx;
+use drms_obs::{names, Phase, Recorder};
 
 use crate::config::PiofsConfig;
 use crate::phase::{price_phase, DescKind, Pricing, ReadAccess, ReadReq, ReqDesc, WriteReq};
 use crate::rng::SplitMix64;
 use crate::store::FileData;
+use crate::stripe::striped_bytes;
 
 /// Errors from file-system operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -216,6 +218,13 @@ impl Piofs {
         };
         let pricing = st.price(&self.cfg, now, &[desc], &[rank]);
         drop(st);
+        self.observe_phase(
+            ctx.recorder(),
+            rank,
+            "write_at",
+            &[(offset, data.len() as u64)],
+            &pricing,
+        );
         ctx.advance_to(pricing.completion[&rank]);
     }
 
@@ -232,10 +241,7 @@ impl Piofs {
         let rank = ctx.rank();
         let now = ctx.now();
         let mut st = self.state.lock();
-        let file = st
-            .files
-            .get(path)
-            .ok_or_else(|| PiofsError::NotFound(path.to_string()))?;
+        let file = st.files.get(path).ok_or_else(|| PiofsError::NotFound(path.to_string()))?;
         let data = file.read_at(offset, len).ok_or_else(|| PiofsError::OutOfBounds {
             path: path.to_string(),
             offset,
@@ -243,16 +249,11 @@ impl Piofs {
             size: file.len(),
         })?;
         let id = file.id;
-        let desc = ReqDesc {
-            client: rank,
-            node,
-            path_id: id,
-            offset,
-            len,
-            kind: DescKind::Read(access),
-        };
+        let desc =
+            ReqDesc { client: rank, node, path_id: id, offset, len, kind: DescKind::Read(access) };
         let pricing = st.price(&self.cfg, now, &[desc], &[rank]);
         drop(st);
+        self.observe_phase(ctx.recorder(), rank, "read_at", &[(offset, len)], &pricing);
         ctx.advance_to(pricing.completion[&rank]);
         Ok(data)
     }
@@ -305,17 +306,13 @@ impl Piofs {
         let st = self.state.lock();
         let mut out = Vec::with_capacity(reqs.len());
         for r in &reqs {
-            let file = st
-                .files
-                .get(&r.path)
-                .ok_or_else(|| PiofsError::NotFound(r.path.clone()))?;
-            let data =
-                file.read_at(r.offset, r.len).ok_or_else(|| PiofsError::OutOfBounds {
-                    path: r.path.clone(),
-                    offset: r.offset,
-                    len: r.len,
-                    size: file.len(),
-                })?;
+            let file = st.files.get(&r.path).ok_or_else(|| PiofsError::NotFound(r.path.clone()))?;
+            let data = file.read_at(r.offset, r.len).ok_or_else(|| PiofsError::OutOfBounds {
+                path: r.path.clone(),
+                offset: r.offset,
+                len: r.len,
+                size: file.len(),
+            })?;
             out.push(data);
         }
         Ok(out)
@@ -345,7 +342,11 @@ impl Piofs {
                 }
             }
             let participants: Vec<usize> = (0..ctx.ntasks()).collect();
-            Some(Arc::new(st.price(&self.cfg, t_sync, &flat, &participants)))
+            let priced = st.price(&self.cfg, t_sync, &flat, &participants);
+            drop(st);
+            let extents: Vec<(u64, u64)> = flat.iter().map(|d| (d.offset, d.len)).collect();
+            self.observe_phase(ctx.recorder(), 0, "collective", &extents, &priced);
+            Some(Arc::new(priced))
         } else {
             None
         };
@@ -353,6 +354,40 @@ impl Piofs {
         let (priced, _) = ctx.exchange(pricing);
         let pricing = priced[0].as_ref().expect("rank 0 priced the phase");
         ctx.advance_to(pricing.completion[&rank]);
+    }
+
+    /// Reports one priced phase to the recorder: a span over the phase
+    /// wall time, request/stripe counters, and the per-server busy-horizon
+    /// gauges. No-op under the null recorder.
+    fn observe_phase(
+        &self,
+        rec: &dyn Recorder,
+        rank: usize,
+        name: &str,
+        extents: &[(u64, u64)],
+        pricing: &Pricing,
+    ) {
+        if !rec.enabled() {
+            return;
+        }
+        let n = self.cfg.n_servers;
+        rec.counter_add(rank, names::IO_PHASES, None, 1);
+        rec.counter_add(rank, names::IO_REQUESTS, None, extents.len() as u64);
+        let stripes: u64 = extents
+            .iter()
+            .map(|&(off, len)| {
+                (0..n)
+                    .filter(|&k| striped_bytes(self.cfg.stripe_unit, n, off, off + len, k) > 0)
+                    .count() as u64
+            })
+            .sum();
+        rec.counter_add(rank, names::STRIPES_TOUCHED, None, stripes);
+        let end = pricing.completion.values().fold(pricing.t0, |a, &b| a.max(b));
+        rec.span_start(pricing.t0, rank, Phase::IoPhase, name);
+        rec.span_end(end, rank, Phase::IoPhase, name);
+        for (k, &b) in pricing.server_busy.iter().enumerate() {
+            rec.gauge_set(names::SERVER_BUSY, k, b);
+        }
     }
 }
 
@@ -381,8 +416,15 @@ impl State {
         reqs: &[ReqDesc],
         participants: &[usize],
     ) -> Pricing {
-        let pricing =
-            price_phase(cfg, &self.busy, &self.residency, t_sync, reqs, participants, &mut self.rng);
+        let pricing = price_phase(
+            cfg,
+            &self.busy,
+            &self.residency,
+            t_sync,
+            reqs,
+            participants,
+            &mut self.rng,
+        );
         self.busy = pricing.server_busy.clone();
         pricing
     }

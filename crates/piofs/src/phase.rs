@@ -75,9 +75,8 @@ pub(crate) enum DescKind {
 /// Outcome of pricing a phase.
 #[derive(Debug, Clone)]
 pub(crate) struct Pricing {
-    /// Phase start (max participant clock + op overhead). Kept for
-    /// diagnostics and the phase-breakdown reporting in `drms-bench`.
-    #[allow(dead_code)]
+    /// Phase start (max participant clock + op overhead). Anchors the
+    /// phase span reported to the observability recorder.
     pub t0: f64,
     /// Completion time per client rank (clients with no requests complete
     /// at `t0`).
@@ -178,10 +177,7 @@ pub(crate) fn price_phase(
                 }
             }
         }
-        let u_k: u64 = uniq
-            .values()
-            .map(|set| set.striped_total(cfg.stripe_unit, n, k))
-            .sum();
+        let u_k: u64 = uniq.values().map(|set| set.striped_total(cfg.stripe_unit, n, k)).sum();
         let mut t = 0.0;
         if w_load > 0 || w_chunks > 0 {
             t += w_load as f64 / (cfg.server_write_bw * interf(k) * beff_write(k))
@@ -194,8 +190,7 @@ pub(crate) fn price_phase(
         }
         server_time[k] = t;
     }
-    let server_finish: Vec<f64> =
-        (0..n).map(|k| busy[k].max(t0) + server_time[k]).collect();
+    let server_finish: Vec<f64> = (0..n).map(|k| busy[k].max(t0) + server_time[k]).collect();
 
     // ---- client times --------------------------------------------------
     let occ_pen = 1.0 - frac_occ * cfg.occupancy_write_penalty;
@@ -296,15 +291,23 @@ mod tests {
         let mut rng = SplitMix64::new(1);
         let len: u64 = 64 << 20;
         let idle = price_phase(
-            &c, &[0.0; 16], &[0; 16], 0.0,
+            &c,
+            &[0.0; 16],
+            &[0; 16],
+            0.0,
             &(0..16).map(|i| write_desc(i, i, i as u64, len / 16)).collect::<Vec<_>>(),
-            &(0..16).collect::<Vec<_>>(), &mut rng,
+            &(0..16).collect::<Vec<_>>(),
+            &mut rng,
         );
         let mut rng = SplitMix64::new(1);
         let occupied = price_phase(
-            &c, &[0.0; 16], &[64 << 20; 16], 0.0,
+            &c,
+            &[0.0; 16],
+            &[64 << 20; 16],
+            0.0,
             &(0..16).map(|i| write_desc(i, i, i as u64, len / 16)).collect::<Vec<_>>(),
-            &(0..16).collect::<Vec<_>>(), &mut rng,
+            &(0..16).collect::<Vec<_>>(),
+            &mut rng,
         );
         let t_idle = idle.completion.values().cloned().fold(0.0, f64::max);
         let t_occ = occupied.completion.values().cloned().fold(0.0, f64::max);
@@ -319,9 +322,8 @@ mod tests {
         let len: u64 = 32 << 20;
         let per_client = |p_clients: usize| -> f64 {
             let mut rng = SplitMix64::new(1);
-            let reqs: Vec<ReqDesc> = (0..p_clients)
-                .map(|i| read_desc(i, i, 0, len, ReadAccess::Sequential))
-                .collect();
+            let reqs: Vec<ReqDesc> =
+                (0..p_clients).map(|i| read_desc(i, i, 0, len, ReadAccess::Sequential)).collect();
             let parts: Vec<usize> = (0..p_clients).collect();
             let pr = price_phase(&c, &[0.0; 16], &[1; 16], 0.0, &reqs, &parts, &mut rng);
             pr.completion.values().cloned().fold(0.0, f64::max)
@@ -357,10 +359,7 @@ mod tests {
             .values()
             .cloned()
             .fold(0.0, f64::max);
-        assert!(
-            t_heavy > 2.0 * t_light,
-            "expected collapse: heavy {t_heavy} vs light {t_light}"
-        );
+        assert!(t_heavy > 2.0 * t_light, "expected collapse: heavy {t_heavy} vs light {t_light}");
     }
 
     #[test]
@@ -369,14 +368,24 @@ mod tests {
         let len: u64 = 8 << 20;
         let mut rng = SplitMix64::new(1);
         let seq = price_phase(
-            &c, &[0.0; 16], &[1; 16], 0.0,
-            &[read_desc(0, 0, 0, len, ReadAccess::Sequential)], &[0], &mut rng,
+            &c,
+            &[0.0; 16],
+            &[1; 16],
+            0.0,
+            &[read_desc(0, 0, 0, len, ReadAccess::Sequential)],
+            &[0],
+            &mut rng,
         )
         .completion[&0];
         let mut rng = SplitMix64::new(1);
         let strided = price_phase(
-            &c, &[0.0; 16], &[1; 16], 0.0,
-            &[read_desc(0, 0, 0, len, ReadAccess::Strided)], &[0], &mut rng,
+            &c,
+            &[0.0; 16],
+            &[1; 16],
+            0.0,
+            &[read_desc(0, 0, 0, len, ReadAccess::Strided)],
+            &[0],
+            &mut rng,
         )
         .completion[&0];
         assert!(strided > 3.0 * seq, "strided {strided} seq {seq}");
@@ -387,10 +396,8 @@ mod tests {
         let c = cfg();
         let mut rng = SplitMix64::new(1);
         let busy = vec![100.0; 16];
-        let p = price_phase(
-            &c, &busy, &[0; 16], 0.0,
-            &[write_desc(0, 0, 0, 1 << 20)], &[0], &mut rng,
-        );
+        let p =
+            price_phase(&c, &busy, &[0; 16], 0.0, &[write_desc(0, 0, 0, 1 << 20)], &[0], &mut rng);
         assert!(p.completion[&0] > 100.0);
     }
 
@@ -402,14 +409,24 @@ mod tests {
         let paging_res = c.node_mem - c.os_resident - c.io_buffer + 1;
         let mut rng = SplitMix64::new(1);
         let slow = price_phase(
-            &c, &[0.0; 16], &[paging_res; 16], 0.0,
-            &[read_desc(0, 0, 0, len, ReadAccess::Sequential)], &[0], &mut rng,
+            &c,
+            &[0.0; 16],
+            &[paging_res; 16],
+            0.0,
+            &[read_desc(0, 0, 0, len, ReadAccess::Sequential)],
+            &[0],
+            &mut rng,
         )
         .completion[&0];
         let mut rng = SplitMix64::new(1);
         let fast = price_phase(
-            &c, &[0.0; 16], &[1 << 20; 16], 0.0,
-            &[read_desc(0, 0, 0, len, ReadAccess::Sequential)], &[0], &mut rng,
+            &c,
+            &[0.0; 16],
+            &[1 << 20; 16],
+            0.0,
+            &[read_desc(0, 0, 0, len, ReadAccess::Sequential)],
+            &[0],
+            &mut rng,
         )
         .completion[&0];
         assert!(slow > 1.5 * fast, "paging {slow} vs normal {fast}");
@@ -424,8 +441,13 @@ mod tests {
         for seed in 0..200 {
             let mut rng = SplitMix64::new(seed);
             let p = price_phase(
-                &c, &[0.0; 16], &[0; 16], 0.0,
-                &[write_desc(0, 0, 0, len)], &[0], &mut rng,
+                &c,
+                &[0.0; 16],
+                &[0; 16],
+                0.0,
+                &[write_desc(0, 0, 0, len)],
+                &[0],
+                &mut rng,
             );
             times.push(p.completion[&0]);
         }

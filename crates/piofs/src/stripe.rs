@@ -70,10 +70,7 @@ impl IntervalSet {
 
     /// Bytes covered that land on server `k`.
     pub fn striped_total(&self, stripe_unit: u64, n_servers: usize, k: usize) -> u64 {
-        self.ivs
-            .iter()
-            .map(|&(a, b)| striped_bytes(stripe_unit, n_servers, a, b, k))
-            .sum()
+        self.ivs.iter().map(|&(a, b)| striped_bytes(stripe_unit, n_servers, a, b, k)).sum()
     }
 
     /// The disjoint intervals, sorted.
@@ -152,7 +149,12 @@ mod tests {
             s.insert(0, 1000);
         }
         assert_eq!(s.total(), 1000);
-        assert_eq!(s.striped_total(64, 4, 0) + s.striped_total(64, 4, 1)
-            + s.striped_total(64, 4, 2) + s.striped_total(64, 4, 3), 1000);
+        assert_eq!(
+            s.striped_total(64, 4, 0)
+                + s.striped_total(64, 4, 1)
+                + s.striped_total(64, 4, 2)
+                + s.striped_total(64, 4, 3),
+            1000
+        );
     }
 }

@@ -3,6 +3,7 @@
 use std::fmt;
 use std::sync::Arc;
 
+use drms_obs::{names, NullRecorder, Phase, Recorder};
 use parking_lot::Mutex;
 
 /// A control-plane event, in the vocabulary of Section 4 of the paper.
@@ -86,10 +87,24 @@ impl fmt::Display for Event {
     }
 }
 
-/// Shared, append-only event log.
-#[derive(Debug, Clone, Default)]
+/// Shared, append-only event log. Optionally mirrors every event into an
+/// observability [`Recorder`] (see [`EventLog::with_recorder`]).
+#[derive(Clone)]
 pub struct EventLog {
     inner: Arc<Mutex<Vec<Event>>>,
+    recorder: Arc<dyn Recorder>,
+}
+
+impl fmt::Debug for EventLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventLog").field("events", &self.inner.lock().len()).finish()
+    }
+}
+
+impl Default for EventLog {
+    fn default() -> EventLog {
+        EventLog { inner: Arc::default(), recorder: Arc::new(NullRecorder) }
+    }
 }
 
 impl EventLog {
@@ -98,9 +113,31 @@ impl EventLog {
         EventLog::default()
     }
 
+    /// An empty log that forwards each event to `recorder` as a
+    /// `Phase::Control` instant, and bumps the `rtenv.job_starts` /
+    /// `rtenv.retries` counters for job starts and TC restarts. Control-plane
+    /// events happen outside any SPMD region, so they carry no simulated
+    /// clock; they are stamped with their sequence number to keep ordering
+    /// in exported traces.
+    pub fn with_recorder(recorder: Arc<dyn Recorder>) -> EventLog {
+        EventLog { inner: Arc::default(), recorder }
+    }
+
     /// Appends an event.
     pub fn record(&self, e: Event) {
-        self.inner.lock().push(e);
+        let mut events = self.inner.lock();
+        if self.recorder.enabled() {
+            let seq = events.len() as f64;
+            self.recorder.event(seq, 0, Phase::Control, &e.to_string());
+            match &e {
+                Event::JobStarted { .. } => {
+                    self.recorder.counter_add(0, names::JOB_STARTS, None, 1)
+                }
+                Event::TcRestarted { .. } => self.recorder.counter_add(0, names::RETRIES, None, 1),
+                _ => {}
+            }
+        }
+        events.push(e);
     }
 
     /// Snapshot of all events so far.
@@ -136,14 +173,33 @@ mod tests {
     }
 
     #[test]
+    fn recorder_mirrors_events_and_counters() {
+        use drms_obs::{EventKind, TraceRecorder};
+
+        let rec = Arc::new(TraceRecorder::default());
+        let log = EventLog::with_recorder(rec.clone());
+        log.record(Event::JobStarted { app: "bt".into(), ntasks: 8, restart_from: None });
+        log.record(Event::TcRestarted { proc: 2 });
+        log.record(Event::TcRestarted { proc: 5 });
+        log.record(Event::JobCompleted { app: "bt".into() });
+
+        assert_eq!(rec.metrics().counter_total(names::JOB_STARTS), 1);
+        assert_eq!(rec.metrics().counter_total(names::RETRIES), 2);
+        let events = rec.events();
+        assert_eq!(events.len(), 4);
+        assert!(events.iter().all(|e| e.phase == Phase::Control && e.kind == EventKind::Instant));
+        // Sequence-number timestamps preserve control-plane ordering.
+        assert_eq!(events[0].t, 0.0);
+        assert_eq!(events[3].t, 3.0);
+        assert!(events[0].name.contains("started on 8 tasks"));
+    }
+
+    #[test]
     fn display_is_readable() {
         let e = Event::JobStarted { app: "bt".into(), ntasks: 8, restart_from: None };
         assert_eq!(e.to_string(), "job bt started on 8 tasks");
-        let e = Event::JobStarted {
-            app: "bt".into(),
-            ntasks: 5,
-            restart_from: Some("ck/1".into()),
-        };
+        let e =
+            Event::JobStarted { app: "bt".into(), ntasks: 5, restart_from: Some("ck/1".into()) };
         assert!(e.to_string().contains("restarted on 5 tasks from ck/1"));
     }
 }

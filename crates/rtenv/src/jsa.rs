@@ -136,10 +136,8 @@ impl Jsa {
             };
             let body = Arc::clone(&job.body);
             let outcomes =
-                run_spmd_with_nodes(ntasks, procs.clone(), self.cost, move |ctx| {
-                    body(ctx, &env)
-                })
-                .unwrap_or_else(|e| vec![JobOutcome::Failed(e.to_string())]);
+                run_spmd_with_nodes(ntasks, procs.clone(), self.cost, move |ctx| body(ctx, &env))
+                    .unwrap_or_else(|e| vec![JobOutcome::Failed(e.to_string())]);
 
             // Merge task outcomes: any kill or failure dominates.
             let outcome = outcomes

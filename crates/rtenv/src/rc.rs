@@ -108,11 +108,7 @@ impl ResourceCoordinator {
     pub fn form_pool(&self, app: &str, procs: &[usize], kill: KillToken) {
         let mut inner = self.inner.lock();
         for &p in procs {
-            assert_eq!(
-                inner.state[p],
-                ProcessorState::Available,
-                "processor {p} is not available"
-            );
+            assert_eq!(inner.state[p], ProcessorState::Available, "processor {p} is not available");
             inner.state[p] = ProcessorState::InPool(app.to_string());
         }
         inner.pools.insert(app.to_string(), (procs.to_vec(), kill));
@@ -179,9 +175,10 @@ impl ResourceCoordinator {
         let mut inner = self.inner.lock();
 
         // Step 1: which application and TC pool owns the disconnected TC?
-        let owner = inner.pools.iter().find_map(|(app, (procs, _))| {
-            procs.contains(&failed_proc).then(|| app.clone())
-        });
+        let owner = inner
+            .pools
+            .iter()
+            .find_map(|(app, (procs, _))| procs.contains(&failed_proc).then(|| app.clone()));
 
         // Remove the dead TC; the processor is failed until repaired.
         if let Some(tc) = inner.tcs[failed_proc].take() {
@@ -293,8 +290,7 @@ mod tests {
         let lost = log.position(|e| matches!(e, Event::ConnectionLost { proc: 1 })).unwrap();
         let killed = log.position(|e| matches!(e, Event::ApplicationKilled { .. })).unwrap();
         let informed = log.position(|e| matches!(e, Event::UserInformed { .. })).unwrap();
-        let restored =
-            log.position(|e| matches!(e, Event::ProcessorRestored { .. })).unwrap();
+        let restored = log.position(|e| matches!(e, Event::ProcessorRestored { .. })).unwrap();
         assert!(lost < killed && killed < informed && informed < restored);
 
         // Repair brings the processor back.

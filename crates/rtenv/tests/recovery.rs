@@ -38,14 +38,9 @@ fn solver_job(
     out: Arc<Mutex<Vec<f64>>>,
 ) -> JobSpec {
     JobSpec::new("solver", (1, 8), move |ctx, env| {
-        let (mut drms, start) = Drms::initialize(
-            ctx,
-            &env.fs,
-            cfg(),
-            env.enable.clone(),
-            env.restart_from.as_deref(),
-        )
-        .unwrap();
+        let (mut drms, start) =
+            Drms::initialize(ctx, &env.fs, cfg(), env.enable.clone(), env.restart_from.as_deref())
+                .unwrap();
 
         let dist = Distribution::block_auto(&domain(), ctx.ntasks(), 1).unwrap();
         let mut u = DistArray::<f64>::new("u", Order::ColumnMajor, dist, ctx.rank());
@@ -130,11 +125,7 @@ fn run_cluster(fail_at: Option<(i64, usize)>) -> (f64, Vec<Event>, RunStats) {
         RunStats {
             incarnations: summary.incarnations.len(),
             task_counts: summary.incarnations.iter().map(|i| i.ntasks).collect(),
-            restart_prefixes: summary
-                .incarnations
-                .iter()
-                .map(|i| i.restart_from.clone())
-                .collect(),
+            restart_prefixes: summary.incarnations.iter().map(|i| i.restart_from.clone()).collect(),
         },
     )
 }
@@ -203,14 +194,9 @@ fn multiple_cascading_failures() {
     let failures2 = Arc::clone(&failures);
     let out2 = Arc::clone(&out);
     let job = JobSpec::new("solver", (1, 8), move |ctx, env| {
-        let (mut drms, start) = Drms::initialize(
-            ctx,
-            &env.fs,
-            cfg(),
-            env.enable.clone(),
-            env.restart_from.as_deref(),
-        )
-        .unwrap();
+        let (mut drms, start) =
+            Drms::initialize(ctx, &env.fs, cfg(), env.enable.clone(), env.restart_from.as_deref())
+                .unwrap();
         let dist = Distribution::block_auto(&domain(), ctx.ntasks(), 1).unwrap();
         let mut u = DistArray::<f64>::new("u", Order::ColumnMajor, dist, ctx.rank());
         let mut seg = DataSegment::new();
@@ -275,8 +261,7 @@ fn multiple_cascading_failures() {
 
     // UIC shows two failed processors awaiting repair.
     let uic = Uic::new(Arc::clone(&rc), fs, log);
-    let failed_lines =
-        uic.processor_status().iter().filter(|l| l.contains("FAILED")).count();
+    let failed_lines = uic.processor_status().iter().filter(|l| l.contains("FAILED")).count();
     assert_eq!(failed_lines, 2);
 }
 

@@ -40,8 +40,7 @@ impl Order {
     /// Returns `None` when every axis has length <= 1 (the slice holds at
     /// most one point and cannot be split).
     pub fn split_axis(self, slice: &Slice) -> Option<usize> {
-        self.axes_slow_to_fast(slice.rank())
-            .find(|&ax| slice.range(ax).len() > 1)
+        self.axes_slow_to_fast(slice.rank()).find(|&ax| slice.range(ax).len() > 1)
     }
 }
 
@@ -128,14 +127,7 @@ mod tests {
         PointCursor::new(&s, Order::ColumnMajor).for_each(|p| pts.push(p.to_vec()));
         assert_eq!(
             pts,
-            vec![
-                vec![0, 10],
-                vec![1, 10],
-                vec![0, 11],
-                vec![1, 11],
-                vec![0, 12],
-                vec![1, 12]
-            ]
+            vec![vec![0, 10], vec![1, 10], vec![0, 11], vec![1, 11], vec![0, 12], vec![1, 12]]
         );
     }
 
@@ -146,14 +138,7 @@ mod tests {
         PointCursor::new(&s, Order::RowMajor).for_each(|p| pts.push(p.to_vec()));
         assert_eq!(
             pts,
-            vec![
-                vec![0, 10],
-                vec![0, 11],
-                vec![0, 12],
-                vec![1, 10],
-                vec![1, 11],
-                vec![1, 12]
-            ]
+            vec![vec![0, 10], vec![0, 11], vec![0, 12], vec![1, 10], vec![1, 11], vec![1, 12]]
         );
     }
 

@@ -91,11 +91,7 @@ impl Range {
     pub fn from_indices(indices: &[i64]) -> Result<Range> {
         for (i, w) in indices.windows(2).enumerate() {
             if w[1] <= w[0] {
-                return Err(SliceError::NotIncreasing {
-                    at: i + 1,
-                    prev: w[0],
-                    next: w[1],
-                });
+                return Err(SliceError::NotIncreasing { at: i + 1, prev: w[0], next: w[1] });
             }
         }
         Ok(Self::from_sorted_unchecked(indices))
@@ -169,9 +165,7 @@ impl Range {
     pub fn contains(&self, v: i64) -> bool {
         match self {
             Range::Contiguous { lo, hi } => *lo <= v && v <= *hi,
-            Range::Strided { lo, hi, step } => {
-                *lo <= v && v <= *hi && (v - lo) % step == 0
-            }
+            Range::Strided { lo, hi, step } => *lo <= v && v <= *hi && (v - lo) % step == 0,
             Range::Explicit(vec) => vec.binary_search(&v).is_ok(),
         }
     }
@@ -180,12 +174,9 @@ impl Range {
     /// than `v`, when `v` is a member.
     pub fn position(&self, v: i64) -> Option<usize> {
         match self {
-            Range::Contiguous { lo, hi } => {
-                (*lo <= v && v <= *hi).then(|| (v - lo) as usize)
-            }
+            Range::Contiguous { lo, hi } => (*lo <= v && v <= *hi).then(|| (v - lo) as usize),
             Range::Strided { lo, hi, step } => {
-                (*lo <= v && v <= *hi && (v - lo) % step == 0)
-                    .then(|| ((v - lo) / step) as usize)
+                (*lo <= v && v <= *hi && (v - lo) % step == 0).then(|| ((v - lo) / step) as usize)
             }
             Range::Explicit(vec) => vec.binary_search(&v).ok(),
         }
@@ -211,10 +202,9 @@ impl Range {
             return Ok(Range::empty());
         }
         Ok(match self {
-            Range::Contiguous { lo, .. } => Range::Contiguous {
-                lo: lo + start as i64,
-                hi: lo + end as i64 - 1,
-            },
+            Range::Contiguous { lo, .. } => {
+                Range::Contiguous { lo: lo + start as i64, hi: lo + end as i64 - 1 }
+            }
             Range::Strided { lo, step, .. } => {
                 let new_lo = lo + start as i64 * step;
                 let new_hi = lo + (end as i64 - 1) * step;
@@ -236,10 +226,7 @@ impl Range {
     pub fn split_half(&self) -> (Range, Range) {
         let len = self.len();
         let mid = len.div_ceil(2);
-        (
-            self.subrange(0, mid).expect("mid <= len"),
-            self.subrange(mid, len).expect("mid <= len"),
-        )
+        (self.subrange(0, mid).expect("mid <= len"), self.subrange(mid, len).expect("mid <= len"))
     }
 
     /// Intersection of two ranges (`q * r` in the paper): the elements common
@@ -262,11 +249,7 @@ impl Range {
             (Strided { lo, hi, step }, Contiguous { lo: c, hi: d })
             | (Contiguous { lo: c, hi: d }, Strided { lo, hi, step }) => {
                 // Clamp the strided range to [c, d], keeping alignment to lo.
-                let start = if c <= lo {
-                    *lo
-                } else {
-                    lo + (c - lo + step - 1) / step * step
-                };
+                let start = if c <= lo { *lo } else { lo + (c - lo + step - 1) / step * step };
                 let end = (*hi).min(*d);
                 Range::strided(start, end, *step).expect("step positive")
             }
@@ -421,10 +404,7 @@ mod tests {
     #[test]
     fn explicit_normalizes_to_compact_forms() {
         assert_eq!(Range::from_indices(&[4, 5, 6]).unwrap(), Range::contiguous(4, 6));
-        assert_eq!(
-            Range::from_indices(&[1, 3, 5]).unwrap(),
-            Range::strided(1, 5, 2).unwrap()
-        );
+        assert_eq!(Range::from_indices(&[1, 3, 5]).unwrap(), Range::strided(1, 5, 2).unwrap());
         assert_eq!(Range::from_indices(&[]).unwrap(), Range::empty());
         assert_eq!(Range::from_indices(&[9]).unwrap(), Range::single(9));
     }

@@ -68,12 +68,7 @@ impl Slice {
             return Err(SliceError::RankMismatch { left: self.rank(), right: other.rank() });
         }
         Ok(Slice {
-            ranges: self
-                .ranges
-                .iter()
-                .zip(&other.ranges)
-                .map(|(a, b)| a.intersect(b))
-                .collect(),
+            ranges: self.ranges.iter().zip(&other.ranges).map(|(a, b)| a.intersect(b)).collect(),
         })
     }
 
@@ -228,7 +223,7 @@ mod tests {
     #[test]
     fn stream_position_column_major() {
         let s = Slice::boxed(&[(0, 2), (0, 1)]); // 3 x 2
-        // Column-major order: (0,0) (1,0) (2,0) (0,1) (1,1) (2,1)
+                                                 // Column-major order: (0,0) (1,0) (2,0) (0,1) (1,1) (2,1)
         assert_eq!(s.stream_position(&[0, 0], Order::ColumnMajor).unwrap(), Some(0));
         assert_eq!(s.stream_position(&[2, 0], Order::ColumnMajor).unwrap(), Some(2));
         assert_eq!(s.stream_position(&[0, 1], Order::ColumnMajor).unwrap(), Some(3));

@@ -9,8 +9,12 @@ fn arb_range() -> impl Strategy<Value = Range> {
         // Contiguous (possibly empty when lo > hi).
         (-20i64..20, -20i64..20).prop_map(|(a, b)| Range::contiguous(a, b)),
         // Strided.
-        (-20i64..20, 0i64..40, 1i64..6)
-            .prop_map(|(lo, span, step)| Range::strided(lo, lo + span, step).unwrap()),
+        (-20i64..20, 0i64..40, 1i64..6).prop_map(|(lo, span, step)| Range::strided(
+            lo,
+            lo + span,
+            step
+        )
+        .unwrap()),
         // Explicit increasing list built from a set.
         proptest::collection::btree_set(-30i64..30, 0..10)
             .prop_map(|s| Range::from_indices(&s.into_iter().collect::<Vec<_>>()).unwrap()),

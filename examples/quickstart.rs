@@ -60,8 +60,7 @@ fn main() {
     println!("restarting the SAME state with 3 tasks ...");
     let totals = run_spmd(3, CostModel::default(), move |ctx| {
         let (drms, start) =
-            Drms::initialize(ctx, &fs, cfg.clone(), EnableFlag::new(), Some("ck/demo"))
-                .unwrap();
+            Drms::initialize(ctx, &fs, cfg.clone(), EnableFlag::new(), Some("ck/demo")).unwrap();
         let Start::Restarted(info) = start else { panic!("expected a restart") };
         if ctx.rank() == 0 {
             println!(
@@ -92,9 +91,7 @@ fn main() {
 
     let total: f64 = totals.iter().sum();
     // Ground truth: sum of (x + y + 10) over the domain.
-    let expect: f64 = (0..100)
-        .flat_map(|x| (0..80).map(move |y| (x + y + 10) as f64))
-        .sum();
+    let expect: f64 = (0..100).flat_map(|x| (0..80).map(move |y| (x + y + 10) as f64)).sum();
     println!("  final sum = {total} (expected {expect})");
     assert_eq!(total, expect, "reconfigured restart must be exact");
     println!("OK: 4-task checkpoint resumed exactly on 3 tasks.");

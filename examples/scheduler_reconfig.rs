@@ -126,10 +126,7 @@ fn main() {
 
     println!("\nincarnation history:");
     for (i, inc) in summary.incarnations.iter().enumerate() {
-        println!(
-            "  #{i}: {} tasks from {:?} -> {:?}",
-            inc.ntasks, inc.restart_from, inc.outcome
-        );
+        println!("  #{i}: {} tasks from {:?} -> {:?}", inc.ntasks, inc.restart_from, inc.outcome);
     }
     assert!(summary.completed);
     assert_eq!(summary.incarnations[0].ntasks, 4, "starts on the free half");

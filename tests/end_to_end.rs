@@ -23,15 +23,9 @@ fn snapshot(
     end_iter: i64,
 ) -> Vec<((usize, Vec<i64>), f64)> {
     let out = run_spmd(ntasks, CostModel::default(), |ctx| {
-        let mut app = MiniApp::start(
-            ctx,
-            fsys,
-            spec.clone(),
-            variant,
-            EnableFlag::new(),
-            restart_from,
-        )
-        .unwrap();
+        let mut app =
+            MiniApp::start(ctx, fsys, spec.clone(), variant, EnableFlag::new(), restart_from)
+                .unwrap();
         while app.iter() < end_iter {
             app.step(ctx);
             if let Some((at, prefix)) = ckpt_at {
@@ -70,8 +64,7 @@ fn all_three_apps_roundtrip_spmd_and_drms() {
     for spec_fn in [bt as fn(Class) -> drms::apps::AppSpec, lu, sp] {
         let spec = spec_fn(Class::T);
         for variant in [AppVariant::Drms, AppVariant::Spmd] {
-            let reference =
-                snapshot(&fs(Class::T, 9), &spec, variant, 4, None, None, 4);
+            let reference = snapshot(&fs(Class::T, 9), &spec, variant, 4, None, None, 4);
             let f = fs(Class::T, 9);
             Drms::install_binary(&f, &spec.drms_config());
             snapshot(&f, &spec, variant, 4, None, Some((2, "ck/rt")), 2);
@@ -112,12 +105,20 @@ fn facade_reexports_compose() {
     let dist = drms::darray::Distribution::block_auto(&dom, 2, 1).unwrap();
     let f = Piofs::new(PiofsConfig::test_tiny(2), 1);
     let sums = run_spmd(2, CostModel::default(), |ctx| {
-        let mut a =
-            drms::darray::DistArray::<f64>::new("a", drms::slices::Order::ColumnMajor, dist.clone(), ctx.rank());
+        let mut a = drms::darray::DistArray::<f64>::new(
+            "a",
+            drms::slices::Order::ColumnMajor,
+            dist.clone(),
+            ctx.rank(),
+        );
         a.fill_assigned(|p| p[0] as f64);
         drms::darray::stream::write_array(ctx, &f, &a, "x", 2).unwrap();
-        let mut b =
-            drms::darray::DistArray::<f64>::new("a", drms::slices::Order::ColumnMajor, dist.clone(), ctx.rank());
+        let mut b = drms::darray::DistArray::<f64>::new(
+            "a",
+            drms::slices::Order::ColumnMajor,
+            dist.clone(),
+            ctx.rank(),
+        );
         drms::darray::stream::read_array(ctx, &f, &mut b, "x", 2).unwrap();
         b.fold_assigned(0.0, |acc, _, v| acc + v)
     })

@@ -33,9 +33,7 @@ fn schedule(seed: u64, nfails: usize) -> Vec<(i64, usize)> {
         x ^= x << 17;
         x % m
     };
-    (0..nfails)
-        .map(|_| (1 + next(NITER as u64 - 1) as i64, next(NPROCS as u64) as usize))
-        .collect()
+    (0..nfails).map(|_| (1 + next(NITER as u64 - 1) as i64, next(NPROCS as u64) as usize)).collect()
 }
 
 /// Runs the job under a failure schedule; returns the global checksum.
@@ -102,14 +100,8 @@ fn run_campaign(seed: u64, fails: Vec<(i64, usize)>) -> f64 {
             });
             seg.set_control("iter", iter);
             if iter % CKPT_EVERY == 0 {
-                drms.reconfig_checkpoint(
-                    ctx,
-                    &env.fs,
-                    &format!("ck/campaign/{iter}"),
-                    &seg,
-                    &[&u],
-                )
-                .unwrap();
+                drms.reconfig_checkpoint(ctx, &env.fs, &format!("ck/campaign/{iter}"), &seg, &[&u])
+                    .unwrap();
             }
             // Injection: the next scheduled failure fires once its
             // iteration is reached (skipping already-dead processors).
@@ -118,9 +110,7 @@ fn run_campaign(seed: u64, fails: Vec<(i64, usize)>) -> f64 {
                 if let Some(&(at, victim)) = fails.get(k) {
                     if iter >= at {
                         injected2.store(k + 1, Ordering::SeqCst);
-                        if rc2.state_of(victim)
-                            != drms::rtenv::ProcessorState::Failed
-                        {
+                        if rc2.state_of(victim) != drms::rtenv::ProcessorState::Failed {
                             rc2.fail_processor(victim);
                         }
                     }

@@ -93,10 +93,7 @@ fn spmd_restart_crosses_buffer_threshold() {
     let sp8_s = run_pair(&sp(CLASS), AppVariant::Spmd, 8, SEED, 0).unwrap();
     let sp16_s = run_pair(&sp(CLASS), AppVariant::Spmd, 16, SEED, 0).unwrap();
     let sp_jump = sp16_s.restart.total() / sp8_s.restart.total();
-    assert!(
-        sp_jump > 1.5 && sp_jump < 3.0,
-        "SP restart should roughly double, got {sp_jump:.1}x"
-    );
+    assert!(sp_jump > 1.5 && sp_jump < 3.0, "SP restart should roughly double, got {sp_jump:.1}x");
     assert!(bt_jump > sp_jump, "BT (larger segments) collapses harder than SP");
 
     // LU is over the threshold already at 8: its per-byte restart rate is
@@ -150,10 +147,6 @@ fn drms_checkpoint_time_grows_slightly_with_processors() {
         let c8 = run_pair(&spec, AppVariant::Drms, 8, SEED, 0).unwrap();
         let c16 = run_pair(&spec, AppVariant::Drms, 16, SEED, 0).unwrap();
         let growth = c16.ckpt.total() / c8.ckpt.total();
-        assert!(
-            growth > 1.0 && growth < 1.8,
-            "{}: DRMS checkpoint growth {growth:.2}x",
-            spec.name
-        );
+        assert!(growth > 1.0 && growth < 1.8, "{}: DRMS checkpoint growth {growth:.2}x", spec.name);
     }
 }

@@ -1,0 +1,193 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A bare-bones but functional benchmark harness: each benchmark runs a
+//! warm-up pass, then a fixed number of timed samples, and prints the
+//! median per-iteration time (plus throughput when declared). There is no
+//! statistical analysis, plotting, or baseline comparison — just enough to
+//! keep `cargo bench` compiling and producing ballpark numbers offline.
+
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` id.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId { label: format!("{function_name}/{parameter}") }
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId { label: label.to_string() }
+    }
+}
+
+/// Declared data volume per iteration, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\ngroup: {name}");
+        BenchmarkGroup { _c: self, samples: 20, throughput: None }
+    }
+}
+
+/// A group of benchmarks sharing sample-count and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Declares per-iteration data volume for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { median: Duration::ZERO, samples: self.samples };
+        f(&mut b);
+        self.report(&id.label, b.median);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I, P, F>(&mut self, id: I, input: &P, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        P: ?Sized,
+        F: FnMut(&mut Bencher, &P),
+    {
+        let id = id.into();
+        let mut b = Bencher { median: Duration::ZERO, samples: self.samples };
+        f(&mut b, input);
+        self.report(&id.label, b.median);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+
+    fn report(&self, label: &str, median: Duration) {
+        let secs = median.as_secs_f64();
+        match self.throughput {
+            Some(Throughput::Bytes(bytes)) if secs > 0.0 => {
+                let rate = bytes as f64 / secs / 1e6;
+                println!("  {label}: median {median:?}/iter ({rate:.1} MB/s)");
+            }
+            Some(Throughput::Elements(n)) if secs > 0.0 => {
+                let rate = n as f64 / secs / 1e6;
+                println!("  {label}: median {median:?}/iter ({rate:.2} Melem/s)");
+            }
+            _ => println!("  {label}: median {median:?}/iter"),
+        }
+    }
+}
+
+/// Times closures for one benchmark.
+pub struct Bencher {
+    median: Duration,
+    samples: usize,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly: one warm-up, then `samples` timed runs; records
+    /// the median per-iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f());
+        let mut times: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let t = Instant::now();
+                std::hint::black_box(f());
+                t.elapsed()
+            })
+            .collect();
+        times.sort();
+        self.median = times[times.len() / 2];
+    }
+}
+
+/// Re-export so `use criterion::black_box` keeps working.
+pub use std::hint::black_box;
+
+/// Collects benchmark functions into a runner for `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generates the benchmark `main` from `criterion_group!` outputs.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.throughput(Throughput::Bytes(1024));
+        let mut ran = 0u32;
+        g.bench_function("noop", |b| {
+            b.iter(|| std::hint::black_box(2 + 2));
+            ran += 1;
+        });
+        g.bench_with_input(BenchmarkId::new("param", 7), &7u32, |b, &p| {
+            b.iter(|| std::hint::black_box(p * 2));
+            ran += 1;
+        });
+        g.finish();
+        assert_eq!(ran, 2);
+    }
+}

@@ -1,0 +1,78 @@
+//! Offline stand-in for the `crossbeam` crate (channel module only).
+//!
+//! Backed by `std::sync::mpsc::sync_channel`; covers `bounded`, `Sender`,
+//! `Receiver`, and the error enums with the semantics the workspace relies
+//! on: disconnection detection via `recv`/`try_recv`, non-blocking failed
+//! sends to a dropped receiver.
+
+/// Multi-producer single-consumer bounded channels.
+pub mod channel {
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// Sending half of a bounded channel.
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a value, blocking while the buffer is full. Errors if the
+        /// receiving side has disconnected.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+
+        /// Attempts to send without blocking.
+        pub fn try_send(&self, value: T) -> Result<(), mpsc::TrySendError<T>> {
+            self.0.try_send(value)
+        }
+    }
+
+    /// Receiving half of a bounded channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+
+    /// Creates a bounded channel with the given capacity (0 = rendezvous).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn roundtrip_and_disconnect() {
+            let (tx, rx) = bounded::<u32>(1);
+            tx.send(7).unwrap();
+            assert_eq!(rx.recv().unwrap(), 7);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+            drop(tx);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+
+        #[test]
+        fn send_to_dropped_receiver_errors() {
+            let (tx, rx) = bounded::<u32>(1);
+            drop(rx);
+            assert!(tx.send(1).is_err());
+        }
+    }
+}
