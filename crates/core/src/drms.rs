@@ -6,7 +6,10 @@ use drms_obs::{names, Phase};
 use drms_piofs::{Piofs, ReadAccess, ReadReq};
 
 use crate::handle::{encode_locals, CheckpointArray};
-use crate::manifest::{array_path, manifest_path, segment_path, ArrayEntry, CkptKind, Manifest};
+use crate::manifest::{
+    array_path, manifest_path, segment_path, task_segment_path, ArrayEntry, CkptKind,
+    FileIntegrity, Manifest,
+};
 use crate::report::OpBreakdown;
 use crate::segment::{DataSegment, RegionKind};
 use crate::{CoreError, IoMode, Result};
@@ -159,7 +162,18 @@ impl Drms {
             ctx,
             vec![ReadReq { path: seg_path, offset: 0, len, access: ReadAccess::Sequential }],
         )?;
-        let segment = DataSegment::decode(&got.pop().expect("one request"))?;
+        let seg_bytes = got.pop().expect("one request");
+        // End-to-end verification against the manifest's integrity record:
+        // bytes that survived the file system may still be bytes that rotted
+        // on it. v1 manifests carry no record and skip this.
+        if let Some(fi) = manifest.file_integrity("segment") {
+            if !fi.matches(&seg_bytes) {
+                return Err(CoreError::Integrity(format!(
+                    "segment of {prefix:?} fails checksum verification"
+                )));
+            }
+        }
+        let segment = DataSegment::decode(&seg_bytes)?;
         ctx.barrier();
         let t2 = ctx.now();
         phase_span(ctx, Phase::Init, "load_text", t0, t1);
@@ -254,6 +268,7 @@ impl Drms {
                         order: a.order(),
                     })
                     .collect(),
+                integrity: compute_integrity(fs, prefix),
             };
             let bytes = manifest.encode();
             fs.create(&manifest_path(prefix));
@@ -353,6 +368,7 @@ impl Drms {
                         order: a.order(),
                     })
                     .collect(),
+                integrity: compute_integrity(fs, prefix),
             };
             let bytes = manifest.encode();
             fs.create(&manifest_path(prefix));
@@ -445,6 +461,56 @@ impl Drms {
     }
 }
 
+/// Chunk size for integrity records: the file system's stripe unit, clamped
+/// to a sane range. Matching the stripe unit means a failing chunk maps
+/// directly onto the stripe units a parity repair must reconstruct.
+pub fn integrity_chunk(fs: &Piofs) -> u64 {
+    fs.cfg().stripe_unit.clamp(1024, 1 << 20)
+}
+
+/// Computes integrity records for every data file currently under `prefix`
+/// (manifest and quarantine markers excluded), in sorted-name order so the
+/// encoded manifest is deterministic. Writer-side (rank 0) control-plane
+/// operation.
+pub(crate) fn compute_integrity(fs: &Piofs, prefix: &str) -> Vec<FileIntegrity> {
+    let chunk = integrity_chunk(fs);
+    let dir = format!("{prefix}/");
+    let mut files: Vec<String> = fs.list(&dir).into_iter().map(|i| i.path).collect();
+    files.sort();
+    files
+        .into_iter()
+        .filter_map(|path| {
+            let name = path[dir.len()..].to_string();
+            if name == "manifest" || name.starts_with("manifest.") {
+                return None;
+            }
+            fs.peek(&path).map(|bytes| FileIntegrity::compute(&name, &bytes, chunk))
+        })
+        .collect()
+}
+
+/// Whether the checkpoint under `prefix` verifies end-to-end: the manifest
+/// decodes (for v2 that includes its trailing self-CRC), every file the
+/// checkpoint kind mandates exists, and every recorded integrity entry
+/// matches its file bitwise. A v1 manifest carries no integrity records and
+/// validates on existence alone. Control-plane operation (no clock).
+pub fn checkpoint_is_valid(fs: &Piofs, prefix: &str) -> bool {
+    let Some(bytes) = fs.peek(&manifest_path(prefix)) else { return false };
+    let Ok(m) = Manifest::decode(&bytes) else { return false };
+    let required: Vec<String> = match m.kind {
+        CkptKind::Drms => std::iter::once(segment_path(prefix))
+            .chain(m.arrays.iter().map(|a| array_path(prefix, &a.name)))
+            .collect(),
+        CkptKind::Spmd => (0..m.ntasks).map(|r| task_segment_path(prefix, r)).collect(),
+    };
+    if required.iter().any(|p| !fs.exists(p)) {
+        return false;
+    }
+    m.integrity
+        .iter()
+        .all(|fi| fs.peek(&format!("{prefix}/{}", fi.name)).is_some_and(|b| fi.matches(&b)))
+}
+
 /// Lists all complete checkpoints on the file system, newest SOP first,
 /// optionally filtered by application. Control-plane operation (no clock).
 pub fn find_checkpoints(fs: &Piofs, app: Option<&str>) -> Vec<(String, Manifest)> {
@@ -467,6 +533,11 @@ pub fn find_checkpoints(fs: &Piofs, app: Option<&str>) -> Vec<(String, Manifest)
 /// Deletes every file of the checkpoint under `prefix` (manifest first, so
 /// a concurrent observer never sees a manifest for missing data). Returns
 /// whether a checkpoint existed. Control-plane operation (no clock).
+///
+/// Deletion is resumable rather than atomic: if it is interrupted after the
+/// manifest is gone, the leftover data files are invisible to
+/// [`find_checkpoints`] and are reclaimed by the next [`sweep_orphans`]
+/// pass.
 pub fn delete_checkpoint(fs: &Piofs, prefix: &str) -> bool {
     let manifest = manifest_path(prefix);
     let existed = fs.delete(&manifest);
@@ -476,14 +547,62 @@ pub fn delete_checkpoint(fs: &Piofs, prefix: &str) -> bool {
     existed
 }
 
+/// Reclaims data files stranded by an interrupted [`delete_checkpoint`]:
+/// checkpoint-shaped files (`segment`, `task-{rank}`, `array-{name}`) whose
+/// prefix has no manifest. A prefix with a quarantined manifest
+/// (`manifest.quarantined`) is *not* an orphan — its data is deliberately
+/// preserved for diagnosis. Must not run concurrently with a checkpoint
+/// being written (data lands before the manifest does). Returns the swept
+/// prefixes. Control-plane operation (no clock).
+pub fn sweep_orphans(fs: &Piofs) -> Vec<String> {
+    let mut prefixes: std::collections::BTreeMap<String, (bool, Vec<String>)> = Default::default();
+    for info in fs.list("") {
+        let Some((prefix, name)) = info.path.rsplit_once('/') else { continue };
+        let entry = prefixes.entry(prefix.to_string()).or_default();
+        if name == "manifest" || name == "manifest.quarantined" {
+            entry.0 = true;
+        } else if name == "segment" || name.starts_with("task-") || name.starts_with("array-") {
+            entry.1.push(info.path.clone());
+        }
+    }
+    let mut swept = Vec::new();
+    for (prefix, (has_manifest, files)) in prefixes {
+        if has_manifest || files.is_empty() {
+            continue;
+        }
+        for f in &files {
+            fs.delete(f);
+        }
+        swept.push(prefix);
+    }
+    swept
+}
+
 /// Retention policy: keeps the `keep` newest complete checkpoints of `app`
 /// and deletes the rest. Returns the deleted prefixes. The paper notes that
 /// applications maintain multiple checkpointed states concurrently via
 /// prefixes; long-running jobs need exactly this kind of garbage collection.
+///
+/// Resilience-aware: when checkpoints newer than the newest *verified* one
+/// ([`checkpoint_is_valid`]) exist but fail verification, that verified
+/// checkpoint is what a restart would fall back to — so it is never deleted,
+/// even when the corrupt newcomers push it past the retention window. When
+/// the newest checkpoint verifies, retention behaves classically (and
+/// `keep == 0` purges everything).
 pub fn retain_checkpoints(fs: &Piofs, app: &str, keep: usize) -> Vec<String> {
     let all = find_checkpoints(fs, Some(app));
+    let protected = match all.iter().position(|(p, _)| checkpoint_is_valid(fs, p)) {
+        // Everything newer than index i failed verification, so index i is
+        // the restart fallback; protect it. i == 0 means the newest is
+        // healthy and needs no special treatment.
+        Some(i) if i > 0 => Some(all[i].0.clone()),
+        _ => None,
+    };
     let mut deleted = Vec::new();
     for (prefix, _) in all.into_iter().skip(keep) {
+        if Some(&prefix) == protected.as_ref() {
+            continue;
+        }
         delete_checkpoint(fs, &prefix);
         deleted.push(prefix);
     }

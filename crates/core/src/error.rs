@@ -33,6 +33,11 @@ pub enum CoreError {
         /// Human-readable description.
         String,
     ),
+    /// Checkpoint data failed checksum verification against its manifest.
+    Integrity(
+        /// Human-readable description.
+        String,
+    ),
 }
 
 impl fmt::Display for CoreError {
@@ -48,6 +53,7 @@ impl fmt::Display for CoreError {
                  {restarting}; only DRMS checkpoints are reconfigurable"
             ),
             CoreError::ManifestMismatch(m) => write!(f, "manifest mismatch: {m}"),
+            CoreError::Integrity(m) => write!(f, "integrity failure: {m}"),
         }
     }
 }

@@ -48,8 +48,8 @@ mod error;
 mod handle;
 
 pub use drms::{
-    delete_checkpoint, find_checkpoints, retain_checkpoints, Drms, DrmsConfig, EnableFlag,
-    RestartInfo, Start,
+    checkpoint_is_valid, delete_checkpoint, find_checkpoints, integrity_chunk, retain_checkpoints,
+    sweep_orphans, Drms, DrmsConfig, EnableFlag, RestartInfo, Start,
 };
 pub use error::CoreError;
 pub use handle::{decode_locals, encode_locals, CheckpointArray};

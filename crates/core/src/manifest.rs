@@ -15,10 +15,12 @@
 
 use drms_slices::{Order, Range, Slice};
 
-use crate::wire::{Reader, WireError, Writer};
+use crate::wire::{crc32, split_trailing_crc, Reader, WireError, Writer};
 
 const MAGIC: [u8; 4] = *b"DMFT";
-const VERSION: u32 = 1;
+/// Current manifest version. v1 had no integrity section and no trailing
+/// self-CRC; `decode` still accepts it (with `integrity` empty).
+const VERSION: u32 = 2;
 
 /// Which checkpointing scheme produced the state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,6 +44,69 @@ pub struct ArrayEntry {
     pub order: Order,
 }
 
+/// Integrity record for one checkpoint file: per-chunk CRC-32s plus a
+/// whole-file CRC. Chunk granularity is chosen by the writer (normally the
+/// PIOFS stripe unit) so a failing chunk maps directly onto the stripe
+/// units a parity repair must reconstruct.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FileIntegrity {
+    /// File name relative to the checkpoint prefix (e.g. `segment`,
+    /// `array-u`).
+    pub name: String,
+    /// File length in bytes.
+    pub len: u64,
+    /// Chunk size in bytes (last chunk may be short). Always > 0.
+    pub chunk: u64,
+    /// CRC-32 of each chunk, in order.
+    pub crcs: Vec<u32>,
+    /// CRC-32 of the whole file.
+    pub whole: u32,
+}
+
+impl FileIntegrity {
+    /// Computes the integrity record for `bytes` at `chunk` granularity.
+    pub fn compute(name: &str, bytes: &[u8], chunk: u64) -> FileIntegrity {
+        let chunk = chunk.max(1);
+        let crcs = bytes.chunks(chunk as usize).map(crc32).collect();
+        FileIntegrity {
+            name: name.to_string(),
+            len: bytes.len() as u64,
+            chunk,
+            crcs,
+            whole: crc32(bytes),
+        }
+    }
+
+    /// Byte range `[start, end)` of chunk `i` within the file.
+    pub fn chunk_range(&self, i: usize) -> (u64, u64) {
+        let start = i as u64 * self.chunk;
+        (start, (start + self.chunk).min(self.len))
+    }
+
+    /// Indices of chunks whose CRC does not match `bytes`. A length
+    /// mismatch marks every chunk corrupt (the file is not the one that
+    /// was checksummed).
+    pub fn corrupt_chunks(&self, bytes: &[u8]) -> Vec<usize> {
+        if bytes.len() as u64 != self.len {
+            return (0..self.crcs.len().max(1)).collect();
+        }
+        self.crcs
+            .iter()
+            .enumerate()
+            .filter(|&(i, &want)| {
+                let (s, e) = self.chunk_range(i);
+                crc32(&bytes[s as usize..e as usize]) != want
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Whether `bytes` matches this record exactly.
+    pub fn matches(&self, bytes: &[u8]) -> bool {
+        bytes.len() as u64 == self.len && crc32(bytes) == self.whole
+    }
+}
+
 /// The checkpoint manifest.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Manifest {
@@ -55,6 +120,9 @@ pub struct Manifest {
     pub sop: u64,
     /// Array streams present.
     pub arrays: Vec<ArrayEntry>,
+    /// Integrity records for the checkpoint's data files (v2+; empty when
+    /// decoded from a v1 manifest).
+    pub integrity: Vec<FileIntegrity>,
 }
 
 /// Path of the manifest file under `prefix`.
@@ -158,15 +226,32 @@ impl Manifest {
             });
             write_slice(&mut w, &a.domain);
         }
-        w.finish()
+        w.u32(self.integrity.len() as u32);
+        for fi in &self.integrity {
+            w.string(&fi.name);
+            w.u64(fi.len);
+            w.u64(fi.chunk);
+            w.u32(fi.crcs.len() as u32);
+            for &c in &fi.crcs {
+                w.u32(c);
+            }
+            w.u32(fi.whole);
+        }
+        // The manifest is the root of trust for the whole checkpoint, so it
+        // carries its own digest: a trailing CRC over everything above.
+        w.finish_with_crc()
     }
 
-    /// Decodes a manifest.
+    /// Decodes a manifest. Accepts the current version and v1 (pre-integrity,
+    /// no trailing CRC) for backward compatibility.
     pub fn decode(bytes: &[u8]) -> Result<Manifest, WireError> {
-        let (mut r, version) = Reader::with_header(bytes, MAGIC)?;
-        if version != VERSION {
-            return Err(WireError::BadVersion(version));
-        }
+        let (_, version) = Reader::with_header(bytes, MAGIC)?;
+        let body = match version {
+            1 => bytes,
+            VERSION => split_trailing_crc(bytes, "manifest")?,
+            v => return Err(WireError::BadVersion(v)),
+        };
+        let (mut r, _) = Reader::with_header(body, MAGIC)?;
         let app = r.string()?;
         let kind = match r.u8()? {
             0 => CkptKind::Drms,
@@ -188,7 +273,30 @@ impl Manifest {
             let domain = read_slice(&mut r)?;
             arrays.push(ArrayEntry { name, elem_code, domain, order });
         }
-        Ok(Manifest { app, kind, ntasks, sop, arrays })
+        let mut integrity = Vec::new();
+        if version >= 2 {
+            let n = r.u32()? as usize;
+            integrity.reserve(n);
+            for _ in 0..n {
+                let name = r.string()?;
+                let len = r.u64()?;
+                let chunk = r.u64()?;
+                let ncrcs = r.u32()? as usize;
+                let mut crcs = Vec::with_capacity(ncrcs);
+                for _ in 0..ncrcs {
+                    crcs.push(r.u32()?);
+                }
+                let whole = r.u32()?;
+                integrity.push(FileIntegrity { name, len, chunk, crcs, whole });
+            }
+        }
+        Ok(Manifest { app, kind, ntasks, sop, arrays, integrity })
+    }
+
+    /// Looks up the integrity record for a file (name relative to the
+    /// checkpoint prefix).
+    pub fn file_integrity(&self, name: &str) -> Option<&FileIntegrity> {
+        self.integrity.iter().find(|fi| fi.name == name)
     }
 
     /// Looks up an array entry by name.
@@ -224,6 +332,7 @@ mod tests {
                     order: Order::RowMajor,
                 },
             ],
+            integrity: vec![FileIntegrity::compute("segment", b"some segment bytes", 4)],
         }
     }
 
@@ -259,5 +368,73 @@ mod tests {
         let mut bytes = m.encode();
         bytes.truncate(10);
         assert!(Manifest::decode(&bytes).is_err());
+
+        // Any single flipped byte fails the trailing self-CRC.
+        let bytes = m.encode();
+        for i in 8..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x10;
+            assert!(Manifest::decode(&bad).is_err(), "flip at {i} went undetected");
+        }
+    }
+
+    /// Encodes `m` the way version 1 did: no integrity section, no
+    /// trailing CRC.
+    fn encode_v1(m: &Manifest) -> Vec<u8> {
+        let mut w = Writer::with_header(MAGIC, 1);
+        w.string(&m.app);
+        w.u8(match m.kind {
+            CkptKind::Drms => 0,
+            CkptKind::Spmd => 1,
+        });
+        w.u64(m.ntasks as u64);
+        w.u64(m.sop);
+        w.u32(m.arrays.len() as u32);
+        for a in &m.arrays {
+            w.string(&a.name);
+            w.u8(a.elem_code);
+            w.u8(match a.order {
+                Order::ColumnMajor => 0,
+                Order::RowMajor => 1,
+            });
+            write_slice(&mut w, &a.domain);
+        }
+        w.finish()
+    }
+
+    #[test]
+    fn v1_manifest_still_decodes() {
+        let mut m = sample();
+        let bytes = encode_v1(&m);
+        let d = Manifest::decode(&bytes).unwrap();
+        m.integrity.clear();
+        assert_eq!(d, m);
+    }
+
+    #[test]
+    fn unknown_version_rejected() {
+        let w = Writer::with_header(MAGIC, 9);
+        assert!(matches!(Manifest::decode(&w.finish()), Err(WireError::BadVersion(9))));
+    }
+
+    #[test]
+    fn file_integrity_chunking_and_detection() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        let fi = FileIntegrity::compute("array-u", &data, 256);
+        assert_eq!(fi.crcs.len(), 4);
+        assert_eq!(fi.chunk_range(3), (768, 1000));
+        assert!(fi.matches(&data));
+        assert!(fi.corrupt_chunks(&data).is_empty());
+
+        // Every single-byte flip is pinned to exactly its chunk.
+        for &pos in &[0usize, 255, 256, 700, 999] {
+            let mut bad = data.clone();
+            bad[pos] ^= 0x01;
+            assert!(!fi.matches(&bad));
+            assert_eq!(fi.corrupt_chunks(&bad), vec![pos / 256]);
+        }
+
+        // Length mismatch marks everything corrupt.
+        assert_eq!(fi.corrupt_chunks(&data[..999]).len(), 4);
     }
 }

@@ -55,6 +55,7 @@ pub fn checkpoint(
             ntasks: ctx.ntasks(),
             sop,
             arrays: Vec::new(),
+            integrity: crate::drms::compute_integrity(fs, prefix),
         };
         let bytes = manifest.encode();
         fs.create(&manifest_path(prefix));

@@ -35,6 +35,11 @@ pub enum WireError {
     },
     /// A string field was not valid UTF-8.
     BadUtf8,
+    /// A trailing CRC did not match the bytes it covers.
+    ChecksumMismatch {
+        /// What was being verified.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -46,11 +51,57 @@ impl fmt::Display for WireError {
             WireError::BadVersion(v) => write!(f, "unsupported format version {v}"),
             WireError::Truncated { what } => write!(f, "truncated while decoding {what}"),
             WireError::BadUtf8 => write!(f, "invalid UTF-8 in string field"),
+            WireError::ChecksumMismatch { what } => {
+                write!(f, "checksum mismatch verifying {what}")
+            }
         }
     }
 }
 
 impl std::error::Error for WireError {}
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) lookup table,
+/// computed at compile time. CRC-32 guarantees detection of any single-bit
+/// or single-byte error and any burst up to 32 bits — exactly the corruption
+/// classes the storage-resilience layer must catch.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Splits `buf` into its payload and a verified trailing CRC-32; errors when
+/// the buffer is too short or the CRC does not match the payload.
+pub fn split_trailing_crc<'a>(buf: &'a [u8], what: &'static str) -> Result<&'a [u8], WireError> {
+    if buf.len() < 4 {
+        return Err(WireError::Truncated { what });
+    }
+    let (payload, tail) = buf.split_at(buf.len() - 4);
+    let stored = u32::from_le_bytes(tail.try_into().expect("4 bytes"));
+    if crc32(payload) != stored {
+        return Err(WireError::ChecksumMismatch { what });
+    }
+    Ok(payload)
+}
 
 /// Append-only encoder.
 #[derive(Debug, Default)]
@@ -111,6 +162,14 @@ impl Writer {
 
     /// Finishes, returning the encoded bytes.
     pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Finishes, appending a CRC-32 of everything written so far. Pair with
+    /// [`split_trailing_crc`] on the read side.
+    pub fn finish_with_crc(mut self) -> Vec<u8> {
+        let crc = crc32(&self.buf);
+        self.buf.extend_from_slice(&crc.to_le_bytes());
         self.buf
     }
 
@@ -261,6 +320,36 @@ mod tests {
         buf.truncate(50);
         let mut r = Reader::new(&buf);
         assert!(matches!(r.blob(), Err(WireError::Truncated { what: "blob body" })));
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value for "123456789" under CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn trailing_crc_roundtrip_and_detection() {
+        let mut w = Writer::new();
+        w.string("payload");
+        w.u64(99);
+        let buf = w.finish_with_crc();
+        let payload = split_trailing_crc(&buf, "test").unwrap();
+        let mut r = Reader::new(payload);
+        assert_eq!(r.string().unwrap(), "payload");
+        assert_eq!(r.u64().unwrap(), 99);
+
+        // Any single corrupted byte — payload or CRC itself — is detected.
+        for i in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x41;
+            assert!(
+                matches!(split_trailing_crc(&bad, "test"), Err(WireError::ChecksumMismatch { .. })),
+                "flip at {i} went undetected"
+            );
+        }
+        assert!(matches!(split_trailing_crc(&[1, 2], "test"), Err(WireError::Truncated { .. })));
     }
 
     #[test]

@@ -5,7 +5,8 @@ use std::sync::Arc;
 
 use drms_core::segment::DataSegment;
 use drms_core::{
-    delete_checkpoint, find_checkpoints, retain_checkpoints, Drms, DrmsConfig, EnableFlag,
+    checkpoint_is_valid, delete_checkpoint, find_checkpoints, retain_checkpoints, sweep_orphans,
+    Drms, DrmsConfig, EnableFlag,
 };
 use drms_darray::{DistArray, Distribution};
 use drms_msg::{run_spmd, CostModel};
@@ -63,6 +64,62 @@ fn retention_keeps_newest() {
     assert!(prefixes.contains(&"ck/3"));
     assert!(deleted.contains(&"ck/1".to_string()));
     assert!(deleted.contains(&"ck/2".to_string()));
+}
+
+#[test]
+fn interrupted_deletion_leaves_no_permanent_orphans() {
+    let fs = Piofs::new(PiofsConfig::test_tiny(2), 1);
+    take_checkpoints(&fs, &["ck/a", "ck/b"]);
+
+    // Simulate a deletion that died right after removing the manifest: the
+    // data files are stranded, but invisible to discovery.
+    assert!(fs.delete("ck/a/manifest"));
+    assert!(!fs.list("ck/a/").is_empty(), "data files stranded");
+    assert_eq!(find_checkpoints(&fs, Some("gc")).len(), 1);
+
+    // The orphan sweep reclaims exactly the stranded prefix.
+    let swept = sweep_orphans(&fs);
+    assert_eq!(swept, vec!["ck/a".to_string()]);
+    assert!(fs.list("ck/a/").is_empty(), "orphaned data reclaimed");
+    assert!(fs.exists("ck/b/manifest"), "live checkpoint untouched");
+    assert!(fs.exists("ck/b/segment"));
+
+    // A second sweep finds nothing.
+    assert!(sweep_orphans(&fs).is_empty());
+}
+
+#[test]
+fn quarantined_checkpoints_survive_the_orphan_sweep() {
+    let fs = Piofs::new(PiofsConfig::test_tiny(2), 1);
+    take_checkpoints(&fs, &["ck/q"]);
+    // Quarantine: the manifest is renamed aside, so discovery skips the
+    // checkpoint, but its data is deliberately preserved for diagnosis.
+    assert!(fs.rename("ck/q/manifest", "ck/q/manifest.quarantined"));
+    assert!(find_checkpoints(&fs, Some("gc")).is_empty());
+    assert!(sweep_orphans(&fs).is_empty());
+    assert!(fs.exists("ck/q/segment"), "quarantined data preserved");
+    assert!(fs.exists("ck/q/array-u"));
+}
+
+#[test]
+fn retention_never_collects_the_newest_verified_checkpoint() {
+    let fs = Piofs::new(PiofsConfig::test_tiny(2), 1);
+    take_checkpoints(&fs, &["ck/1", "ck/2", "ck/3"]);
+
+    // Silently corrupt the newest checkpoint's segment: it still *looks*
+    // complete (manifest + files present) but fails chunk verification.
+    assert!(fs.corrupt_range("ck/3/segment", 0, 16, 7) > 0);
+    assert!(!checkpoint_is_valid(&fs, "ck/3"));
+    assert!(checkpoint_is_valid(&fs, "ck/2"));
+
+    // keep=1 would classically retain only corrupt ck/3 — but ck/2 is what
+    // a restart falls back to, so it must survive the collection.
+    let deleted = retain_checkpoints(&fs, "gc", 1);
+    assert_eq!(deleted, vec!["ck/1".to_string()]);
+    let remaining: Vec<String> =
+        find_checkpoints(&fs, Some("gc")).into_iter().map(|(p, _)| p).collect();
+    assert!(remaining.contains(&"ck/2".to_string()), "fallback checkpoint protected");
+    assert!(remaining.contains(&"ck/3".to_string()));
 }
 
 #[test]

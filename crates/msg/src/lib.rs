@@ -33,7 +33,9 @@ mod runner;
 
 pub use clock::{CostModel, SimClock};
 pub use comm::{Ctx, Incoming, ReduceOp, World};
-pub use runner::{run_spmd, run_spmd_traced, run_spmd_with_nodes, SpmdError};
+pub use runner::{
+    run_spmd, run_spmd_traced, run_spmd_with_nodes, run_spmd_with_nodes_traced, SpmdError,
+};
 
 /// Task identifier within an SPMD region (0-based rank).
 pub type Rank = usize;

@@ -75,6 +75,25 @@ where
     run_world(World::new_traced(ntasks, (0..ntasks).collect(), cost, recorder), f)
 }
 
+/// Runs `f` with both an explicit task → node placement (as in
+/// [`run_spmd_with_nodes`]) and an observability recorder (as in
+/// [`run_spmd_traced`]). This is the scheduler's entry point: the JSA places
+/// incarnations on whatever processors survive, and still wants their I/O
+/// and recovery activity in the trace.
+pub fn run_spmd_with_nodes_traced<R, F>(
+    ntasks: usize,
+    node_of: Vec<usize>,
+    cost: CostModel,
+    recorder: Arc<dyn Recorder>,
+    f: F,
+) -> Result<Vec<R>, SpmdError>
+where
+    R: Send,
+    F: Fn(&mut Ctx) -> R + Sync,
+{
+    run_world(World::new_traced(ntasks, node_of, cost, recorder), f)
+}
+
 fn run_world<R, F>(world: Arc<World>, f: F) -> Result<Vec<R>, SpmdError>
 where
     R: Send,

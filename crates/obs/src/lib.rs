@@ -67,6 +67,19 @@ pub mod names {
     /// Gauge (indexed by server): accumulated PIOFS server busy horizon
     /// in simulated seconds.
     pub const SERVER_BUSY: &str = "piofs.server_busy";
+    /// Counter: parity bytes written alongside data (RAID-5 overhead).
+    pub const PARITY_BYTES: &str = "piofs.parity_bytes";
+    /// Counter: bytes served by XOR reconstruction in degraded mode.
+    pub const RECONSTRUCTED_BYTES: &str = "piofs.reconstructed_bytes";
+    /// Counter: checkpoint chunks whose checksum failed verification.
+    pub const CORRUPTIONS_DETECTED: &str = "resil.corruptions_detected";
+    /// Counter: corrupt chunks repaired from parity by a scrub pass.
+    pub const CORRUPTIONS_REPAIRED: &str = "resil.corruptions_repaired";
+    /// Counter: checkpoints quarantined after failing verification.
+    pub const CHECKPOINTS_QUARANTINED: &str = "rtenv.checkpoints_quarantined";
+    /// Counter: total fallback depth (checkpoints skipped before a restart
+    /// found one that verified).
+    pub const FALLBACK_DEPTH: &str = "rtenv.fallback_depth";
 }
 
 /// Pipeline phase a span or event belongs to. Doubles as the Chrome-trace
@@ -89,6 +102,12 @@ pub enum Phase {
     IoPhase,
     /// Runtime-environment / control-plane activity.
     Control,
+    /// End-to-end checkpoint verification (manifest digest + chunk CRCs).
+    Verify,
+    /// A storage scrub pass (detect and repair corrupt stripes).
+    Scrub,
+    /// XOR reconstruction of lost stripes during degraded reads.
+    Reconstruct,
 }
 
 impl Phase {
@@ -103,11 +122,14 @@ impl Phase {
             Phase::Redistribute => "redistribute",
             Phase::IoPhase => "io_phase",
             Phase::Control => "control",
+            Phase::Verify => "verify",
+            Phase::Scrub => "scrub",
+            Phase::Reconstruct => "reconstruct",
         }
     }
 
     /// All phases, in summary-table order.
-    pub const ALL: [Phase; 8] = [
+    pub const ALL: [Phase; 11] = [
         Phase::Init,
         Phase::Segment,
         Phase::Arrays,
@@ -116,6 +138,9 @@ impl Phase {
         Phase::Redistribute,
         Phase::IoPhase,
         Phase::Control,
+        Phase::Verify,
+        Phase::Scrub,
+        Phase::Reconstruct,
     ];
 }
 

@@ -80,6 +80,15 @@ pub struct PiofsConfig {
     pub op_overhead: f64,
     /// Relative standard deviation of the Gaussian service-time jitter.
     pub jitter_sigma: f64,
+
+    // ---- resilience ---------------------------------------------------
+    /// RAID-5-style rotating XOR parity across the servers. Each parity
+    /// group covers `n_servers - 1` consecutive stripe units (which land on
+    /// `n_servers - 1` distinct servers); its parity block lives on the one
+    /// server the group's data skips. Tolerates the loss of any single
+    /// server; writes pay a parity-update penalty and degraded reads pay a
+    /// reconstruction penalty in virtual time. Requires `n_servers >= 2`.
+    pub parity: bool,
 }
 
 impl PiofsConfig {
@@ -109,6 +118,7 @@ impl PiofsConfig {
             occupancy_write_penalty: 0.35,
             op_overhead: 2e-3,
             jitter_sigma: 0.05,
+            parity: false,
         }
     }
 
@@ -139,7 +149,23 @@ impl PiofsConfig {
             occupancy_write_penalty: 0.0,
             op_overhead: 0.0,
             jitter_sigma: 0.0,
+            parity: false,
         }
+    }
+
+    /// Enables RAID-5-style XOR parity striping (see the `parity` field).
+    pub fn with_parity(mut self) -> PiofsConfig {
+        assert!(self.n_servers >= 2, "parity needs at least two servers");
+        self.parity = true;
+        self
+    }
+
+    /// The parity geometry in effect, when parity striping is enabled.
+    pub fn parity_geom(&self) -> Option<crate::parity::ParityGeom> {
+        (self.parity && self.n_servers >= 2).then_some(crate::parity::ParityGeom {
+            stripe_unit: self.stripe_unit,
+            n_servers: self.n_servers,
+        })
     }
 
     /// Scales every byte-denominated memory parameter **and** every fixed

@@ -8,9 +8,10 @@ use drms_msg::Ctx;
 use drms_obs::{names, Phase, Recorder};
 
 use crate::config::PiofsConfig;
+use crate::parity::ParityGeom;
 use crate::phase::{price_phase, DescKind, Pricing, ReadAccess, ReadReq, ReqDesc, WriteReq};
 use crate::rng::SplitMix64;
-use crate::store::FileData;
+use crate::store::{FileData, ReadFail};
 use crate::stripe::striped_bytes;
 
 /// Errors from file-system operations.
@@ -32,6 +33,17 @@ pub enum PiofsError {
         /// Actual file size.
         size: u64,
     },
+    /// A byte range lost with a failed server could not be served: parity
+    /// is disabled, the parity block is also gone, or a second server of
+    /// the same parity group is down.
+    StripeLost {
+        /// Offending path.
+        path: String,
+        /// Start of the unreconstructible range.
+        offset: u64,
+        /// Its length.
+        len: u64,
+    },
 }
 
 impl fmt::Display for PiofsError {
@@ -41,6 +53,11 @@ impl fmt::Display for PiofsError {
             PiofsError::OutOfBounds { path, offset, len, size } => write!(
                 f,
                 "read [{offset}, {}) out of bounds for {path} (size {size})",
+                offset + len
+            ),
+            PiofsError::StripeLost { path, offset, len } => write!(
+                f,
+                "range [{offset}, {}) of {path} lost with its server and not reconstructible",
                 offset + len
             ),
         }
@@ -64,6 +81,8 @@ struct State {
     busy: Vec<f64>,
     residency: Vec<u64>,
     rng: SplitMix64,
+    /// Which servers are currently failed.
+    down: Vec<bool>,
 }
 
 /// The simulated parallel file system.
@@ -97,6 +116,7 @@ impl Piofs {
                 busy: vec![0.0; n],
                 residency: vec![0; n],
                 rng: SplitMix64::new(seed),
+                down: vec![false; n],
             }),
         })
     }
@@ -104,6 +124,17 @@ impl Piofs {
     /// The configuration in effect.
     pub fn cfg(&self) -> &PiofsConfig {
         &self.cfg
+    }
+
+    /// Parity geometry, when parity striping is enabled.
+    fn geom(&self) -> Option<ParityGeom> {
+        self.cfg.parity_geom()
+    }
+
+    /// Plain stripe geometry (always defined; used for loss bookkeeping
+    /// whether or not parity is on).
+    fn stripe_geom(&self) -> ParityGeom {
+        ParityGeom { stripe_unit: self.cfg.stripe_unit, n_servers: self.cfg.n_servers }
     }
 
     /// Registers the resident memory of the application task placed on
@@ -179,8 +210,20 @@ impl Piofs {
         self.list(prefix).iter().map(|f| f.size).sum()
     }
 
-    /// Raw file contents without touching the clock (diagnostics/tests).
+    /// Logical file contents without touching the clock (diagnostics,
+    /// control-plane verification). Lost ranges are served by parity
+    /// reconstruction; `None` if the file is missing or any lost byte is
+    /// unreconstructible.
     pub fn peek(&self, path: &str) -> Option<Vec<u8>> {
+        let geom = self.geom();
+        let st = self.state.lock();
+        let f = st.files.get(path)?;
+        f.read_logical(0, f.len(), geom.as_ref()).ok().map(|(data, _)| data)
+    }
+
+    /// Stored bytes exactly as they sit on the (simulated) platters —
+    /// poison and silent corruption included. Diagnostics only.
+    pub fn peek_raw(&self, path: &str) -> Option<Vec<u8>> {
         self.state.lock().files.get(path).map(|f| f.bytes.clone())
     }
 
@@ -188,10 +231,152 @@ impl Piofs {
     /// (e.g. placing an application binary) that happens before the
     /// experiment clock starts.
     pub fn preload(&self, path: &str, bytes: Vec<u8>) {
+        let geom = self.geom();
         let mut st = self.state.lock();
         st.intern(path);
+        let down = st.down.clone();
         let f = st.files.get_mut(path).expect("interned");
-        f.bytes = bytes;
+        f.bytes.clear();
+        f.write_parity_aware(0, &bytes, geom.as_ref(), &down);
+    }
+
+    /// Renames a file; `true` if `from` existed (any file at `to` is
+    /// replaced). Control-plane operation (no clock).
+    pub fn rename(&self, from: &str, to: &str) -> bool {
+        if from == to {
+            return self.exists(from);
+        }
+        let mut st = self.state.lock();
+        match st.files.remove(from) {
+            Some(f) => {
+                st.files.insert(to.to_string(), f);
+                true
+            }
+            None => false,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Storage faults
+    // ------------------------------------------------------------------
+
+    /// Kills server `k`: every stripe unit (and, under parity, every parity
+    /// block) it held is destroyed — physically overwritten with a poison
+    /// pattern, so nothing can be served from it. Subsequent reads of the
+    /// affected ranges either reconstruct from parity or fail with
+    /// [`PiofsError::StripeLost`]. Returns the number of data bytes lost.
+    pub fn fail_server(&self, k: usize) -> u64 {
+        let geom = self.stripe_geom();
+        let parity_on = self.geom().is_some();
+        let mut st = self.state.lock();
+        assert!(k < st.down.len(), "server {k} out of range");
+        if st.down[k] {
+            return 0;
+        }
+        st.down[k] = true;
+        st.files.values_mut().map(|f| f.fail_server(k, &geom, parity_on)).sum()
+    }
+
+    /// Brings server `k` back and rebuilds its contents: lost stripe units
+    /// are reconstructed from parity, lost parity blocks are recomputed
+    /// from data. Returns the number of data bytes still lost afterwards
+    /// (non-zero only when another server is down too, or parity is
+    /// disabled). Control-plane operation (no clock; the restart paths
+    /// price degraded reads instead).
+    pub fn repair_server(&self, k: usize) -> u64 {
+        let Some(geom) = self.geom() else {
+            // Without parity there is nothing to rebuild from; the server
+            // returns empty and the lost ranges stay lost.
+            let mut st = self.state.lock();
+            if k < st.down.len() {
+                st.down[k] = false;
+            }
+            return st.files.values().map(|f| f.lost.total()).sum();
+        };
+        let mut st = self.state.lock();
+        assert!(k < st.down.len(), "server {k} out of range");
+        st.down[k] = false;
+        st.files.values_mut().map(|f| f.repair_after_server(k, &geom)).sum()
+    }
+
+    /// Whether server `k` is currently failed.
+    pub fn server_down(&self, k: usize) -> bool {
+        let st = self.state.lock();
+        k < st.down.len() && st.down[k]
+    }
+
+    /// Indices of currently failed servers.
+    pub fn downed_servers(&self) -> Vec<usize> {
+        let st = self.state.lock();
+        st.down.iter().enumerate().filter(|(_, &d)| d).map(|(k, _)| k).collect()
+    }
+
+    /// Silently corrupts stored bytes in `[offset, offset + len)` (clipped
+    /// to the file) by XORing them with a non-zero pattern derived from
+    /// `salt` — the simulation of bit rot or a misdirected write. Parity
+    /// and checksums are deliberately *not* updated: detection is the
+    /// verification layer's job. Returns the number of bytes changed.
+    pub fn corrupt_range(&self, path: &str, offset: u64, len: u64, salt: u64) -> u64 {
+        let mut st = self.state.lock();
+        let Some(f) = st.files.get_mut(path) else { return 0 };
+        let end = offset.saturating_add(len).min(f.len());
+        if offset >= end {
+            return 0;
+        }
+        let flip = (salt.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 56) as u8 | 0x01;
+        for b in &mut f.bytes[offset as usize..end as usize] {
+            *b ^= flip;
+        }
+        end - offset
+    }
+
+    /// Pure parity-based reconstruction of a byte range, ignoring the
+    /// stored bytes — what a scrub pass repairs a checksum-failed chunk
+    /// from. Control-plane operation (no clock).
+    pub fn reconstruct_range(
+        &self,
+        path: &str,
+        offset: u64,
+        len: u64,
+    ) -> Result<Vec<u8>, PiofsError> {
+        let Some(geom) = self.geom() else {
+            return Err(PiofsError::StripeLost { path: path.to_string(), offset, len });
+        };
+        let st = self.state.lock();
+        let f = st.files.get(path).ok_or_else(|| PiofsError::NotFound(path.to_string()))?;
+        f.reconstruct_range(offset, len, &geom).ok_or(PiofsError::StripeLost {
+            path: path.to_string(),
+            offset,
+            len,
+        })
+    }
+
+    /// Reconstructs `[offset, offset + len)` from parity and writes it back
+    /// over the stored bytes — the repair step of a scrub pass. Lost ranges
+    /// (on a currently-down server) are reconstructed in the returned data
+    /// but not patched back, since the server holding them is still gone.
+    /// Returns the repaired bytes. Control-plane operation (no clock).
+    pub fn repair_range(&self, path: &str, offset: u64, len: u64) -> Result<Vec<u8>, PiofsError> {
+        let data = self.reconstruct_range(path, offset, len)?;
+        let mut st = self.state.lock();
+        let f = st.files.get_mut(path).ok_or_else(|| PiofsError::NotFound(path.to_string()))?;
+        let end = offset + len;
+        let mut cursor = offset;
+        // Patch only the non-lost sub-ranges.
+        let lost = f.lost.clipped(offset, end);
+        for (a, b) in lost.iter().copied().chain(std::iter::once((end, end))) {
+            if cursor < a {
+                let (s, e) = ((cursor - offset) as usize, (a - offset) as usize);
+                f.write_at(cursor, &data[s..e]);
+            }
+            cursor = b.max(cursor);
+        }
+        Ok(data)
+    }
+
+    /// Total bytes currently lost (poisoned with their server) in `path`.
+    pub fn lost_bytes(&self, path: &str) -> u64 {
+        self.state.lock().files.get(path).map_or(0, |f| f.lost.total())
     }
 
     // ------------------------------------------------------------------
@@ -205,9 +390,16 @@ impl Piofs {
         let node = ctx.node();
         let rank = ctx.rank();
         let now = ctx.now();
+        let geom = self.geom();
         let mut st = self.state.lock();
         let id = st.intern(path);
-        st.files.get_mut(path).expect("interned").write_at(offset, data);
+        let down = st.down.clone();
+        let parity_bytes = st.files.get_mut(path).expect("interned").write_parity_aware(
+            offset,
+            data,
+            geom.as_ref(),
+            &down,
+        );
         let desc = ReqDesc {
             client: rank,
             node,
@@ -218,6 +410,10 @@ impl Piofs {
         };
         let pricing = st.price(&self.cfg, now, &[desc], &[rank]);
         drop(st);
+        let rec = ctx.recorder();
+        if rec.enabled() && parity_bytes > 0 {
+            rec.counter_add(rank, names::PARITY_BYTES, None, parity_bytes);
+        }
         self.observe_phase(
             ctx.recorder(),
             rank,
@@ -240,19 +436,30 @@ impl Piofs {
         let node = ctx.node();
         let rank = ctx.rank();
         let now = ctx.now();
+        let geom = self.geom();
         let mut st = self.state.lock();
         let file = st.files.get(path).ok_or_else(|| PiofsError::NotFound(path.to_string()))?;
-        let data = file.read_at(offset, len).ok_or_else(|| PiofsError::OutOfBounds {
-            path: path.to_string(),
-            offset,
-            len,
-            size: file.len(),
-        })?;
+        let (data, reconstructed) =
+            file.read_logical(offset, len, geom.as_ref()).map_err(|e| match e {
+                ReadFail::OutOfBounds => PiofsError::OutOfBounds {
+                    path: path.to_string(),
+                    offset,
+                    len,
+                    size: file.len(),
+                },
+                ReadFail::Lost { offset, len } => {
+                    PiofsError::StripeLost { path: path.to_string(), offset, len }
+                }
+            })?;
         let id = file.id;
         let desc =
             ReqDesc { client: rank, node, path_id: id, offset, len, kind: DescKind::Read(access) };
         let pricing = st.price(&self.cfg, now, &[desc], &[rank]);
         drop(st);
+        let rec = ctx.recorder();
+        if rec.enabled() && reconstructed > 0 {
+            rec.counter_add(rank, names::RECONSTRUCTED_BYTES, None, reconstructed);
+        }
         self.observe_phase(ctx.recorder(), rank, "read_at", &[(offset, len)], &pricing);
         ctx.advance_to(pricing.completion[&rank]);
         Ok(data)
@@ -268,12 +475,20 @@ impl Piofs {
     /// advances to its computed completion.
     pub fn collective_write(&self, ctx: &mut Ctx, reqs: Vec<WriteReq>) {
         // Store this task's bytes and build wire descriptors.
+        let geom = self.geom();
         let mut descs = Vec::with_capacity(reqs.len());
+        let mut parity_bytes = 0;
         {
             let mut st = self.state.lock();
+            let down = st.down.clone();
             for r in &reqs {
                 st.intern(&r.path);
-                st.files.get_mut(&r.path).expect("interned").write_at(r.offset, &r.data);
+                parity_bytes += st.files.get_mut(&r.path).expect("interned").write_parity_aware(
+                    r.offset,
+                    &r.data,
+                    geom.as_ref(),
+                    &down,
+                );
                 descs.push(WireDesc {
                     path: r.path.clone(),
                     offset: r.offset,
@@ -281,6 +496,11 @@ impl Piofs {
                     kind: DescKind::Write,
                 });
             }
+        }
+        let rank = ctx.rank();
+        let rec = ctx.recorder();
+        if rec.enabled() && parity_bytes > 0 {
+            rec.counter_add(rank, names::PARITY_BYTES, None, parity_bytes);
         }
         self.run_phase(ctx, descs);
     }
@@ -303,17 +523,34 @@ impl Piofs {
             .collect();
         self.run_phase(ctx, descs);
         // Fetch this task's data (contents are stable during the phase).
-        let st = self.state.lock();
+        let geom = self.geom();
+        let mut reconstructed = 0;
         let mut out = Vec::with_capacity(reqs.len());
-        for r in &reqs {
-            let file = st.files.get(&r.path).ok_or_else(|| PiofsError::NotFound(r.path.clone()))?;
-            let data = file.read_at(r.offset, r.len).ok_or_else(|| PiofsError::OutOfBounds {
-                path: r.path.clone(),
-                offset: r.offset,
-                len: r.len,
-                size: file.len(),
-            })?;
-            out.push(data);
+        {
+            let st = self.state.lock();
+            for r in &reqs {
+                let file =
+                    st.files.get(&r.path).ok_or_else(|| PiofsError::NotFound(r.path.clone()))?;
+                let (data, rec) =
+                    file.read_logical(r.offset, r.len, geom.as_ref()).map_err(|e| match e {
+                        ReadFail::OutOfBounds => PiofsError::OutOfBounds {
+                            path: r.path.clone(),
+                            offset: r.offset,
+                            len: r.len,
+                            size: file.len(),
+                        },
+                        ReadFail::Lost { offset, len } => {
+                            PiofsError::StripeLost { path: r.path.clone(), offset, len }
+                        }
+                    })?;
+                reconstructed += rec;
+                out.push(data);
+            }
+        }
+        let rank = ctx.rank();
+        let rec = ctx.recorder();
+        if rec.enabled() && reconstructed > 0 {
+            rec.counter_add(rank, names::RECONSTRUCTED_BYTES, None, reconstructed);
         }
         Ok(out)
     }
@@ -416,7 +653,42 @@ impl State {
         reqs: &[ReqDesc],
         participants: &[usize],
     ) -> Pricing {
-        let pricing = price_phase(
+        // Parity penalties: a read-modify-write of the parity block per
+        // group a write touches; a full-group reconstruction read per lost
+        // group a read crosses. Deterministic functions of the request set
+        // and loss state — no rng — so the jitter stream (and thus every
+        // existing trace) is unchanged when parity is off.
+        let mut penalty: HashMap<usize, f64> = HashMap::new();
+        if let Some(g) = cfg.parity_geom() {
+            let by_id: HashMap<u64, &FileData> = self.files.values().map(|f| (f.id, f)).collect();
+            let su = g.stripe_unit as f64;
+            for r in reqs {
+                if r.len == 0 {
+                    continue;
+                }
+                let end = r.offset + r.len;
+                match r.kind {
+                    DescKind::Write => {
+                        let groups = g.groups_overlapping(r.offset, end);
+                        let n = (groups.end - groups.start) as f64;
+                        *penalty.entry(r.client).or_default() +=
+                            n * (su / cfg.server_write_bw + cfg.chunk_overhead_write);
+                    }
+                    DescKind::Read(_) => {
+                        let Some(f) = by_id.get(&r.path_id) else { continue };
+                        let mut lost_groups = std::collections::BTreeSet::new();
+                        for (a, b) in f.lost.clipped(r.offset, end) {
+                            lost_groups.extend(g.groups_overlapping(a, b));
+                        }
+                        let per_group = (g.n_servers as f64 - 1.0) * su / cfg.server_disk_read_bw
+                            + cfg.chunk_overhead_read;
+                        *penalty.entry(r.client).or_default() +=
+                            lost_groups.len() as f64 * per_group;
+                    }
+                }
+            }
+        }
+        let mut pricing = price_phase(
             cfg,
             &self.busy,
             &self.residency,
@@ -426,6 +698,11 @@ impl State {
             &mut self.rng,
         );
         self.busy = pricing.server_busy.clone();
+        for (client, p) in penalty {
+            if let Some(c) = pricing.completion.get_mut(&client) {
+                *c += p;
+            }
+        }
         pricing
     }
 }
@@ -580,6 +857,128 @@ mod tests {
         };
         assert_eq!(run(5), run(5));
         assert_ne!(run(5), run(6));
+    }
+
+    fn parity_fs() -> Arc<Piofs> {
+        Piofs::new(PiofsConfig::test_tiny(4).with_parity(), 1)
+    }
+
+    #[test]
+    fn server_loss_is_transparent_under_parity() {
+        let fs = parity_fs();
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        fs.preload("ck/seg", data.clone());
+        let lost = fs.fail_server(2);
+        assert!(lost > 0);
+        assert!(fs.server_down(2));
+        assert_eq!(fs.downed_servers(), vec![2]);
+        // Raw bytes are genuinely poisoned...
+        assert_ne!(fs.peek_raw("ck/seg").unwrap(), data);
+        // ...but the logical view reconstructs bitwise.
+        assert_eq!(fs.peek("ck/seg").unwrap(), data);
+        // The clocked read path reconstructs too, and reports it.
+        let got = run_spmd(1, CostModel::free(), |ctx| {
+            fs.read_at(ctx, "ck/seg", 0, 10_000, ReadAccess::Sequential).unwrap()
+        })
+        .unwrap();
+        assert_eq!(got[0], data);
+        // Repair brings the raw copy back and clears the loss.
+        assert_eq!(fs.repair_server(2), 0);
+        assert!(!fs.server_down(2));
+        assert_eq!(fs.peek_raw("ck/seg").unwrap(), data);
+        assert_eq!(fs.lost_bytes("ck/seg"), 0);
+    }
+
+    #[test]
+    fn server_loss_without_parity_fails_reads() {
+        let fs = fs();
+        fs.preload("f", vec![5; 8192]);
+        fs.fail_server(0);
+        assert!(fs.peek("f").is_none());
+        run_spmd(1, CostModel::free(), |ctx| {
+            assert!(matches!(
+                fs.read_at(ctx, "f", 0, 8192, ReadAccess::Sequential),
+                Err(PiofsError::StripeLost { .. })
+            ));
+        })
+        .unwrap();
+        assert!(fs.repair_server(0) > 0, "loss is permanent without parity");
+    }
+
+    #[test]
+    fn degraded_write_then_double_check() {
+        let fs = parity_fs();
+        let mut data = vec![3u8; 6000];
+        fs.preload("f", data.clone());
+        fs.fail_server(1);
+        // Write through the degraded array: a clocked single-client write.
+        run_spmd(1, CostModel::free(), |ctx| {
+            fs.write_at(ctx, "f", 1000, &[77; 2500]);
+        })
+        .unwrap();
+        data[1000..3500].fill(77);
+        assert_eq!(fs.peek("f").unwrap(), data, "write lands even on lost units");
+        // A second failure makes the affected groups unreadable — no
+        // fabricated data.
+        fs.fail_server(3);
+        assert!(fs.peek("f").is_none());
+    }
+
+    #[test]
+    fn corrupt_range_then_repair_range() {
+        let fs = parity_fs();
+        let data: Vec<u8> = (0..5000u32).map(|i| (i * 7 % 256) as u8).collect();
+        fs.preload("f", data.clone());
+        // Silent corruption: logical reads serve the garbage (detection is
+        // the checksum layer's job).
+        assert_eq!(fs.corrupt_range("f", 2048, 100, 42), 100);
+        assert_ne!(fs.peek("f").unwrap(), data);
+        // Scrub repair: reconstruct the chunk's stripe unit from parity.
+        let fixed = fs.repair_range("f", 2048, 1024).unwrap();
+        assert_eq!(fixed, data[2048..3072].to_vec());
+        assert_eq!(fs.peek("f").unwrap(), data);
+    }
+
+    #[test]
+    fn rename_moves_contents() {
+        let fs = fs();
+        fs.preload("a", vec![1, 2, 3]);
+        assert!(fs.rename("a", "b"));
+        assert!(!fs.exists("a"));
+        assert_eq!(fs.peek("b").unwrap(), vec![1, 2, 3]);
+        assert!(!fs.rename("missing", "c"));
+        assert!(fs.rename("b", "b"));
+    }
+
+    #[test]
+    fn degraded_reads_cost_more_and_stay_deterministic() {
+        let run = |kill: bool| -> f64 {
+            let fs = Piofs::new(PiofsConfig::sp_1997().with_parity(), 9);
+            fs.preload("seg", vec![11; 4 << 20]);
+            if kill {
+                fs.fail_server(3);
+            }
+            run_spmd(4, CostModel::free(), |ctx| {
+                fs.collective_read(
+                    ctx,
+                    vec![ReadReq {
+                        path: "seg".into(),
+                        offset: (ctx.rank() as u64) << 20,
+                        len: 1 << 20,
+                        access: ReadAccess::Sequential,
+                    }],
+                )
+                .unwrap();
+                ctx.now()
+            })
+            .unwrap()
+            .into_iter()
+            .fold(0.0, f64::max)
+        };
+        let clean = run(false);
+        let degraded = run(true);
+        assert!(degraded > clean, "degraded {degraded} vs clean {clean}");
+        assert_eq!(run(true), degraded, "deterministic per seed");
     }
 
     #[test]

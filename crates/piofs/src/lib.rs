@@ -32,6 +32,7 @@
 #![deny(missing_docs)]
 
 pub mod config;
+pub mod parity;
 pub mod phase;
 pub mod rng;
 pub mod stripe;
@@ -41,4 +42,5 @@ mod store;
 
 pub use config::PiofsConfig;
 pub use fs::{FileInfo, Piofs, PiofsError};
+pub use parity::ParityGeom;
 pub use phase::{ReadAccess, ReadReq, WriteReq};

@@ -1,0 +1,123 @@
+//! RAID-5-style rotating XOR parity geometry.
+//!
+//! Data placement is unchanged from plain striping: byte `b` lives in stripe
+//! unit `u = b / stripe_unit` on server `u mod n`. Parity is layered on top
+//! of that layout: **parity group** `g` covers the `n - 1` consecutive data
+//! units `[g*(n-1), (g+1)*(n-1))`. Those units land on `n - 1` *distinct*
+//! servers, and the one server the group's data skips —
+//! `(n - 1 - (g mod n)) mod n` — holds the group's parity block: the
+//! byte-wise XOR of the group's units (zero-padded past end-of-file). The
+//! parity server rotates with `g` (left-symmetric RAID-5), so parity load
+//! spreads evenly.
+//!
+//! Because every group touches each server at most once (data or parity),
+//! the loss of any single server costs each group at most one block, and the
+//! missing block is the XOR of the survivors. XOR is byte-positional, so
+//! sub-unit ranges (e.g. one corrupt checksum chunk) reconstruct without
+//! touching the rest of the group.
+
+use std::ops::Range;
+
+/// Parity geometry derived from the file-system configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParityGeom {
+    /// Stripe unit in bytes.
+    pub stripe_unit: u64,
+    /// Number of servers (>= 2).
+    pub n_servers: usize,
+}
+
+impl ParityGeom {
+    /// Logical data bytes covered by one parity group.
+    pub fn group_span(&self) -> u64 {
+        self.stripe_unit * (self.n_servers as u64 - 1)
+    }
+
+    /// Parity group holding logical byte `b`.
+    pub fn group_of_byte(&self, b: u64) -> u64 {
+        b / self.group_span()
+    }
+
+    /// Number of parity groups a file of `len` bytes needs.
+    pub fn group_count(&self, len: u64) -> u64 {
+        len.div_ceil(self.group_span())
+    }
+
+    /// Server holding data stripe unit `u`.
+    pub fn unit_server(&self, u: u64) -> usize {
+        (u % self.n_servers as u64) as usize
+    }
+
+    /// Server holding the parity block of group `g`: the one server the
+    /// group's `n - 1` data units skip.
+    pub fn parity_server(&self, g: u64) -> usize {
+        let n = self.n_servers as u64;
+        ((n - 1 - (g % n)) % n) as usize
+    }
+
+    /// Data stripe units belonging to group `g`.
+    pub fn units_of_group(&self, g: u64) -> Range<u64> {
+        let d = self.n_servers as u64 - 1;
+        g * d..(g + 1) * d
+    }
+
+    /// Groups overlapping the logical byte range `[start, end)`.
+    pub fn groups_overlapping(&self, start: u64, end: u64) -> Range<u64> {
+        if end <= start {
+            return 0..0;
+        }
+        self.group_of_byte(start)..self.group_of_byte(end - 1) + 1
+    }
+
+    /// Logical byte range `[start, end)` of stripe unit `u`, clipped to a
+    /// file of `len` bytes.
+    pub fn unit_range(&self, u: u64, len: u64) -> (u64, u64) {
+        let start = u * self.stripe_unit;
+        (start.min(len), ((u + 1) * self.stripe_unit).min(len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parity_server_is_the_one_server_without_group_data() {
+        for n in 2..=9usize {
+            let g = ParityGeom { stripe_unit: 4, n_servers: n };
+            for grp in 0..40u64 {
+                let data_servers: std::collections::BTreeSet<usize> =
+                    g.units_of_group(grp).map(|u| g.unit_server(u)).collect();
+                assert_eq!(data_servers.len(), n - 1, "n={n} g={grp}");
+                let p = g.parity_server(grp);
+                assert!(!data_servers.contains(&p), "n={n} g={grp} parity {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn parity_rotates_across_servers() {
+        let g = ParityGeom { stripe_unit: 64, n_servers: 4 };
+        let seen: std::collections::BTreeSet<usize> =
+            (0..4u64).map(|grp| g.parity_server(grp)).collect();
+        assert_eq!(seen.len(), 4, "every server takes a parity turn");
+    }
+
+    #[test]
+    fn group_arithmetic() {
+        let g = ParityGeom { stripe_unit: 10, n_servers: 3 }; // span 20
+        assert_eq!(g.group_span(), 20);
+        assert_eq!(g.group_of_byte(0), 0);
+        assert_eq!(g.group_of_byte(19), 0);
+        assert_eq!(g.group_of_byte(20), 1);
+        assert_eq!(g.group_count(0), 0);
+        assert_eq!(g.group_count(20), 1);
+        assert_eq!(g.group_count(21), 2);
+        assert_eq!(g.groups_overlapping(5, 5), 0..0);
+        assert_eq!(g.groups_overlapping(0, 20), 0..1);
+        assert_eq!(g.groups_overlapping(19, 21), 0..2);
+        assert_eq!(g.units_of_group(2), 4..6);
+        assert_eq!(g.unit_range(1, 15), (10, 15));
+        assert_eq!(g.unit_range(2, 15), (15, 15));
+    }
+}

@@ -77,6 +77,41 @@ impl IntervalSet {
     pub fn intervals(&self) -> &[(u64, u64)] {
         &self.ivs
     }
+
+    /// Whether any covered byte falls in `[start, end)`.
+    pub fn overlaps(&self, start: u64, end: u64) -> bool {
+        self.ivs.iter().any(|&(a, b)| a < end && b > start)
+    }
+
+    /// The covered sub-intervals of `[start, end)`, clipped to it.
+    pub fn clipped(&self, start: u64, end: u64) -> Vec<(u64, u64)> {
+        self.ivs
+            .iter()
+            .filter(|&&(a, b)| a < end && b > start)
+            .map(|&(a, b)| (a.max(start), b.min(end)))
+            .collect()
+    }
+
+    /// Removes `[start, end)` from the covered set, splitting intervals.
+    pub fn remove(&mut self, start: u64, end: u64) {
+        if end <= start {
+            return;
+        }
+        let mut out = Vec::with_capacity(self.ivs.len() + 1);
+        for &(a, b) in &self.ivs {
+            if b <= start || a >= end {
+                out.push((a, b));
+                continue;
+            }
+            if a < start {
+                out.push((a, start));
+            }
+            if b > end {
+                out.push((end, b));
+            }
+        }
+        self.ivs = out;
+    }
 }
 
 #[cfg(test)]
@@ -140,6 +175,24 @@ mod tests {
         s.insert(5, 5);
         s.insert(9, 3);
         assert_eq!(s.total(), 0);
+    }
+
+    #[test]
+    fn interval_set_overlap_clip_remove() {
+        let mut s = IntervalSet::new();
+        s.insert(10, 20);
+        s.insert(30, 40);
+        assert!(s.overlaps(0, 11));
+        assert!(!s.overlaps(20, 30));
+        assert!(s.overlaps(35, 36));
+        assert_eq!(s.clipped(15, 35), vec![(15, 20), (30, 35)]);
+        assert_eq!(s.clipped(20, 30), Vec::<(u64, u64)>::new());
+
+        s.remove(12, 35); // splits the first, truncates the second
+        assert_eq!(s.intervals(), &[(10, 12), (35, 40)]);
+        s.remove(0, 100);
+        assert_eq!(s.total(), 0);
+        s.remove(5, 5); // no-op on empty/degenerate
     }
 
     #[test]

@@ -60,6 +60,22 @@ pub enum Event {
         /// Application name.
         app: String,
     },
+    /// A checkpoint failed verification (and could not be scrubbed back to
+    /// health), so the restart walk took it out of circulation.
+    CheckpointQuarantined {
+        /// Quarantined checkpoint prefix.
+        prefix: String,
+    },
+    /// A restart skipped damaged checkpoints and fell back to an older,
+    /// verified one.
+    RestartFallback {
+        /// Application name.
+        app: String,
+        /// The checkpoint the restart settled on.
+        prefix: String,
+        /// How many newer checkpoints were skipped.
+        depth: usize,
+    },
 }
 
 impl fmt::Display for Event {
@@ -82,6 +98,12 @@ impl fmt::Display for Event {
             Event::JobCompleted { app } => write!(f, "job {app} completed"),
             Event::CheckpointEnabled { app } => {
                 write!(f, "checkpoint enabled for {app}")
+            }
+            Event::CheckpointQuarantined { prefix } => {
+                write!(f, "checkpoint {prefix} quarantined after failed verification")
+            }
+            Event::RestartFallback { app, prefix, depth } => {
+                write!(f, "job {app} fell back {depth} checkpoint(s) to {prefix}")
             }
         }
     }
@@ -123,6 +145,12 @@ impl EventLog {
         EventLog { inner: Arc::default(), recorder }
     }
 
+    /// The recorder events are mirrored into (the [`NullRecorder`] unless
+    /// built with [`EventLog::with_recorder`]).
+    pub fn recorder(&self) -> Arc<dyn Recorder> {
+        Arc::clone(&self.recorder)
+    }
+
     /// Appends an event.
     pub fn record(&self, e: Event) {
         let mut events = self.inner.lock();
@@ -134,6 +162,12 @@ impl EventLog {
                     self.recorder.counter_add(0, names::JOB_STARTS, None, 1)
                 }
                 Event::TcRestarted { .. } => self.recorder.counter_add(0, names::RETRIES, None, 1),
+                Event::CheckpointQuarantined { .. } => {
+                    self.recorder.counter_add(0, names::CHECKPOINTS_QUARANTINED, None, 1)
+                }
+                Event::RestartFallback { depth, .. } => {
+                    self.recorder.counter_add(0, names::FALLBACK_DEPTH, None, *depth as u64)
+                }
                 _ => {}
             }
         }

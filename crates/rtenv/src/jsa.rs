@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use drms_core::{find_checkpoints, EnableFlag};
-use drms_msg::{run_spmd_with_nodes, CostModel};
+use drms_msg::{run_spmd_with_nodes_traced, CostModel};
 use drms_piofs::Piofs;
 
 use crate::events::{Event, EventLog};
@@ -20,11 +20,17 @@ pub struct JsaPolicy {
     /// Repair all failed processors automatically when a job cannot fit in
     /// the available pool (otherwise the job stays queued until `repair`).
     pub repair_when_starved: bool,
+    /// Verify checkpoints before restarting from them: the restart walks
+    /// the chain newest-first, scrubs repairable corruption from parity,
+    /// quarantines checkpoints that stay damaged, and settles on the newest
+    /// one that verifies end-to-end. When off, the JSA trusts the newest
+    /// manifest blindly (the pre-resilience behavior).
+    pub verified_restart: bool,
 }
 
 impl Default for JsaPolicy {
     fn default() -> Self {
-        JsaPolicy { max_incarnations: 16, repair_when_starved: false }
+        JsaPolicy { max_incarnations: 16, repair_when_starved: false, verified_restart: true }
     }
 }
 
@@ -37,6 +43,10 @@ pub struct IncarnationRecord {
     pub procs: Vec<usize>,
     /// Checkpoint prefix it restarted from, if any.
     pub restart_from: Option<String>,
+    /// Newer-but-damaged checkpoints the restart walk skipped to reach
+    /// `restart_from` (0 when the newest checkpoint was healthy or
+    /// verification is off).
+    pub fallback_depth: usize,
     /// How the incarnation ended.
     pub outcome: JobOutcome,
 }
@@ -115,9 +125,32 @@ impl Jsa {
             let ntasks = avail.len().min(max_tasks);
             let procs: Vec<usize> = avail.into_iter().take(ntasks).collect();
 
-            // Restart from the newest complete checkpoint, if one exists.
-            let restart_from =
-                find_checkpoints(&self.fs, Some(&job.app)).first().map(|(p, _)| p.clone());
+            // Restart from the newest checkpoint that can be trusted, if one
+            // exists: under `verified_restart` the walk scrubs repairable
+            // damage, quarantines the rest, and reports how far it fell back.
+            let (restart_from, fallback_depth) = if self.policy.verified_restart {
+                let plan = drms_resil::choose_restart(
+                    &self.fs,
+                    Some(&job.app),
+                    &*self.log.recorder(),
+                    incarnation as f64,
+                );
+                for prefix in &plan.quarantined {
+                    self.log.record(Event::CheckpointQuarantined { prefix: prefix.clone() });
+                }
+                if let Some((prefix, _)) = &plan.chosen {
+                    if plan.fallback_depth > 0 {
+                        self.log.record(Event::RestartFallback {
+                            app: job.app.clone(),
+                            prefix: prefix.clone(),
+                            depth: plan.fallback_depth,
+                        });
+                    }
+                }
+                (plan.chosen.map(|(p, _)| p), plan.fallback_depth)
+            } else {
+                (find_checkpoints(&self.fs, Some(&job.app)).first().map(|(p, _)| p.clone()), 0)
+            };
 
             let kill = KillToken::new();
             self.rc.form_pool(&job.app, &procs, kill.clone());
@@ -135,9 +168,14 @@ impl Jsa {
                 incarnation,
             };
             let body = Arc::clone(&job.body);
-            let outcomes =
-                run_spmd_with_nodes(ntasks, procs.clone(), self.cost, move |ctx| body(ctx, &env))
-                    .unwrap_or_else(|e| vec![JobOutcome::Failed(e.to_string())]);
+            let outcomes = run_spmd_with_nodes_traced(
+                ntasks,
+                procs.clone(),
+                self.cost,
+                self.log.recorder(),
+                move |ctx| body(ctx, &env),
+            )
+            .unwrap_or_else(|e| vec![JobOutcome::Failed(e.to_string())]);
 
             // Merge task outcomes: any kill or failure dominates.
             let outcome = outcomes
@@ -151,6 +189,7 @@ impl Jsa {
                 ntasks,
                 procs: procs.clone(),
                 restart_from,
+                fallback_depth,
                 outcome: outcome.clone(),
             });
 

@@ -12,13 +12,18 @@
 //!   parallel array-section streaming;
 //! * [`core`] — the DRMS programming model: data segments, reconfigurable
 //!   checkpoint/restart, and the conventional SPMD checkpointing baseline;
+//! * [`resil`] — storage resilience: checkpoint verification, scrub and
+//!   parity repair, seeded storage-fault campaigns, restart fallback;
 //! * [`rtenv`] — the RC/TC/JSA run-time environment and failure recovery;
+//! * [`obs`] — the observability layer (recorders, phases, counters);
 //! * [`apps`] — mini NAS-parallel-benchmark applications (BT, LU, SP).
 
 pub use drms_apps as apps;
 pub use drms_core as core;
 pub use drms_darray as darray;
 pub use drms_msg as msg;
+pub use drms_obs as obs;
 pub use drms_piofs as piofs;
+pub use drms_resil as resil;
 pub use drms_rtenv as rtenv;
 pub use drms_slices as slices;
