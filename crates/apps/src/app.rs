@@ -4,6 +4,7 @@ use drms_core::report::OpBreakdown;
 use drms_core::segment::{DataSegment, RegionKind, SegmentAnatomy};
 use drms_core::{spmd, CheckpointArray, CoreError, Drms, EnableFlag, Start};
 use drms_darray::DistArray;
+use drms_memtier::{MemTier, MemTierError, SpillReport, StoreReport, SEGMENT_FILE};
 use drms_msg::Ctx;
 use drms_piofs::Piofs;
 use drms_slices::Order;
@@ -228,6 +229,88 @@ impl MiniApp {
         }
     }
 
+    /// Takes a diskless checkpoint into the memory tier (collective): the
+    /// same canonical streams `checkpoint` would write to PIOFS are kept
+    /// resident and replicated across nodes, and — when `spill` is set —
+    /// persisted to the exact PIOFS files the direct path would have
+    /// produced, verified end-to-end. DRMS variant only (the tier stores
+    /// distribution-independent streams, which the SPMD scheme lacks).
+    pub fn checkpoint_memtier(
+        &mut self,
+        ctx: &mut Ctx,
+        fs: &Piofs,
+        tier: &MemTier,
+        prefix: &str,
+        spill: bool,
+    ) -> Result<(StoreReport, Option<SpillReport>), MemTierError> {
+        assert_eq!(
+            self.variant,
+            AppVariant::Drms,
+            "memory-tier checkpoints require the DRMS variant"
+        );
+        let handles: Vec<&dyn CheckpointArray> =
+            self.fields.iter().map(|f| f as &dyn CheckpointArray).collect();
+        let store =
+            drms_memtier::store_checkpoint(ctx, tier, prefix, &mut self.drms, &self.seg, &handles)?;
+        let spilled =
+            if spill { Some(drms_memtier::spill_checkpoint(ctx, fs, tier, prefix)?) } else { None };
+        Ok((store, spilled))
+    }
+
+    /// Restarts the application out of the memory tier (collective): the
+    /// diskless counterpart of [`MiniApp::start`] with a restart prefix.
+    /// The tier entry under `prefix` must be intact for the surviving node
+    /// set; segment and array bytes are served from resident pieces at
+    /// memory/interconnect speed instead of PIOFS. Always a restart — the
+    /// returned instance carries a `restart_report`.
+    pub fn start_memtier(
+        ctx: &mut Ctx,
+        fs: &Piofs,
+        tier: &MemTier,
+        spec: AppSpec,
+        enable: EnableFlag,
+        prefix: &str,
+    ) -> Result<MiniApp, MemTierError> {
+        let cfg = spec.drms_config();
+        fs.set_residency(ctx.node(), spec.expected_segment_bytes());
+
+        let (drms, info) = drms_memtier::resume_from_tier(ctx, fs, tier, cfg, enable, prefix)?;
+        let mut fields = make_fields(&spec, ctx);
+        let iter = info.segment.control("iter").unwrap_or(0);
+        let mut handles: Vec<&mut dyn CheckpointArray> =
+            fields.iter_mut().map(|f| f as &mut dyn CheckpointArray).collect();
+        let arrays_time = drms_memtier::restore_arrays_from_tier(
+            ctx,
+            tier,
+            &drms,
+            prefix,
+            &info.manifest,
+            &mut handles,
+        )?;
+        // Every task consumes the whole shared segment, so segment bytes
+        // moved are ntasks x segment size, as on the PIOFS restart path.
+        let seg_len = tier.file_len(prefix, SEGMENT_FILE)?;
+        let report = OpBreakdown {
+            init: info.init_time,
+            segment: info.segment_time,
+            arrays: arrays_time,
+            segment_bytes: seg_len * ctx.ntasks() as u64,
+            array_bytes: spec.stream_bytes(),
+        };
+        let mut app = MiniApp {
+            spec,
+            variant: AppVariant::Drms,
+            drms,
+            seg: info.segment,
+            fields,
+            iter,
+            spmd_sop: 0,
+            restart_report: Some(report),
+        };
+        app.seg.set_control("iter", app.iter);
+        Ok(app)
+    }
+
     /// System-enabled checkpoint (`drms_reconfig_chkenable`); DRMS variant
     /// only — returns `Ok(None)` for the SPMD variant (the facility does
     /// not exist there) or when the enable signal is down.
@@ -345,6 +428,65 @@ mod tests {
                 assert_eq!(a.0, b.0, "{name}");
                 assert!(a.1 == b.1, "{name} point {:?}: {} vs {}", a.0, a.1, b.1);
             }
+        }
+    }
+
+    #[test]
+    fn memtier_restart_bitwise_exact_and_spill_matches_direct_path() {
+        let spec = bt(Class::T);
+        let reference = run_app(&fs(), spec.clone(), AppVariant::Drms, 4, None, None, 6);
+
+        // Direct PIOFS checkpoint at the same point, for the bitwise
+        // spill comparison.
+        let fd = fs();
+        Drms::install_binary(&fd, &spec.drms_config());
+        run_app(&fd, spec.clone(), AppVariant::Drms, 4, None, Some((3, "ck/x")), 3);
+
+        // Same run, but the checkpoint goes through the memory tier and
+        // spills to PIOFS.
+        let f = fs();
+        Drms::install_binary(&f, &spec.drms_config());
+        let tier = MemTier::new(1);
+        run_spmd(4, CostModel::default(), |ctx| {
+            let mut app =
+                MiniApp::start(ctx, &f, spec.clone(), AppVariant::Drms, EnableFlag::new(), None)
+                    .unwrap();
+            while app.iter() < 3 {
+                app.step(ctx);
+            }
+            let (store, spill) = app.checkpoint_memtier(ctx, &f, &tier, "ck/x", true).unwrap();
+            assert!(store.bytes > 0 && store.replica_bytes > 0);
+            assert!(spill.unwrap().bytes > 0);
+        })
+        .unwrap();
+
+        // The spill produced the exact files the direct path writes.
+        let direct: Vec<String> = fd.list("ck/x/").into_iter().map(|i| i.path).collect();
+        let spilled: Vec<String> = f.list("ck/x/").into_iter().map(|i| i.path).collect();
+        assert_eq!(direct, spilled);
+        for path in &direct {
+            assert_eq!(fd.peek(path), f.peek(path), "{path} differs from direct checkpoint");
+        }
+
+        // Restart out of the tier on a smaller region; bitwise-exact.
+        let out = run_spmd(3, CostModel::default(), |ctx| {
+            let mut app =
+                MiniApp::start_memtier(ctx, &f, &tier, spec.clone(), EnableFlag::new(), "ck/x")
+                    .unwrap();
+            assert_eq!(app.iter(), 3);
+            assert!(app.restart_report.as_ref().unwrap().arrays > 0.0);
+            while app.iter() < 6 {
+                app.step(ctx);
+            }
+            app.snapshot_assigned()
+        })
+        .unwrap();
+        let mut resumed: Vec<((usize, Vec<i64>), f64)> = out.into_iter().flatten().collect();
+        resumed.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(reference.len(), resumed.len());
+        for (a, b) in reference.iter().zip(&resumed) {
+            assert_eq!(a.0, b.0);
+            assert!(a.1 == b.1, "point {:?}: {} vs {}", a.0, a.1, b.1);
         }
     }
 

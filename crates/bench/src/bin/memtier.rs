@@ -1,0 +1,289 @@
+//! Memory-tier restart experiment: what diskless checkpointing buys on the
+//! restart path.
+//!
+//! ```text
+//! cargo run --release -p drms-bench --bin memtier [--class T] [--pes 4] [--seed 42]
+//! ```
+//!
+//! For each of BT, LU and SP, takes one mid-point checkpoint through the
+//! in-memory replicated tier (replication factor 1) with a verified spill
+//! to the paper's 16-server PIOFS, then restarts the application three ways
+//! at each measured task count (half the checkpoint region and the full
+//! region):
+//!
+//! * **memory** — served out of resident replicated pieces
+//!   ([`MiniApp::start_memtier`]): no checkpoint I/O, bytes move at
+//!   memory-copy / interconnect speed;
+//! * **clean** — the ordinary PIOFS restart from the spilled files (which
+//!   are bitwise-identical to a direct checkpoint);
+//! * **degraded** — the PIOFS restart after a parity-protected server is
+//!   killed, reading lost stripes through XOR reconstruction.
+//!
+//! The binary *asserts* that the memory-tier restart is strictly faster
+//! than the clean PIOFS restart for every app and task count, and that
+//! every measurement is deterministic per seed — CI runs it as a gate.
+
+use std::sync::Arc;
+
+use drms_apps::{bt, lu, sp, AppSpec, AppVariant, Class, MiniApp};
+use drms_core::{Drms, EnableFlag};
+use drms_memtier::MemTier;
+use drms_msg::{run_spmd_traced, CostModel};
+use drms_obs::{names, NullRecorder, Recorder, TraceRecorder};
+use drms_piofs::{Piofs, PiofsConfig};
+use drms_resil::verify_checkpoint;
+
+struct Opts {
+    class: Class,
+    pes: usize,
+    seed: u64,
+}
+
+fn parse_args() -> Opts {
+    let mut opts = Opts { class: Class::T, pes: 4, seed: 42 };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value =
+            |flag: &str| it.next().unwrap_or_else(|| usage(&format!("{flag} needs a value")));
+        match flag.as_str() {
+            "--class" => {
+                let v = value("--class");
+                opts.class =
+                    Class::parse(&v).unwrap_or_else(|| usage(&format!("unknown class {v:?}")));
+            }
+            "--pes" => {
+                let v = value("--pes");
+                opts.pes = v
+                    .parse()
+                    .ok()
+                    .filter(|p| (1..=16).contains(p))
+                    .unwrap_or_else(|| usage(&format!("bad PE count {v:?}")));
+            }
+            "--seed" => {
+                let v = value("--seed");
+                opts.seed = v.parse().unwrap_or_else(|_| usage(&format!("bad seed {v:?}")));
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown flag {other:?}")),
+        }
+    }
+    opts
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: memtier [--class T|S|W|A] [--pes N] [--seed S]");
+    std::process::exit(2);
+}
+
+/// Runs the application to its mid-point on a fresh file system and takes
+/// one checkpoint through the memory tier with a verified spill. Returns
+/// the populated file system and tier plus the store/spill virtual times.
+fn checkpoint_cycle(
+    spec: &AppSpec,
+    opts: &Opts,
+    parity: bool,
+) -> (Arc<Piofs>, Arc<MemTier>, f64, f64) {
+    let mut cfg = PiofsConfig::sp_1997().scale_memory(spec.class.memory_scale());
+    if parity {
+        cfg = cfg.with_parity();
+    }
+    let fs = Piofs::new(cfg, opts.seed);
+    Drms::install_binary(&fs, &spec.drms_config());
+    let tier = MemTier::new(1);
+
+    let spec_c = spec.clone();
+    let fs_c = Arc::clone(&fs);
+    let tier_c = Arc::clone(&tier);
+    let reports = run_spmd_traced(
+        opts.pes,
+        CostModel::default(),
+        Arc::new(NullRecorder) as Arc<dyn Recorder>,
+        move |ctx| {
+            let mut app = MiniApp::start(
+                ctx,
+                &fs_c,
+                spec_c.clone(),
+                AppVariant::Drms,
+                EnableFlag::new(),
+                None,
+            )
+            .expect("fresh start");
+            app.step(ctx);
+            app.checkpoint_memtier(ctx, &fs_c, &tier_c, "ck/mid", true).expect("tier checkpoint")
+        },
+    )
+    .expect("checkpoint incarnation");
+    let (store, spill) = &reports[0];
+    (fs, tier, store.seconds, spill.as_ref().expect("spilled").seconds)
+}
+
+/// One restart incarnation served out of the memory tier at `ntasks`;
+/// returns its virtual time and the tier bytes it moved.
+fn restart_memory(
+    spec: &AppSpec,
+    fs: &Arc<Piofs>,
+    tier: &Arc<MemTier>,
+    ntasks: usize,
+) -> (f64, u64) {
+    fs.clear_residency();
+    fs.reset_time();
+    let rec = Arc::new(TraceRecorder::new());
+    let spec_r = spec.clone();
+    let fs_r = Arc::clone(fs);
+    let tier_r = Arc::clone(tier);
+    let restarts = run_spmd_traced(
+        ntasks,
+        CostModel::default(),
+        Arc::clone(&rec) as Arc<dyn Recorder>,
+        move |ctx| {
+            let app = MiniApp::start_memtier(
+                ctx,
+                &fs_r,
+                &tier_r,
+                spec_r.clone(),
+                EnableFlag::new(),
+                "ck/mid",
+            )
+            .expect("tier restart");
+            app.restart_report.expect("restarted")
+        },
+    )
+    .expect("memory restart incarnation");
+    (restarts[0].total(), rec.metrics().counter_total(names::MEMTIER_RESTORE_BYTES))
+}
+
+/// One ordinary PIOFS restart incarnation from the spilled checkpoint.
+fn restart_piofs(spec: &AppSpec, fs: &Arc<Piofs>, ntasks: usize) -> f64 {
+    fs.clear_residency();
+    fs.reset_time();
+    let spec_r = spec.clone();
+    let fs_r = Arc::clone(fs);
+    let restarts = run_spmd_traced(
+        ntasks,
+        CostModel::default(),
+        Arc::new(NullRecorder) as Arc<dyn Recorder>,
+        move |ctx| {
+            let app = MiniApp::start(
+                ctx,
+                &fs_r,
+                spec_r.clone(),
+                AppVariant::Drms,
+                EnableFlag::new(),
+                Some("ck/mid"),
+            )
+            .expect("piofs restart");
+            app.restart_report.expect("restarted")
+        },
+    )
+    .expect("piofs restart incarnation");
+    restarts[0].total()
+}
+
+const KILLED: usize = 3;
+
+/// One measured restart comparison at a task count.
+#[derive(Debug, Clone, PartialEq)]
+struct Row {
+    ntasks: usize,
+    mem_s: f64,
+    clean_s: f64,
+    degraded_s: f64,
+    tier_bytes: u64,
+}
+
+/// The full measurement for one application: checkpoint-cycle times plus
+/// one [`Row`] per restart task count. Rebuilt from scratch (fresh seeded
+/// file systems, fresh tier) each call, so two calls must agree
+/// bit-for-bit.
+fn measure(spec: &AppSpec, opts: &Opts, counts: &[usize]) -> (f64, f64, Vec<Row>) {
+    // Clean cycle: plain striping, tier + verified spill.
+    let (fs, tier, store_s, spill_s) = checkpoint_cycle(spec, opts, false);
+    // Degraded cycle: parity striping, then a server dies; the spill must
+    // still verify end-to-end through parity.
+    let (fs_deg, _tier_deg, _, _) = checkpoint_cycle(spec, opts, true);
+    fs_deg.fail_server(KILLED);
+    let report = verify_checkpoint(&fs_deg, "ck/mid", &NullRecorder, 0.0);
+    assert!(report.is_valid(), "{}: spill lost with server {KILLED}: {report:?}", spec.name);
+
+    let rows = counts
+        .iter()
+        .map(|&n| {
+            let (mem_s, tier_bytes) = restart_memory(spec, &fs, &tier, n);
+            let clean_s = restart_piofs(spec, &fs, n);
+            let degraded_s = restart_piofs(spec, &fs_deg, n);
+            Row { ntasks: n, mem_s, clean_s, degraded_s, tier_bytes }
+        })
+        .collect();
+    (store_s, spill_s, rows)
+}
+
+fn main() {
+    let opts = parse_args();
+    println!(
+        "Memory-tier restart latency (class {}, checkpoint on {} PEs, seed {}, r=1, server {KILLED} killed for degraded restart)",
+        opts.class, opts.pes, opts.seed
+    );
+    println!(
+        "{:<4} {:>5} {:>8} {:>9}  {:>8} {:>9} {:>11}  {:>8} {:>9}",
+        "app",
+        "tasks",
+        "store(s)",
+        "spill(s)",
+        "mem(s)",
+        "clean(s)",
+        "degraded(s)",
+        "speedup",
+        "tier MB"
+    );
+
+    let mut counts = vec![(opts.pes / 2).max(1), opts.pes];
+    counts.dedup();
+    for spec in [bt(opts.class), lu(opts.class), sp(opts.class)] {
+        let (store_s, spill_s, rows) = measure(&spec, &opts, &counts);
+
+        // Determinism check: the same seed must reproduce every virtual
+        // time bit-for-bit from a fresh cycle.
+        let repeat = measure(&spec, &opts, &counts);
+        assert_eq!(
+            (store_s, spill_s, rows.clone()),
+            repeat,
+            "{}: measurement not deterministic per seed",
+            spec.name
+        );
+
+        for row in &rows {
+            let Row { ntasks, mem_s, clean_s, degraded_s, tier_bytes } = *row;
+            assert!(tier_bytes > 0, "{}: memory restart moved no tier bytes", spec.name);
+
+            // The CI gate: the diskless tier must beat the durable path in
+            // virtual time, strictly, at every measured task count.
+            assert!(
+                mem_s < clean_s,
+                "{} on {ntasks} tasks: memory restart {mem_s:.4}s not strictly faster than clean PIOFS {clean_s:.4}s",
+                spec.name
+            );
+            assert!(
+                mem_s < degraded_s,
+                "{} on {ntasks} tasks: memory restart {mem_s:.4}s not strictly faster than degraded PIOFS {degraded_s:.4}s",
+                spec.name
+            );
+
+            println!(
+                "{:<4} {:>5} {:>8.3} {:>9.3}  {:>8.4} {:>9.3} {:>11.3}  {:>7.1}x {:>9.2}",
+                spec.name,
+                ntasks,
+                store_s,
+                spill_s,
+                mem_s,
+                clean_s,
+                degraded_s,
+                clean_s / mem_s,
+                tier_bytes as f64 / 1e6,
+            );
+        }
+    }
+    println!("\nAll memory-tier restarts strictly faster than clean and degraded PIOFS restarts; all measurements deterministic.");
+}

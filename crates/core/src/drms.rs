@@ -195,6 +195,73 @@ impl Drms {
         ))
     }
 
+    /// As [`Drms::initialize`], but with the manifest and segment supplied
+    /// by an external source — an in-memory checkpoint tier — instead of
+    /// read from PIOFS files. The application text is still loaded from the
+    /// file system (restart reloads the binary regardless of where the
+    /// checkpointed state lives). `segment_fetch` is called collectively by
+    /// every task and must price its own data movement against the calling
+    /// task's clock.
+    pub fn initialize_external(
+        ctx: &mut Ctx,
+        fs: &Piofs,
+        cfg: DrmsConfig,
+        enable: EnableFlag,
+        manifest: Manifest,
+        segment_fetch: &mut dyn FnMut(&mut Ctx) -> Result<Vec<u8>>,
+    ) -> Result<(Drms, Start)> {
+        if manifest.kind != CkptKind::Drms {
+            return Err(CoreError::ManifestMismatch(
+                "external restart source holds a conventional SPMD checkpoint".to_string(),
+            ));
+        }
+        if manifest.app != cfg.app {
+            return Err(CoreError::ManifestMismatch(format!(
+                "checkpoint belongs to app {:?}, not {:?}",
+                manifest.app, cfg.app
+            )));
+        }
+
+        // Initialization: load the application text (shared sequential read).
+        ctx.barrier();
+        let t0 = ctx.now();
+        let text = format!("bin/{}", cfg.app);
+        if fs.exists(&text) {
+            let len = fs.size(&text)?;
+            fs.collective_read(
+                ctx,
+                vec![ReadReq { path: text, offset: 0, len, access: ReadAccess::Sequential }],
+            )?;
+        }
+        ctx.barrier();
+        let t1 = ctx.now();
+
+        // Each task fetches the single saved data segment from the source.
+        let seg_bytes = segment_fetch(ctx)?;
+        let segment = DataSegment::decode(&seg_bytes)?;
+        ctx.barrier();
+        let t2 = ctx.now();
+        phase_span(ctx, Phase::Init, "load_text", t0, t1);
+        phase_span(ctx, Phase::Segment, "load_segment", t1, t2);
+        if ctx.recorder().enabled() {
+            ctx.recorder().counter_add(
+                ctx.rank(),
+                names::SEGMENT_BYTES,
+                None,
+                seg_bytes.len() as u64,
+            );
+        }
+
+        let delta = ctx.ntasks() as i64 - manifest.ntasks as i64;
+        let sop = manifest.sop;
+        let info =
+            RestartInfo { manifest, segment, delta, init_time: t1 - t0, segment_time: t2 - t1 };
+        Ok((
+            Drms { cfg, enable, sop, saved_versions: Default::default() },
+            Start::Restarted(Box::new(info)),
+        ))
+    }
+
     /// The configuration in effect.
     pub fn cfg(&self) -> &DrmsConfig {
         &self.cfg
@@ -202,6 +269,17 @@ impl Drms {
 
     /// Current SOP sequence number.
     pub fn sop(&self) -> u64 {
+        self.sop
+    }
+
+    /// Advances the SOP sequence number and returns the new value. Every
+    /// checkpoint is one schedulable-and-observable point no matter which
+    /// tier it lands on; checkpoint paths outside this crate (the in-memory
+    /// tier) use this so their SOP numbering stays in lockstep with
+    /// [`Drms::reconfig_checkpoint`]. Each task must call it the same number
+    /// of times.
+    pub fn advance_sop(&mut self) -> u64 {
+        self.sop += 1;
         self.sop
     }
 
@@ -471,8 +549,9 @@ pub fn integrity_chunk(fs: &Piofs) -> u64 {
 /// Computes integrity records for every data file currently under `prefix`
 /// (manifest and quarantine markers excluded), in sorted-name order so the
 /// encoded manifest is deterministic. Writer-side (rank 0) control-plane
-/// operation.
-pub(crate) fn compute_integrity(fs: &Piofs, prefix: &str) -> Vec<FileIntegrity> {
+/// operation. Public so out-of-crate checkpoint writers (the memory tier's
+/// spill) can stamp their manifests the same way.
+pub fn compute_integrity(fs: &Piofs, prefix: &str) -> Vec<FileIntegrity> {
     let chunk = integrity_chunk(fs);
     let dir = format!("{prefix}/");
     let mut files: Vec<String> = fs.list(&dir).into_iter().map(|i| i.path).collect();

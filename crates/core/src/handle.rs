@@ -46,6 +46,19 @@ pub trait CheckpointArray: Send {
     fn read_stream(&mut self, ctx: &mut Ctx, fs: &Piofs, path: &str, io_tasks: usize)
         -> Result<()>;
 
+    /// Collective: collects this task's pieces of the array's canonical
+    /// stream without touching the file system (the diskless tier path).
+    fn stream_pieces(&self, ctx: &mut Ctx, io_tasks: usize) -> Result<Vec<stream::StreamPiece>>;
+
+    /// Collective: fills the array from its canonical stream, fetching each
+    /// piece's byte range through `fetch` instead of the file system.
+    fn read_stream_via(
+        &mut self,
+        ctx: &mut Ctx,
+        io_tasks: usize,
+        fetch: &mut stream::PieceFetch<'_>,
+    ) -> Result<()>;
+
     /// Collective: adjusts the distribution to the current region's task
     /// count and redistributes in place (`drms_adjust` + `drms_distribute`).
     fn adjust_redistribute(&mut self, ctx: &mut Ctx) -> Result<()>;
@@ -116,6 +129,20 @@ impl<T: Element> CheckpointArray for DistArray<T> {
         io_tasks: usize,
     ) -> Result<()> {
         stream::read_array(ctx, fs, self, path, io_tasks)?;
+        Ok(())
+    }
+
+    fn stream_pieces(&self, ctx: &mut Ctx, io_tasks: usize) -> Result<Vec<stream::StreamPiece>> {
+        Ok(stream::collect_array_pieces(ctx, self, io_tasks)?)
+    }
+
+    fn read_stream_via(
+        &mut self,
+        ctx: &mut Ctx,
+        io_tasks: usize,
+        fetch: &mut stream::PieceFetch<'_>,
+    ) -> Result<()> {
+        stream::read_array_via(ctx, self, io_tasks, fetch)?;
         Ok(())
     }
 

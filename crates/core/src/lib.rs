@@ -48,8 +48,8 @@ mod error;
 mod handle;
 
 pub use drms::{
-    checkpoint_is_valid, delete_checkpoint, find_checkpoints, integrity_chunk, retain_checkpoints,
-    sweep_orphans, Drms, DrmsConfig, EnableFlag, RestartInfo, Start,
+    checkpoint_is_valid, compute_integrity, delete_checkpoint, find_checkpoints, integrity_chunk,
+    retain_checkpoints, sweep_orphans, Drms, DrmsConfig, EnableFlag, RestartInfo, Start,
 };
 pub use error::CoreError;
 pub use handle::{decode_locals, encode_locals, CheckpointArray};

@@ -199,6 +199,173 @@ pub fn read_section_with<T: Element>(
     Ok(())
 }
 
+/// One locally produced piece of a canonical stream: the piece's index in
+/// the stream partition, its byte offset within the stream, and its encoded
+/// bytes. This is what [`collect_section_pieces`] hands to callers that keep
+/// the stream somewhere other than a PIOFS file (the in-memory checkpoint
+/// tier).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamPiece {
+    /// Index of the piece within the stream partition.
+    pub index: usize,
+    /// Byte offset of the piece within the stream.
+    pub offset: u64,
+    /// The piece's encoded bytes, in stream order.
+    pub data: Vec<u8>,
+}
+
+/// Byte-range fetch callback for [`read_section_via`]: called as
+/// `fetch(ctx, offset, len)` and must return exactly `len` bytes of the
+/// stream starting at byte `offset`, pricing its own data movement against
+/// the calling task's clock.
+pub type PieceFetch<'a> =
+    dyn FnMut(&mut Ctx, u64, u64) -> std::result::Result<Vec<u8>, String> + 'a;
+
+/// Collective: runs the same redistribution waves as [`write_section`] but
+/// returns this task's canonical stream pieces instead of writing them to a
+/// file. The concatenation of all tasks' pieces (by offset) is bitwise
+/// identical to the file [`write_section`] would have produced.
+///
+/// All tasks of the region must call — they all hold parts of the section
+/// and must participate in every wave's redistribution — but only the first
+/// `io_tasks` ranks receive pieces.
+pub fn collect_section_pieces<T: Element>(
+    ctx: &mut Ctx,
+    array: &DistArray<T>,
+    section: &Slice,
+    io_tasks: usize,
+) -> Result<Vec<StreamPiece>> {
+    let plan = Plan::new(
+        ctx,
+        array.domain(),
+        section,
+        io_tasks,
+        T::SIZE,
+        array.order(),
+        TARGET_PIECE_BYTES,
+    )?;
+    let traced = ctx.recorder().enabled();
+    let mut out = Vec::new();
+    for wave in 0..plan.waves() {
+        if traced {
+            ctx.recorder().span_start(ctx.now(), ctx.rank(), Phase::StreamWave, array.name());
+        }
+        let canonical = plan.canonical(wave, array.domain())?;
+        let mut aux: DistArray<T> =
+            DistArray::new(array.name(), array.order(), canonical, ctx.rank());
+        assign(ctx, &mut aux, array)?;
+
+        if let Some(j) = plan.piece_for(wave, ctx.rank()) {
+            if plan.pieces[j].size() > 0 {
+                let data = encode(aux.local());
+                if traced {
+                    let rec = ctx.recorder();
+                    rec.counter_add(ctx.rank(), names::PIECES_WRITTEN, Some(array.name()), 1);
+                    rec.counter_add(
+                        ctx.rank(),
+                        names::BYTES_STREAMED,
+                        Some(array.name()),
+                        data.len() as u64,
+                    );
+                }
+                out.push(StreamPiece {
+                    index: j,
+                    offset: (plan.offsets[j] * T::SIZE) as u64,
+                    data,
+                });
+            }
+        }
+        if traced {
+            ctx.recorder().span_end(ctx.now(), ctx.rank(), Phase::StreamWave, array.name());
+        }
+    }
+    Ok(out)
+}
+
+/// Collective: fills `section` of `array` from its canonical stream,
+/// fetching each piece's byte range through `fetch` instead of the file
+/// system. The reader's piece plan need not match the writer's: `fetch` is
+/// given arbitrary `(offset, len)` ranges of the stream and may assemble
+/// them from whatever storage granularity it kept.
+pub fn read_section_via<T: Element>(
+    ctx: &mut Ctx,
+    array: &mut DistArray<T>,
+    section: &Slice,
+    io_tasks: usize,
+    fetch: &mut PieceFetch<'_>,
+) -> Result<()> {
+    let plan = Plan::new(
+        ctx,
+        array.domain(),
+        section,
+        io_tasks,
+        T::SIZE,
+        array.order(),
+        TARGET_PIECE_BYTES,
+    )?;
+    let traced = ctx.recorder().enabled();
+    for wave in 0..plan.waves() {
+        if traced {
+            ctx.recorder().span_start(ctx.now(), ctx.rank(), Phase::StreamWave, array.name());
+        }
+        let canonical = plan.canonical(wave, array.domain())?;
+        let mut aux: DistArray<T> =
+            DistArray::new(array.name(), array.order(), canonical, ctx.rank());
+
+        if let Some(j) = plan.piece_for(wave, ctx.rank()) {
+            if plan.pieces[j].size() > 0 {
+                let offset = (plan.offsets[j] * T::SIZE) as u64;
+                let len = (plan.pieces[j].size() * T::SIZE) as u64;
+                let bytes = fetch(ctx, offset, len).map_err(DarrayError::Io)?;
+                if bytes.len() as u64 != len {
+                    return Err(DarrayError::Io(format!(
+                        "stream fetch at {offset} returned {} bytes, wanted {len}",
+                        bytes.len()
+                    )));
+                }
+                if traced {
+                    ctx.recorder().counter_add(
+                        ctx.rank(),
+                        names::BYTES_STREAMED,
+                        Some(array.name()),
+                        len,
+                    );
+                }
+                let vals = decode::<T>(&bytes);
+                aux.local_mut().copy_from_slice(&vals);
+            }
+        }
+        assign(ctx, array, &aux)?;
+        if traced {
+            ctx.recorder().span_end(ctx.now(), ctx.rank(), Phase::StreamWave, array.name());
+        }
+    }
+    Ok(())
+}
+
+/// Collective: collects the entire array's canonical stream pieces (the
+/// diskless checkpoint path).
+pub fn collect_array_pieces<T: Element>(
+    ctx: &mut Ctx,
+    array: &DistArray<T>,
+    io_tasks: usize,
+) -> Result<Vec<StreamPiece>> {
+    let section = array.domain().clone();
+    collect_section_pieces(ctx, array, &section, io_tasks)
+}
+
+/// Collective: fills the entire array from its canonical stream through a
+/// byte-range fetch callback.
+pub fn read_array_via<T: Element>(
+    ctx: &mut Ctx,
+    array: &mut DistArray<T>,
+    io_tasks: usize,
+    fetch: &mut PieceFetch<'_>,
+) -> Result<()> {
+    let section = array.domain().clone();
+    read_section_via(ctx, array, &section, io_tasks, fetch)
+}
+
 /// Collective: streams the entire array (the checkpoint path).
 pub fn write_array<T: Element>(
     ctx: &mut Ctx,
@@ -421,6 +588,77 @@ mod tests {
             assert!(matches!(read_array(ctx, &fs, &mut a, "nope", 1), Err(DarrayError::Io(_))));
             fs.write_at(ctx, "short", 0, &[0u8; 8]);
             assert!(matches!(read_array(ctx, &fs, &mut a, "short", 1), Err(DarrayError::Io(_))));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn collected_pieces_match_file_stream_bitwise() {
+        // The diskless capture must produce the same bytes the file path
+        // writes — that is what makes spilled checkpoints bitwise identical.
+        let dom = Slice::boxed(&[(0, 19), (0, 11)]);
+        let fs = fs();
+        let pieces = std::sync::Mutex::new(Vec::new());
+        run_spmd(4, CostModel::default(), |ctx| {
+            let dist = Distribution::block_auto(&dom, 4, 1).unwrap();
+            let mut a = DistArray::<f64>::new("u", Order::ColumnMajor, dist, ctx.rank());
+            a.fill_assigned(value);
+            write_array(ctx, &fs, &a, "file", 4).unwrap();
+            let mine = collect_array_pieces(ctx, &a, 4).unwrap();
+            pieces.lock().unwrap().extend(mine);
+        })
+        .unwrap();
+
+        let file = fs.peek("file").unwrap();
+        let mut all = pieces.into_inner().unwrap();
+        all.sort_by_key(|p| p.offset);
+        let stream: Vec<u8> = all.iter().flat_map(|p| p.data.iter().copied()).collect();
+        assert_eq!(all.iter().map(|p| p.offset as usize).collect::<Vec<_>>(), {
+            let mut off = 0;
+            all.iter()
+                .map(|p| {
+                    let o = off;
+                    off += p.data.len();
+                    o
+                })
+                .collect::<Vec<_>>()
+        });
+        assert_eq!(stream, file);
+    }
+
+    #[test]
+    fn read_via_fetch_restores_under_different_task_count() {
+        // Write the stream from 4 tasks into a plain byte buffer, then read
+        // it back on 3 tasks through a fetch callback slicing that buffer.
+        let dom = Slice::boxed(&[(0, 19), (0, 11)]);
+        let fs = fs();
+        run_spmd(4, CostModel::default(), |ctx| {
+            let dist = Distribution::block_auto(&dom, 4, 1).unwrap();
+            let mut a = DistArray::<f64>::new("u", Order::ColumnMajor, dist, ctx.rank());
+            a.fill_assigned(value);
+            write_array(ctx, &fs, &a, "buf", 4).unwrap();
+        })
+        .unwrap();
+        let stream = StdArc::new(fs.peek("buf").unwrap());
+
+        run_spmd(3, CostModel::default(), |ctx| {
+            let dist = Distribution::block_auto(&dom, 3, 2).unwrap();
+            let mut b = DistArray::<f64>::new("u", Order::ColumnMajor, dist, ctx.rank());
+            let bytes = stream.clone();
+            let mut fetch = |_ctx: &mut Ctx, off: u64, len: u64| {
+                let (off, len) = (off as usize, len as usize);
+                if off + len > bytes.len() {
+                    return Err(format!("range {off}+{len} past {}", bytes.len()));
+                }
+                Ok(bytes[off..off + len].to_vec())
+            };
+            read_array_via(ctx, &mut b, 3, &mut fetch).unwrap();
+            let mut checked = 0;
+            b.mapped().clone().points(Order::ColumnMajor).for_each(|p| {
+                assert_eq!(b.get(p).unwrap(), value(p), "point {p:?}");
+                checked += 1;
+            });
+            assert!(checked > 0);
         })
         .unwrap();
     }

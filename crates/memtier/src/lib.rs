@@ -1,0 +1,50 @@
+//! Diskless checkpoint tier: in-memory replication above the PIOFS path.
+//!
+//! The paper's restart always pays full PIOFS I/O. Later recovery work
+//! (ReStore; diskless checkpointing generally) showed that keeping the
+//! newest checkpoint replicated in surviving nodes' memory makes recovery
+//! latency nearly independent of storage bandwidth. This crate layers that
+//! idea over the DRMS machinery without changing what a checkpoint *is*:
+//!
+//! * **Store** ([`store_checkpoint`]): at an SOP, the canonical stream
+//!   pieces of `darray::stream` — the same distribution-independent bytes
+//!   the file path writes — are kept in node memory and scattered to
+//!   [`MemTier::replicas`] additional nodes over `msg`, never co-located
+//!   with the owning node ([`placement`]). Replication traffic is priced by
+//!   the simulator's deterministic cost model like any other message.
+//! * **Survivability**: a checkpoint survives the loss of up to
+//!   `replicas` nodes (owner plus `replicas - 1` copies of some piece may
+//!   die and one copy remains); [`MemTier::fail_node`] applies node loss
+//!   and evicts entries that crossed the threshold. Node memory does not
+//!   come back with a repaired node.
+//! * **Spill** ([`spill_checkpoint`]): resident pieces are persisted to the
+//!   exact PIOFS files the direct checkpoint path would have produced,
+//!   manifest (with integrity records) last, verified end-to-end before the
+//!   checkpoint counts as durable — so durability is unchanged and a PIOFS
+//!   fallback restores bitwise-identical state.
+//! * **Tiered restart** ([`choose_restart_tiered`]): memory tier if intact
+//!   and at least as new as the durable chain, else the verified PIOFS
+//!   walk of `drms_resil` with its scrub/quarantine fallback.
+//!   [`resume_from_tier`] / [`restore_arrays_from_tier`] then serve the
+//!   restart out of resident pieces at memory/interconnect speed.
+
+#![deny(missing_docs)]
+
+mod error;
+pub mod placement;
+mod restart;
+mod restore;
+mod store;
+mod tier;
+
+pub use error::MemTierError;
+pub use restart::{choose_restart_tiered, RestartTier, TieredRestartPlan};
+pub use restore::{restore_arrays_from_tier, resume_from_tier};
+pub use store::{
+    array_file, spill_checkpoint, store_checkpoint, store_feasible, SpillReport, StoreReport,
+    SEGMENT_FILE,
+};
+pub use tier::{Fetched, MemTier, DEFAULT_PIECE_BYTES};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, MemTierError>;

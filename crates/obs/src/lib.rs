@@ -80,6 +80,23 @@ pub mod names {
     /// Counter: total fallback depth (checkpoints skipped before a restart
     /// found one that verified).
     pub const FALLBACK_DEPTH: &str = "rtenv.fallback_depth";
+    /// Counter: bytes captured into the in-memory checkpoint tier
+    /// (owner copies, before replication).
+    pub const MEMTIER_STORE_BYTES: &str = "memtier.store_bytes";
+    /// Counter: replica bytes scattered over the network by memory-tier
+    /// stores (the replication traffic the cost model prices).
+    pub const MEMTIER_REPLICA_BYTES: &str = "memtier.replica_bytes";
+    /// Counter: bytes served out of the memory tier during a restart.
+    pub const MEMTIER_RESTORE_BYTES: &str = "memtier.restore_bytes";
+    /// Counter: bytes spilled from the memory tier to durable PIOFS files.
+    pub const MEMTIER_SPILL_BYTES: &str = "memtier.spill_bytes";
+    /// Counter: restarts served by the memory tier instead of PIOFS.
+    pub const MEMTIER_HITS: &str = "rtenv.memtier_hits";
+    /// Counter: memory-tier checkpoints invalidated by node loss.
+    pub const MEMTIER_INVALIDATIONS: &str = "rtenv.memtier_invalidations";
+    /// Gauge (index 0): simulated seconds of the most recent memory-tier
+    /// spill to PIOFS.
+    pub const MEMTIER_SPILL_SECONDS: &str = "memtier.spill_seconds";
 }
 
 /// Pipeline phase a span or event belongs to. Doubles as the Chrome-trace
@@ -108,6 +125,10 @@ pub enum Phase {
     Scrub,
     /// XOR reconstruction of lost stripes during degraded reads.
     Reconstruct,
+    /// In-memory checkpoint-tier activity (store, replication, restore).
+    MemTier,
+    /// Spill of a memory-tier checkpoint to durable PIOFS storage.
+    Spill,
 }
 
 impl Phase {
@@ -125,11 +146,13 @@ impl Phase {
             Phase::Verify => "verify",
             Phase::Scrub => "scrub",
             Phase::Reconstruct => "reconstruct",
+            Phase::MemTier => "memtier",
+            Phase::Spill => "spill",
         }
     }
 
     /// All phases, in summary-table order.
-    pub const ALL: [Phase; 11] = [
+    pub const ALL: [Phase; 13] = [
         Phase::Init,
         Phase::Segment,
         Phase::Arrays,
@@ -141,6 +164,8 @@ impl Phase {
         Phase::Verify,
         Phase::Scrub,
         Phase::Reconstruct,
+        Phase::MemTier,
+        Phase::Spill,
     ];
 }
 

@@ -76,6 +76,19 @@ pub enum Event {
         /// How many newer checkpoints were skipped.
         depth: usize,
     },
+    /// A restart was served out of the in-memory checkpoint tier, paying no
+    /// PIOFS checkpoint I/O.
+    MemTierHit {
+        /// Memory-tier checkpoint prefix the restart resumed from.
+        prefix: String,
+    },
+    /// Node loss took the last resident copy of some piece of a memory-tier
+    /// checkpoint; the entry was evicted and later restarts must fall back
+    /// to the durable PIOFS chain.
+    MemTierInvalidated {
+        /// Evicted memory-tier checkpoint prefix.
+        prefix: String,
+    },
 }
 
 impl fmt::Display for Event {
@@ -104,6 +117,12 @@ impl fmt::Display for Event {
             }
             Event::RestartFallback { app, prefix, depth } => {
                 write!(f, "job {app} fell back {depth} checkpoint(s) to {prefix}")
+            }
+            Event::MemTierHit { prefix } => {
+                write!(f, "memory-tier restart hit on {prefix}")
+            }
+            Event::MemTierInvalidated { prefix } => {
+                write!(f, "memory-tier checkpoint {prefix} invalidated by node loss")
             }
         }
     }
@@ -167,6 +186,12 @@ impl EventLog {
                 }
                 Event::RestartFallback { depth, .. } => {
                     self.recorder.counter_add(0, names::FALLBACK_DEPTH, None, *depth as u64)
+                }
+                Event::MemTierHit { .. } => {
+                    self.recorder.counter_add(0, names::MEMTIER_HITS, None, 1)
+                }
+                Event::MemTierInvalidated { .. } => {
+                    self.recorder.counter_add(0, names::MEMTIER_INVALIDATIONS, None, 1)
                 }
                 _ => {}
             }

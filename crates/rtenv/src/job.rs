@@ -4,6 +4,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use drms_core::EnableFlag;
+use drms_memtier::{MemTier, RestartTier};
 use drms_msg::Ctx;
 use drms_piofs::Piofs;
 use parking_lot::Mutex;
@@ -58,6 +59,13 @@ pub struct JobEnv {
     pub enable: EnableFlag,
     /// Incarnation number (0 = first start).
     pub incarnation: usize,
+    /// The in-memory checkpoint tier the JSA manages for this job, when
+    /// diskless checkpointing is on (see [`crate::Jsa::with_memtier`]).
+    pub memtier: Option<Arc<MemTier>>,
+    /// Which tier `restart_from` should be served out of. Always
+    /// [`RestartTier::Piofs`] when `restart_from` is `None` or the memory
+    /// tier is off.
+    pub restart_tier: RestartTier,
 }
 
 impl JobEnv {

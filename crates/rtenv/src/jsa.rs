@@ -4,8 +4,10 @@
 use std::sync::Arc;
 
 use drms_core::{find_checkpoints, EnableFlag};
+use drms_memtier::{MemTier, RestartTier};
 use drms_msg::{run_spmd_with_nodes_traced, CostModel};
 use drms_piofs::Piofs;
+use parking_lot::Mutex;
 
 use crate::events::{Event, EventLog};
 use crate::job::{JobEnv, JobOutcome, JobSpec, KillToken};
@@ -47,6 +49,10 @@ pub struct IncarnationRecord {
     /// `restart_from` (0 when the newest checkpoint was healthy or
     /// verification is off).
     pub fallback_depth: usize,
+    /// Which tier served `restart_from`: the in-memory replicated tier or
+    /// the durable PIOFS chain ([`RestartTier::Piofs`] for fresh starts and
+    /// when the memory tier is off).
+    pub tier: RestartTier,
     /// How the incarnation ended.
     pub outcome: JobOutcome,
 }
@@ -75,6 +81,11 @@ pub struct Jsa {
     log: EventLog,
     cost: CostModel,
     policy: JsaPolicy,
+    memtier: Option<Arc<MemTier>>,
+    /// Index into the event log up to which processor failures have been
+    /// applied to the memory tier (each failure wipes a node's resident
+    /// pieces exactly once; repaired processors come back empty).
+    tier_cursor: Mutex<usize>,
 }
 
 impl Jsa {
@@ -86,7 +97,21 @@ impl Jsa {
         cost: CostModel,
         policy: JsaPolicy,
     ) -> Jsa {
-        Jsa { rc, fs, log, cost, policy }
+        Jsa { rc, fs, log, cost, policy, memtier: None, tier_cursor: Mutex::new(0) }
+    }
+
+    /// Attaches an in-memory checkpoint tier: restarts prefer the newest
+    /// intact resident checkpoint over the PIOFS chain (when at least as
+    /// new), and every processor failure the RC logs wipes that node's
+    /// resident pieces before the next restart is resolved.
+    pub fn with_memtier(mut self, tier: Arc<MemTier>) -> Jsa {
+        self.memtier = Some(tier);
+        self
+    }
+
+    /// The attached memory tier, if any.
+    pub fn memtier(&self) -> Option<&Arc<MemTier>> {
+        self.memtier.as_ref()
     }
 
     /// The shared enable flag for a job would normally live in a job table;
@@ -125,31 +150,57 @@ impl Jsa {
             let ntasks = avail.len().min(max_tasks);
             let procs: Vec<usize> = avail.into_iter().take(ntasks).collect();
 
+            // Apply processor failures logged since the last resolution to
+            // the memory tier: a failed node's resident pieces are gone for
+            // good (repair brings the processor back empty), and entries
+            // that lost their last copy of any piece are evicted.
+            self.sync_memtier();
+
             // Restart from the newest checkpoint that can be trusted, if one
-            // exists: under `verified_restart` the walk scrubs repairable
+            // exists: under `verified_restart` the walk prefers an intact
+            // memory-tier entry at least as new as the durable chain, then
+            // falls through to the PIOFS walk, which scrubs repairable
             // damage, quarantines the rest, and reports how far it fell back.
-            let (restart_from, fallback_depth) = if self.policy.verified_restart {
-                let plan = drms_resil::choose_restart(
+            let (restart_from, fallback_depth, restart_tier) = if self.policy.verified_restart {
+                let plan = drms_memtier::choose_restart_tiered(
                     &self.fs,
+                    self.memtier.as_deref(),
                     Some(&job.app),
                     &*self.log.recorder(),
                     incarnation as f64,
                 );
-                for prefix in &plan.quarantined {
-                    self.log.record(Event::CheckpointQuarantined { prefix: prefix.clone() });
-                }
-                if let Some((prefix, _)) = &plan.chosen {
-                    if plan.fallback_depth > 0 {
-                        self.log.record(Event::RestartFallback {
-                            app: job.app.clone(),
-                            prefix: prefix.clone(),
-                            depth: plan.fallback_depth,
-                        });
+                match plan.tier {
+                    RestartTier::Memory => {
+                        let prefix = plan.memory.map(|(p, _)| p);
+                        if let Some(p) = &prefix {
+                            self.log.record(Event::MemTierHit { prefix: p.clone() });
+                        }
+                        (prefix, 0, RestartTier::Memory)
+                    }
+                    RestartTier::Piofs => {
+                        let plan = plan.piofs;
+                        for prefix in &plan.quarantined {
+                            self.log
+                                .record(Event::CheckpointQuarantined { prefix: prefix.clone() });
+                        }
+                        if let Some((prefix, _)) = &plan.chosen {
+                            if plan.fallback_depth > 0 {
+                                self.log.record(Event::RestartFallback {
+                                    app: job.app.clone(),
+                                    prefix: prefix.clone(),
+                                    depth: plan.fallback_depth,
+                                });
+                            }
+                        }
+                        (plan.chosen.map(|(p, _)| p), plan.fallback_depth, RestartTier::Piofs)
                     }
                 }
-                (plan.chosen.map(|(p, _)| p), plan.fallback_depth)
             } else {
-                (find_checkpoints(&self.fs, Some(&job.app)).first().map(|(p, _)| p.clone()), 0)
+                (
+                    find_checkpoints(&self.fs, Some(&job.app)).first().map(|(p, _)| p.clone()),
+                    0,
+                    RestartTier::Piofs,
+                )
             };
 
             let kill = KillToken::new();
@@ -166,6 +217,8 @@ impl Jsa {
                 kill: kill.clone(),
                 enable: enable.clone(),
                 incarnation,
+                memtier: self.memtier.clone(),
+                restart_tier,
             };
             let body = Arc::clone(&job.body);
             let outcomes = run_spmd_with_nodes_traced(
@@ -190,6 +243,7 @@ impl Jsa {
                 procs: procs.clone(),
                 restart_from,
                 fallback_depth,
+                tier: restart_tier,
                 outcome: outcome.clone(),
             });
 
@@ -214,6 +268,26 @@ impl Jsa {
             }
         }
         summary
+    }
+
+    /// Replays processor failures from the event log into the memory tier,
+    /// exactly once each. Node memory is diskless: a failure wipes the
+    /// node's resident pieces permanently (a repaired processor returns
+    /// with empty memory), and any tier entry that lost its last copy of
+    /// some piece is evicted and logged as invalidated.
+    fn sync_memtier(&self) {
+        let Some(tier) = &self.memtier else { return };
+        let events = self.log.snapshot();
+        let mut cursor = self.tier_cursor.lock();
+        let seen = events.len();
+        for e in &events[*cursor..] {
+            if let Event::ProcessorFailed { proc } = e {
+                for prefix in tier.fail_node(*proc) {
+                    self.log.record(Event::MemTierInvalidated { prefix });
+                }
+            }
+        }
+        *cursor = seen;
     }
 
     /// Raises the system-initiated-checkpoint signal for a job (feature 2

@@ -35,6 +35,6 @@ mod uic;
 
 pub use events::{Event, EventLog};
 pub use job::{JobEnv, JobOutcome, JobSpec, KillToken};
-pub use jsa::{Jsa, JsaPolicy, RunSummary};
+pub use jsa::{IncarnationRecord, Jsa, JsaPolicy, RunSummary};
 pub use rc::{ProcessorState, ResourceCoordinator};
 pub use uic::Uic;

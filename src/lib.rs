@@ -14,6 +14,8 @@
 //!   checkpoint/restart, and the conventional SPMD checkpointing baseline;
 //! * [`resil`] — storage resilience: checkpoint verification, scrub and
 //!   parity repair, seeded storage-fault campaigns, restart fallback;
+//! * [`memtier`] — the diskless checkpoint tier: in-memory replication of
+//!   stream pieces across nodes, verified spill to PIOFS, tiered restart;
 //! * [`rtenv`] — the RC/TC/JSA run-time environment and failure recovery;
 //! * [`obs`] — the observability layer (recorders, phases, counters);
 //! * [`apps`] — mini NAS-parallel-benchmark applications (BT, LU, SP).
@@ -21,6 +23,7 @@
 pub use drms_apps as apps;
 pub use drms_core as core;
 pub use drms_darray as darray;
+pub use drms_memtier as memtier;
 pub use drms_msg as msg;
 pub use drms_obs as obs;
 pub use drms_piofs as piofs;

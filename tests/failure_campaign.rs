@@ -20,6 +20,22 @@ const NITER: i64 = 10;
 const CKPT_EVERY: i64 = 3;
 const NPROCS: usize = 8;
 
+/// Every campaign seed is pinned here, in the test body — no ambient,
+/// time-based, or derived seeding anywhere in this file — so a failing
+/// campaign always names its seed and reproduces with one command.
+const CAMPAIGN_SEEDS: &[u64] = &[1, 2, 3, 4, 5, 6];
+
+/// The one-command repro printed by every campaign assertion.
+/// `FAILURE_CAMPAIGN_SEED` narrows the suite to the failing seed.
+fn repro_cmd(seed: u64) -> String {
+    format!("FAILURE_CAMPAIGN_SEED={seed} cargo test --test failure_campaign -- --nocapture")
+}
+
+/// The seed filter, when the repro command set one.
+fn seed_filter() -> Option<u64> {
+    std::env::var("FAILURE_CAMPAIGN_SEED").ok().and_then(|s| s.parse().ok())
+}
+
 fn domain() -> Slice {
     Slice::boxed(&[(1, 18), (1, 14)])
 }
@@ -125,7 +141,11 @@ fn run_campaign(seed: u64, fails: Vec<(i64, usize)>) -> f64 {
     });
 
     let summary = jsa.run_job(&job);
-    assert!(summary.completed, "campaign seed {seed} did not complete: {summary:?}");
+    assert!(
+        summary.completed,
+        "campaign seed {seed} did not complete: {summary:?}\nreproduce with: {}",
+        repro_cmd(seed)
+    );
     let total: f64 = out.lock().iter().sum();
     total
 }
@@ -144,10 +164,18 @@ fn campaigns_always_recover_exactly() {
     };
     assert_eq!(reference, expect);
 
-    for seed in 1..=6u64 {
+    for &seed in CAMPAIGN_SEEDS {
+        if seed_filter().is_some_and(|only| only != seed) {
+            continue;
+        }
         let nfails = 1 + (seed as usize % 3);
         let fails = schedule(seed, nfails);
         let got = run_campaign(seed, fails.clone());
-        assert_eq!(got, reference, "seed {seed} schedule {fails:?}");
+        assert_eq!(
+            got,
+            reference,
+            "campaign seed {seed} (schedule {fails:?}) diverged from the uninterrupted run\nreproduce with: {}",
+            repro_cmd(seed)
+        );
     }
 }

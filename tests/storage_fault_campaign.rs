@@ -13,6 +13,10 @@ use std::sync::Arc;
 use drms::core::segment::DataSegment;
 use drms::core::{find_checkpoints, Drms, DrmsConfig, Start};
 use drms::darray::{DistArray, Distribution};
+use drms::memtier::{
+    restore_arrays_from_tier, resume_from_tier, spill_checkpoint, store_checkpoint, store_feasible,
+    MemTier, RestartTier,
+};
 use drms::msg::CostModel;
 use drms::obs::{names, TraceRecorder};
 use drms::piofs::{Piofs, PiofsConfig};
@@ -58,6 +62,10 @@ enum Fault {
     /// then kill `victim`: the restart must detect the damage and either
     /// scrub it from parity or fall back to an older checkpoint.
     Corrupt { seed: u64, victim: usize },
+    /// Kill a whole set of processors at once — the schedule that crosses
+    /// the memory tier's survivability threshold when it takes every
+    /// resident copy of some checkpoint piece.
+    Nodes { victims: Vec<usize> },
 }
 
 struct StormWorld {
@@ -85,13 +93,28 @@ fn build_world(seed: u64, parity: bool) -> StormWorld {
 /// and the JSA's run summary. Reusing a world continues its checkpoint
 /// chain (used by the fallback tests below).
 fn run_storm(w: &StormWorld, faults: Vec<(i64, Fault)>) -> (f64, RunSummary) {
-    let jsa = Jsa::new(
+    run_storm_with(w, None, faults)
+}
+
+/// As [`run_storm`], optionally routing every checkpoint through an
+/// in-memory replicated tier (with a verified spill, so the durable PIOFS
+/// chain is identical either way) and restarts through the JSA's tiered
+/// resolution.
+fn run_storm_with(
+    w: &StormWorld,
+    tier: Option<Arc<MemTier>>,
+    faults: Vec<(i64, Fault)>,
+) -> (f64, RunSummary) {
+    let mut jsa = Jsa::new(
         Arc::clone(&w.rc),
         Arc::clone(&w.fs),
         w.log.clone(),
         CostModel::default(),
         JsaPolicy { repair_when_starved: true, ..Default::default() },
     );
+    if let Some(tier) = tier {
+        jsa = jsa.with_memtier(tier);
+    }
 
     let injected = Arc::new(AtomicUsize::new(0));
     let out = Arc::new(Mutex::new(Vec::new()));
@@ -102,33 +125,57 @@ fn run_storm(w: &StormWorld, faults: Vec<(i64, Fault)>) -> (f64, RunSummary) {
     let faults = Arc::new(faults);
 
     let job = JobSpec::new(APP, (1, NPROCS), move |ctx, env| {
-        let (mut drms, start) = Drms::initialize(
-            ctx,
-            &env.fs,
-            DrmsConfig::new(APP),
-            env.enable.clone(),
-            env.restart_from.as_deref(),
-        )
-        .unwrap();
         let dist = Distribution::block_auto(&domain(), ctx.ntasks(), 1).unwrap();
         let mut u = DistArray::<f64>::new("u", Order::ColumnMajor, dist, ctx.rank());
         let mut seg = DataSegment::new();
         let mut start_iter = 1i64;
-        match start {
-            Start::Fresh => u.fill_assigned(|p| (p[0] * 13 + p[1] * 3) as f64),
-            Start::Restarted(info) => {
-                seg = info.segment.clone();
-                start_iter = seg.control("iter").unwrap() + 1;
-                drms.restore_arrays(
+        let mut drms = match (env.restart_from.as_deref(), env.restart_tier) {
+            (Some(prefix), RestartTier::Memory) => {
+                // Tiered resolution picked the resident checkpoint: resume
+                // out of node memory, no checkpoint I/O.
+                let tier = env.memtier.as_ref().expect("memory restart without a tier");
+                let (drms, info) = resume_from_tier(
                     ctx,
                     &env.fs,
-                    env.restart_from.as_deref().unwrap(),
-                    &info.manifest,
-                    &mut [&mut u],
+                    tier,
+                    DrmsConfig::new(APP),
+                    env.enable.clone(),
+                    prefix,
                 )
                 .unwrap();
+                seg = info.segment.clone();
+                start_iter = seg.control("iter").unwrap() + 1;
+                restore_arrays_from_tier(ctx, tier, &drms, prefix, &info.manifest, &mut [&mut u])
+                    .unwrap();
+                drms
             }
-        }
+            _ => {
+                let (drms, start) = Drms::initialize(
+                    ctx,
+                    &env.fs,
+                    DrmsConfig::new(APP),
+                    env.enable.clone(),
+                    env.restart_from.as_deref(),
+                )
+                .unwrap();
+                match start {
+                    Start::Fresh => u.fill_assigned(|p| (p[0] * 13 + p[1] * 3) as f64),
+                    Start::Restarted(info) => {
+                        seg = info.segment.clone();
+                        start_iter = seg.control("iter").unwrap() + 1;
+                        drms.restore_arrays(
+                            ctx,
+                            &env.fs,
+                            env.restart_from.as_deref().unwrap(),
+                            &info.manifest,
+                            &mut [&mut u],
+                        )
+                        .unwrap();
+                    }
+                }
+                drms
+            }
+        };
         for iter in start_iter..=NITER {
             if env.sop_killed(ctx) {
                 return JobOutcome::Killed;
@@ -140,8 +187,20 @@ fn run_storm(w: &StormWorld, faults: Vec<(i64, Fault)>) -> (f64, RunSummary) {
             });
             seg.set_control("iter", iter);
             if iter % CKPT_EVERY == 0 {
-                drms.reconfig_checkpoint(ctx, &env.fs, &format!("ck/storm/{iter}"), &seg, &[&u])
-                    .unwrap();
+                let prefix = format!("ck/storm/{iter}");
+                match &env.memtier {
+                    // Diskless checkpoint plus verified spill: the PIOFS
+                    // chain ends up bitwise-identical to the direct path.
+                    // A region too small for the replication factor (e.g.
+                    // one surviving node) degrades to a direct checkpoint.
+                    Some(tier) if store_feasible(ctx, tier) => {
+                        store_checkpoint(ctx, tier, &prefix, &mut drms, &seg, &[&u]).unwrap();
+                        spill_checkpoint(ctx, &env.fs, tier, &prefix).unwrap();
+                    }
+                    _ => {
+                        drms.reconfig_checkpoint(ctx, &env.fs, &prefix, &seg, &[&u]).unwrap();
+                    }
+                }
             }
             // Injection: the next scheduled fault fires once its iteration
             // is reached.
@@ -150,22 +209,25 @@ fn run_storm(w: &StormWorld, faults: Vec<(i64, Fault)>) -> (f64, RunSummary) {
                 if let Some((at, fault)) = faults.get(k) {
                     if iter >= *at {
                         injected2.store(k + 1, Ordering::SeqCst);
-                        let victim = match fault {
-                            Fault::Proc { victim } => *victim,
+                        let victims = match fault {
+                            Fault::Proc { victim } => vec![*victim],
                             Fault::Server { server, victim } => {
                                 fs2.fail_server(*server);
-                                *victim
+                                vec![*victim]
                             }
                             Fault::Corrupt { seed, victim } => {
                                 if let Some((prefix, _)) = find_checkpoints(&fs2, Some(APP)).first()
                                 {
                                     CorruptionCampaign::new(*seed, 3).apply(&fs2, prefix);
                                 }
-                                *victim
+                                vec![*victim]
                             }
+                            Fault::Nodes { victims } => victims.clone(),
                         };
-                        if rc2.state_of(victim) != ProcessorState::Failed {
-                            rc2.fail_processor(victim);
+                        for victim in victims {
+                            if rc2.state_of(victim) != ProcessorState::Failed {
+                                rc2.fail_processor(victim);
+                            }
                         }
                     }
                 }
@@ -270,6 +332,99 @@ fn unrepairable_damage_falls_back_to_older_checkpoint() {
     // Quarantine renames the manifest aside; the data stays for diagnosis.
     assert!(w2.fs.exists("ck/storm/9/manifest.quarantined"));
     assert!(w2.fs.exists("ck/storm/9/array-u"));
+}
+
+#[test]
+fn memory_tier_serves_restart_within_survivability() {
+    // r = 2: every piece has three resident copies (owner + 2 replicas),
+    // so one killed processor cannot take the tier down — the restart must
+    // be a memory-tier hit with no fallback, and still recover exactly
+    // across the task-count change (8 -> 7 tasks).
+    let run = |seed| {
+        let w = build_world(seed, true);
+        let tier = MemTier::new(2);
+        let faults = vec![(4, Fault::Proc { victim: 3 })];
+        let (total, summary) = run_storm_with(&w, Some(Arc::clone(&tier)), faults);
+        assert_eq!(total, expect_total(), "memory-tier restart diverged");
+        assert!(summary.restarts() >= 1);
+
+        let restarted = &summary.incarnations[1];
+        assert_eq!(restarted.tier, RestartTier::Memory, "restart should hit the memory tier");
+        assert_eq!(restarted.restart_from.as_deref(), Some("ck/storm/3"));
+        assert_eq!(restarted.fallback_depth, 0);
+        assert!(w.log.any(|e| matches!(e, Event::MemTierHit { prefix } if prefix == "ck/storm/3")));
+        assert!(
+            !w.log.any(|e| matches!(e, Event::MemTierInvalidated { .. })),
+            "one kill must not cross the r=2 survivability threshold"
+        );
+        assert!(w.rec.metrics().counter_total(names::MEMTIER_HITS) >= 1);
+        assert_eq!(w.rec.metrics().counter_total(names::MEMTIER_INVALIDATIONS), 0);
+        assert!(w.rec.metrics().counter_total(names::MEMTIER_STORE_BYTES) > 0);
+        assert!(w.rec.metrics().counter_total(names::MEMTIER_RESTORE_BYTES) > 0);
+        total
+    };
+    // Deterministic per seed.
+    assert_eq!(run(21), run(21));
+}
+
+#[test]
+fn node_kills_crossing_threshold_fall_back_to_piofs_bitwise() {
+    // r = 1: two resident copies per piece. A clean tier-checkpointed run
+    // leaves spilled (durable, verified) checkpoints at 3, 6, 9 plus the
+    // resident tier entries.
+    let w = build_world(31, false);
+    let tier = MemTier::new(1);
+    let (total, _) = run_storm_with(&w, Some(Arc::clone(&tier)), Vec::new());
+    assert_eq!(total, expect_total());
+    assert!(tier.is_intact("ck/storm/9"));
+
+    // The durable copy of the newest checkpoint is silently damaged (no
+    // parity on this fs, so it stays damaged); the tier copy is fine.
+    assert!(w.fs.corrupt_range("ck/storm/9/array-u", 0, 16, 13) > 0);
+
+    // Second scheduler run over the same fs and tier: incarnation 0 is a
+    // memory-tier hit on ck/storm/9 — then a node-kill schedule takes 7 of
+    // the 8 processors, crossing the r=1 survivability threshold (every
+    // copy of some piece is on a dead node).
+    let rec = Arc::new(TraceRecorder::default());
+    let log = EventLog::with_recorder(rec.clone());
+    let w2 = StormWorld {
+        rc: Arc::new(ResourceCoordinator::new(NPROCS, log.clone())),
+        fs: Arc::clone(&w.fs),
+        log,
+        rec,
+    };
+    let faults = vec![(10, Fault::Nodes { victims: (0..=6).collect() })];
+    let (total, summary) = run_storm_with(&w2, Some(Arc::clone(&tier)), faults);
+    assert_eq!(total, expect_total(), "PIOFS fallback diverged from the clean run");
+
+    // Incarnation 0: served out of the memory tier.
+    let first = &summary.incarnations[0];
+    assert_eq!(first.tier, RestartTier::Memory);
+    assert_eq!(first.restart_from.as_deref(), Some("ck/storm/9"));
+    assert_eq!(first.outcome, JobOutcome::Killed);
+    assert!(w2.log.any(|e| matches!(e, Event::MemTierHit { prefix } if prefix == "ck/storm/9")));
+
+    // Incarnation 1: the mass kill invalidated the tier, so the JSA fell
+    // back to the durable chain — quarantining the damaged ck/storm/9 and
+    // restarting from ck/storm/6 with the correct fallback depth, on the
+    // single surviving processor.
+    let second = &summary.incarnations[1];
+    assert_eq!(second.tier, RestartTier::Piofs, "invalidated tier must fall back to PIOFS");
+    assert_eq!(second.restart_from.as_deref(), Some("ck/storm/6"));
+    assert_eq!(second.fallback_depth, 1, "one damaged durable checkpoint skipped");
+    assert_eq!(second.ntasks, 1);
+    assert_eq!(second.outcome, JobOutcome::Completed);
+
+    assert!(!tier.is_intact("ck/storm/9"), "threshold-crossing kill must evict the entry");
+    assert!(w2
+        .log
+        .any(|e| matches!(e, Event::MemTierInvalidated { prefix } if prefix == "ck/storm/9")));
+    assert!(w2
+        .log
+        .any(|e| matches!(e, Event::CheckpointQuarantined { prefix } if prefix == "ck/storm/9")));
+    assert!(w2.rec.metrics().counter_total(names::MEMTIER_INVALIDATIONS) >= 1);
+    assert_eq!(w2.rec.metrics().counter_total(names::FALLBACK_DEPTH), 1);
 }
 
 #[test]
