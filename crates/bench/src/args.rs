@@ -1,5 +1,7 @@
 //! Minimal command-line parsing shared by the table binaries.
 
+use std::path::PathBuf;
+
 use drms_apps::Class;
 
 /// Options common to the experiment binaries.
@@ -11,11 +13,14 @@ pub struct Options {
     pub runs: usize,
     /// Processor counts to measure.
     pub pes: Vec<usize>,
+    /// Directory to write a stable `BENCH_<name>.json` result into
+    /// (`--json DIR`); `None` prints tables only.
+    pub json: Option<PathBuf>,
 }
 
 impl Default for Options {
     fn default() -> Self {
-        Options { class: Class::A, runs: 10, pes: vec![8, 16] }
+        Options { class: Class::A, runs: 10, pes: vec![8, 16], json: None }
     }
 }
 
@@ -55,6 +60,7 @@ impl Options {
                         })
                         .collect();
                 }
+                "--json" => opts.json = Some(PathBuf::from(value("--json"))),
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other:?}")),
             }
@@ -73,7 +79,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: <table-binary> [--class T|S|W|A] [--runs N] [--pes 8,16]\n\
+        "usage: <table-binary> [--class T|S|W|A] [--runs N] [--pes 8,16] [--json DIR]\n\
          Class A is the paper's setting (64^3 grids, full-size segments);\n\
          smaller classes scale every byte-denominated parameter together,\n\
          preserving the threshold crossings at a fraction of the wall time."
@@ -99,9 +105,10 @@ mod tests {
 
     #[test]
     fn overrides() {
-        let o = parse(&["--class", "W", "--runs", "3", "--pes", "4,8"]);
+        let o = parse(&["--class", "W", "--runs", "3", "--pes", "4,8", "--json", "out"]);
         assert_eq!(o.class, Class::W);
         assert_eq!(o.runs, 3);
         assert_eq!(o.pes, vec![4, 8]);
+        assert_eq!(o.json, Some(PathBuf::from("out")));
     }
 }

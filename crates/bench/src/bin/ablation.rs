@@ -18,6 +18,8 @@ use std::sync::Arc;
 use drms_apps::bt;
 use drms_bench::args::Options;
 use drms_bench::experiment::experiment_fs;
+use drms_bench::gate::run_gated;
+use drms_bench::json::BenchResult;
 use drms_bench::table::render;
 use drms_darray::{stream, DistArray};
 use drms_msg::{run_spmd, CostModel};
@@ -25,6 +27,14 @@ use drms_slices::Order;
 
 fn main() {
     let opts = Options::from_env();
+    let repro =
+        format!("cargo run --release -p drms-bench --bin ablation -- --class {}", opts.class);
+    run_gated("ablation", &repro, || body(&opts));
+}
+
+fn body(opts: &Options) {
+    let mut result = BenchResult::new("ablation");
+    result.param("class", opts.class);
     let spec = bt(opts.class);
     let field = &spec.fields[0];
     let pes = 16usize;
@@ -58,6 +68,8 @@ fn main() {
         if io == 1 {
             serial_time = t;
         }
+        assert!(t > 0.0 && t <= serial_time, "more I/O tasks must never slow the write");
+        result.metric(&format!("io{io}.write_s"), t);
         rows.push(vec![
             io.to_string(),
             format!("{t:.2}"),
@@ -91,9 +103,15 @@ fn main() {
         })
         .unwrap();
         let t = times.iter().cloned().fold(0.0, f64::max);
+        assert!(t > 0.0, "piece-size sweep produced a zero-time write");
+        result.metric(&format!("piece{target_mb}mb.write_s"), t);
         rows.push(vec![format!("{target_mb} (scaled)"), format!("{t:.2}")]);
     }
     println!("{}", render(&["target piece (MB)", "write (s)"], &rows));
+    if let Some(dir) = &opts.json {
+        let path = result.write_to(dir).expect("write BENCH_ablation.json");
+        println!("wrote {}", path.display());
+    }
     println!(
         "\nExpected shape: speedup saturates as I/O tasks exceed the servers'\n\
          effective parallelism; very small pieces pay per-chunk overheads, very\n\

@@ -10,6 +10,8 @@
 use drms_apps::{bt, lu, sp, AppVariant};
 use drms_bench::args::Options;
 use drms_bench::experiment::run_pair;
+use drms_bench::gate::run_gated;
+use drms_bench::json::BenchResult;
 use drms_bench::stats::Summary;
 
 struct Bar {
@@ -21,6 +23,14 @@ struct Bar {
 
 fn main() {
     let opts = Options::from_env();
+    let repro = format!(
+        "cargo run --release -p drms-bench --bin fig7 -- --class {} --runs {}",
+        opts.class, opts.runs
+    );
+    run_gated("fig7", &repro, || body(&opts));
+}
+
+fn body(opts: &Options) {
     println!("Figure 7 — components of DRMS checkpoint (C) and restart (R) times");
     println!("class {} | mean of {} runs\n", opts.class, opts.runs);
 
@@ -61,9 +71,16 @@ fn main() {
     }
 
     // CSV series for external plotting.
+    let mut result = BenchResult::new("fig7");
+    result.param("class", opts.class);
+    result.param("runs", opts.runs);
     println!("partition,bar,segment_s,arrays_s,other_s,total_s");
     for (pes, group) in &bars {
         for b in group {
+            let key = |m: &str| format!("{}.p{pes}.{m}", b.label.to_lowercase());
+            result.metric(&key("segment_s"), b.segment);
+            result.metric(&key("arrays_s"), b.arrays);
+            result.metric(&key("other_s"), b.other);
             println!(
                 "{pes},{},{:.2},{:.2},{:.2},{:.2}",
                 b.label,
@@ -96,6 +113,10 @@ fn main() {
             );
         }
         println!();
+    }
+    if let Some(dir) = &opts.json {
+        let path = result.write_to(dir).expect("write BENCH_fig7.json");
+        println!("wrote {}", path.display());
     }
     println!("legend: # data segment   = distributed arrays   . other (restart init)");
     println!(

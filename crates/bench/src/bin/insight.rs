@@ -1,0 +1,212 @@
+//! Causal trace analysis of one checkpoint/restart cycle per mini-app,
+//! plus the bench-baseline regression gate.
+//!
+//! ```text
+//! cargo run --release -p drms-bench --bin insight -- [--class S] [--pes 4] \
+//!     [--json DIR] [--baseline PATH] [--tolerance 0.05] [--bless]
+//! ```
+//!
+//! For each of BT, LU and SP: traces a mid-point checkpoint and a restart
+//! under a fresh [`TraceRecorder`] each, then runs `drms-insight` over the
+//! finished session — critical path with per-segment bottleneck
+//! attribution, stream-wave straggler table, per-PIOFS-server
+//! utilization, and the causal edge counts. The binary *asserts*, for
+//! every traced operation, that the critical path tiles the operation
+//! window (per-phase attribution sums to the wall time) and that the
+//! server report identifies a slowest server whenever I/O happened.
+//!
+//! With `--json DIR` the headline numbers land in `BENCH_insight.json`;
+//! with `--baseline PATH` they are compared against a committed baseline
+//! within `--tolerance` (relative), failing the process on regression;
+//! `--bless` rewrites the baseline from the current run.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use drms_apps::{bt, lu, sp, AppSpec, AppVariant, Class, MiniApp};
+use drms_bench::experiment::experiment_fs;
+use drms_bench::gate::{baseline_gate, run_gated};
+use drms_bench::json::BenchResult;
+use drms_core::{Drms, EnableFlag};
+use drms_insight::Analysis;
+use drms_msg::{run_spmd_traced, CostModel};
+use drms_obs::{Recorder, TraceRecorder};
+
+const SEED: u64 = 42;
+
+struct Opts {
+    class: Class,
+    pes: usize,
+    json: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    tolerance: f64,
+    bless: bool,
+}
+
+fn parse_args() -> Opts {
+    let mut opts =
+        Opts { class: Class::S, pes: 4, json: None, baseline: None, tolerance: 0.05, bless: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value =
+            |flag: &str| it.next().unwrap_or_else(|| usage(&format!("{flag} needs a value")));
+        match flag.as_str() {
+            "--class" => {
+                let v = value("--class");
+                opts.class =
+                    Class::parse(&v).unwrap_or_else(|| usage(&format!("unknown class {v:?}")));
+            }
+            "--pes" => {
+                let v = value("--pes");
+                opts.pes = v
+                    .parse()
+                    .ok()
+                    .filter(|p| (1..=16).contains(p))
+                    .unwrap_or_else(|| usage(&format!("bad PE count {v:?}")));
+            }
+            "--json" => opts.json = Some(PathBuf::from(value("--json"))),
+            "--baseline" => opts.baseline = Some(PathBuf::from(value("--baseline"))),
+            "--tolerance" => {
+                let v = value("--tolerance");
+                opts.tolerance = v
+                    .parse()
+                    .ok()
+                    .filter(|t: &f64| t.is_finite() && *t >= 0.0)
+                    .unwrap_or_else(|| usage(&format!("bad tolerance {v:?}")));
+            }
+            "--bless" => opts.bless = true,
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown flag {other:?}")),
+        }
+    }
+    opts
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: insight [--class T|S|W|A] [--pes N] [--json DIR]\n\
+         \x20              [--baseline PATH] [--tolerance REL] [--bless]"
+    );
+    std::process::exit(2);
+}
+
+fn repro(opts: &Opts) -> String {
+    format!(
+        "cargo run --release -p drms-bench --bin insight -- --class {} --pes {}",
+        opts.class, opts.pes
+    )
+}
+
+/// Traces one checkpoint and one restart of `spec` (one fresh recorder
+/// per operation, like `--bin trace`), returning both analyses.
+fn trace_app(spec: &AppSpec, pes: usize) -> Vec<(&'static str, Analysis)> {
+    let fs = experiment_fs(spec.class, SEED);
+    Drms::install_binary(&fs, &spec.drms_config());
+
+    let rec = Arc::new(TraceRecorder::new());
+    let spec_c = spec.clone();
+    let fs_c = Arc::clone(&fs);
+    run_spmd_traced(pes, CostModel::default(), Arc::clone(&rec) as Arc<dyn Recorder>, move |ctx| {
+        let mut app =
+            MiniApp::start(ctx, &fs_c, spec_c.clone(), AppVariant::Drms, EnableFlag::new(), None)
+                .expect("fresh start");
+        app.step(ctx);
+        app.checkpoint(ctx, &fs_c, "ck/mid").expect("checkpoint")
+    })
+    .expect("checkpoint incarnation");
+    let checkpoint = Analysis::from_recorder(&rec);
+
+    fs.clear_residency();
+    fs.reset_time();
+    let rec = Arc::new(TraceRecorder::new());
+    let spec_r = spec.clone();
+    let fs_r = Arc::clone(&fs);
+    run_spmd_traced(pes, CostModel::default(), Arc::clone(&rec) as Arc<dyn Recorder>, move |ctx| {
+        let app = MiniApp::start(
+            ctx,
+            &fs_r,
+            spec_r.clone(),
+            AppVariant::Drms,
+            EnableFlag::new(),
+            Some("ck/mid"),
+        )
+        .expect("restart");
+        app.restart_report.expect("restarted")
+    })
+    .expect("restart incarnation");
+    let restart = Analysis::from_recorder(&rec);
+
+    vec![("checkpoint", checkpoint), ("restart", restart)]
+}
+
+/// Asserts the analysis invariants the bin gates on, records the headline
+/// metrics, and prints the report.
+fn report(app: &str, op: &str, a: &Analysis, result: &mut BenchResult) {
+    let wall = a.wall();
+    let eps = 1e-9 * wall.max(1.0);
+
+    // The critical path must tile the operation window: per-phase
+    // attribution sums to the wall time, exactly up to rounding.
+    let attributed: f64 = a.critical.by_phase().iter().map(|(_, t)| t).sum();
+    assert!(
+        (attributed - wall).abs() <= eps,
+        "{app} {op}: attribution {attributed} != wall {wall}"
+    );
+    assert!(wall > 0.0, "{app} {op}: empty operation window");
+    // Every traced operation does PIOFS I/O, so a slowest server exists.
+    let slowest = a.servers.slowest();
+    assert!(slowest.is_some(), "{app} {op}: no PIOFS server activity in trace");
+
+    println!("== {app} {op} ==");
+    println!("{}", a.render());
+
+    let key = |m: &str| format!("{app}.{op}.{m}");
+    result.metric(&key("wall_s"), wall);
+    result.metric(&key("segments"), a.critical.segments.len() as f64);
+    result.metric(&key("spans"), a.spans.len() as f64);
+    result.metric(&key("msg_edges"), a.msg_edges.len() as f64);
+    result.metric(&key("slowest_server"), slowest.unwrap() as f64);
+    result.metric(&key("server_imbalance"), a.servers.imbalance());
+    for (phase, secs) in a.critical.by_phase() {
+        result.metric(&key(&format!("phase.{phase}_s")), secs);
+    }
+    let max_gap = a.stragglers.iter().map(|r| r.gap()).fold(0.0, f64::max);
+    result.metric(&key("max_straggler_gap_s"), max_gap);
+}
+
+fn main() {
+    let opts = parse_args();
+    let repro_line = repro(&opts);
+    run_gated("insight", &repro_line, || {
+        println!(
+            "Causal trace analysis of one checkpoint/restart cycle per app \
+             (class {}, {} PEs, seed {SEED})\n",
+            opts.class, opts.pes
+        );
+        let mut result = BenchResult::new("insight");
+        result.param("class", opts.class);
+        result.param("pes", opts.pes);
+        result.param("seed", SEED);
+
+        for spec in [bt(opts.class), lu(opts.class), sp(opts.class)] {
+            for (op, analysis) in trace_app(&spec, opts.pes) {
+                report(spec.name, op, &analysis, &mut result);
+            }
+        }
+
+        if let Some(dir) = &opts.json {
+            let path = result.write_to(dir).expect("write BENCH_insight.json");
+            println!("wrote {}", path.display());
+        }
+        if let Some(baseline) = &opts.baseline {
+            baseline_gate(&result, baseline, opts.tolerance, opts.bless, &repro_line);
+        }
+        println!(
+            "\nAll critical paths tile their operation windows; every operation \
+             names its slowest PIOFS server."
+        );
+    });
+}

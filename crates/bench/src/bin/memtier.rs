@@ -2,7 +2,7 @@
 //! restart path.
 //!
 //! ```text
-//! cargo run --release -p drms-bench --bin memtier [--class T] [--pes 4] [--seed 42]
+//! cargo run --release -p drms-bench --bin memtier [--class T] [--pes 4] [--seed 42] [--json DIR]
 //! ```
 //!
 //! For each of BT, LU and SP, takes one mid-point checkpoint through the
@@ -23,9 +23,12 @@
 //! than the clean PIOFS restart for every app and task count, and that
 //! every measurement is deterministic per seed — CI runs it as a gate.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use drms_apps::{bt, lu, sp, AppSpec, AppVariant, Class, MiniApp};
+use drms_bench::gate::run_gated;
+use drms_bench::json::BenchResult;
 use drms_core::{Drms, EnableFlag};
 use drms_memtier::MemTier;
 use drms_msg::{run_spmd_traced, CostModel};
@@ -37,10 +40,11 @@ struct Opts {
     class: Class,
     pes: usize,
     seed: u64,
+    json: Option<PathBuf>,
 }
 
 fn parse_args() -> Opts {
-    let mut opts = Opts { class: Class::T, pes: 4, seed: 42 };
+    let mut opts = Opts { class: Class::T, pes: 4, seed: 42, json: None };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value =
@@ -63,6 +67,7 @@ fn parse_args() -> Opts {
                 let v = value("--seed");
                 opts.seed = v.parse().unwrap_or_else(|_| usage(&format!("bad seed {v:?}")));
             }
+            "--json" => opts.json = Some(PathBuf::from(value("--json"))),
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag {other:?}")),
         }
@@ -74,7 +79,7 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
     }
-    eprintln!("usage: memtier [--class T|S|W|A] [--pes N] [--seed S]");
+    eprintln!("usage: memtier [--class T|S|W|A] [--pes N] [--seed S] [--json DIR]");
     std::process::exit(2);
 }
 
@@ -222,6 +227,14 @@ fn measure(spec: &AppSpec, opts: &Opts, counts: &[usize]) -> (f64, f64, Vec<Row>
 
 fn main() {
     let opts = parse_args();
+    let repro = format!(
+        "cargo run --release -p drms-bench --bin memtier -- --class {} --pes {} --seed {}",
+        opts.class, opts.pes, opts.seed
+    );
+    run_gated("memtier", &repro, || body(&opts));
+}
+
+fn body(opts: &Opts) {
     println!(
         "Memory-tier restart latency (class {}, checkpoint on {} PEs, seed {}, r=1, server {KILLED} killed for degraded restart)",
         opts.class, opts.pes, opts.seed
@@ -239,14 +252,21 @@ fn main() {
         "tier MB"
     );
 
+    let mut result = BenchResult::new("memtier");
+    result.param("class", opts.class);
+    result.param("pes", opts.pes);
+    result.param("seed", opts.seed);
+
     let mut counts = vec![(opts.pes / 2).max(1), opts.pes];
     counts.dedup();
     for spec in [bt(opts.class), lu(opts.class), sp(opts.class)] {
-        let (store_s, spill_s, rows) = measure(&spec, &opts, &counts);
+        let (store_s, spill_s, rows) = measure(&spec, opts, &counts);
+        result.metric(&format!("{}.store_s", spec.name), store_s);
+        result.metric(&format!("{}.spill_s", spec.name), spill_s);
 
         // Determinism check: the same seed must reproduce every virtual
         // time bit-for-bit from a fresh cycle.
-        let repeat = measure(&spec, &opts, &counts);
+        let repeat = measure(&spec, opts, &counts);
         assert_eq!(
             (store_s, spill_s, rows.clone()),
             repeat,
@@ -257,6 +277,11 @@ fn main() {
         for row in &rows {
             let Row { ntasks, mem_s, clean_s, degraded_s, tier_bytes } = *row;
             assert!(tier_bytes > 0, "{}: memory restart moved no tier bytes", spec.name);
+            let key = |m: &str| format!("{}.t{ntasks}.{m}", spec.name);
+            result.metric(&key("mem_s"), mem_s);
+            result.metric(&key("clean_s"), clean_s);
+            result.metric(&key("degraded_s"), degraded_s);
+            result.metric(&key("tier_mb"), tier_bytes as f64 / 1e6);
 
             // The CI gate: the diskless tier must beat the durable path in
             // virtual time, strictly, at every measured task count.
@@ -284,6 +309,10 @@ fn main() {
                 tier_bytes as f64 / 1e6,
             );
         }
+    }
+    if let Some(dir) = &opts.json {
+        let path = result.write_to(dir).expect("write BENCH_memtier.json");
+        println!("wrote {}", path.display());
     }
     println!("\nAll memory-tier restarts strictly faster than clean and degraded PIOFS restarts; all measurements deterministic.");
 }

@@ -2,7 +2,7 @@
 //! costs, and what degraded-mode restart costs.
 //!
 //! ```text
-//! cargo run --release -p drms-bench --bin resilience [--class T] [--pes 4] [--seed 42]
+//! cargo run --release -p drms-bench --bin resilience [--class T] [--pes 4] [--seed 42] [--json DIR]
 //! ```
 //!
 //! For each of BT, LU and SP, runs the mid-point checkpoint/restart protocol
@@ -18,9 +18,12 @@
 //! Every run is deterministic per seed (the binary re-runs each degraded
 //! restart and aborts if the virtual times diverge).
 
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use drms_apps::{bt, lu, sp, AppSpec, AppVariant, Class, MiniApp};
+use drms_bench::gate::run_gated;
+use drms_bench::json::BenchResult;
 use drms_core::{Drms, EnableFlag};
 use drms_msg::{run_spmd_traced, CostModel};
 use drms_obs::{names, NullRecorder, Recorder, TraceRecorder};
@@ -31,10 +34,11 @@ struct Opts {
     class: Class,
     pes: usize,
     seed: u64,
+    json: Option<PathBuf>,
 }
 
 fn parse_args() -> Opts {
-    let mut opts = Opts { class: Class::T, pes: 4, seed: 42 };
+    let mut opts = Opts { class: Class::T, pes: 4, seed: 42, json: None };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value =
@@ -57,6 +61,7 @@ fn parse_args() -> Opts {
                 let v = value("--seed");
                 opts.seed = v.parse().unwrap_or_else(|_| usage(&format!("bad seed {v:?}")));
             }
+            "--json" => opts.json = Some(PathBuf::from(value("--json"))),
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag {other:?}")),
         }
@@ -68,7 +73,7 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
     }
-    eprintln!("usage: resilience [--class T|S|W|A] [--pes N] [--seed S]");
+    eprintln!("usage: resilience [--class T|S|W|A] [--pes N] [--seed S] [--json DIR]");
     std::process::exit(2);
 }
 
@@ -161,6 +166,14 @@ fn pct(over: f64, base: f64) -> f64 {
 
 fn main() {
     let opts = parse_args();
+    let repro = format!(
+        "cargo run --release -p drms-bench --bin resilience -- --class {} --pes {} --seed {}",
+        opts.class, opts.pes, opts.seed
+    );
+    run_gated("resilience", &repro, || body(&opts));
+}
+
+fn body(opts: &Opts) {
     const KILLED: usize = 3;
     println!(
         "Resilience overheads (class {}, {} PEs, seed {}, server {KILLED} killed for degraded restart)",
@@ -179,19 +192,32 @@ fn main() {
         "reconstr. MB"
     );
 
+    let mut result = BenchResult::new("resilience");
+    result.param("class", opts.class);
+    result.param("pes", opts.pes);
+    result.param("seed", opts.seed);
+
     for spec in [bt(opts.class), lu(opts.class), sp(opts.class)] {
-        let clean = run_cycle(&spec, &opts, false, None);
-        let parity = run_cycle(&spec, &opts, true, None);
-        let degraded = run_cycle(&spec, &opts, true, Some(KILLED));
+        let clean = run_cycle(&spec, opts, false, None);
+        let parity = run_cycle(&spec, opts, true, None);
+        let degraded = run_cycle(&spec, opts, true, Some(KILLED));
 
         assert_eq!(clean.parity_bytes, 0);
         assert!(parity.parity_bytes > 0, "parity writes must be priced");
         assert_eq!(clean.reconstructed_bytes, 0);
         assert!(degraded.reconstructed_bytes > 0, "degraded restart must reconstruct");
 
+        let key = |m: &str| format!("{}.{m}", spec.name);
+        result.metric(&key("clean_ckpt_s"), clean.ckpt_s);
+        result.metric(&key("parity_ckpt_s"), parity.ckpt_s);
+        result.metric(&key("clean_restart_s"), clean.restart_s);
+        result.metric(&key("degraded_restart_s"), degraded.restart_s);
+        result.metric(&key("parity_mb"), parity.parity_bytes as f64 / 1e6);
+        result.metric(&key("reconstructed_mb"), degraded.reconstructed_bytes as f64 / 1e6);
+
         // Determinism check: the same seed must reproduce the same degraded
         // virtual times bit-for-bit.
-        let repeat = run_cycle(&spec, &opts, true, Some(KILLED));
+        let repeat = run_cycle(&spec, opts, true, Some(KILLED));
         assert_eq!(
             (repeat.ckpt_s, repeat.restart_s),
             (degraded.ckpt_s, degraded.restart_s),
@@ -211,6 +237,10 @@ fn main() {
             parity.parity_bytes as f64 / 1e6,
             degraded.reconstructed_bytes as f64 / 1e6,
         );
+    }
+    if let Some(dir) = &opts.json {
+        let path = result.write_to(dir).expect("write BENCH_resilience.json");
+        println!("wrote {}", path.display());
     }
     println!("\nAll degraded checkpoints verified end-to-end with a dead server; all cycles deterministic.");
 }

@@ -4,23 +4,62 @@
 //! with the task count at fixed problem size.
 //!
 //! ```text
-//! cargo run --release -p drms-bench --bin shadow_model
+//! cargo run --release -p drms-bench --bin shadow_model [--json DIR]
 //! ```
 
+use std::path::PathBuf;
+
+use drms_bench::gate::run_gated;
+use drms_bench::json::BenchResult;
 use drms_bench::table::render;
 use drms_darray::{shadow, Distribution};
 use drms_slices::Slice;
 
+fn parse_args() -> Option<PathBuf> {
+    let mut json = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--json" => match it.next() {
+                Some(dir) => json = Some(PathBuf::from(dir)),
+                None => usage("--json needs a value"),
+            },
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown flag {other:?}")),
+        }
+    }
+    json
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: shadow_model [--json DIR]");
+    std::process::exit(2);
+}
+
 fn main() {
+    let json = parse_args();
+    run_gated("shadow_model", "cargo run --release -p drms-bench --bin shadow_model", || {
+        body(json.as_deref())
+    });
+}
+
+fn body(json: Option<&std::path::Path>) {
     println!("Section 6 — ratio of grid points saved: local view / global view\n");
+    let mut result = BenchResult::new("shadow_model");
 
     // The paper's CFD setting: n = 32, gamma = 2, d = 3.
     let r = shadow::shadow_ratio(32.0, 2.0, 3);
     println!("paper example: n = 32, gamma = 2, d = 3  ->  r = {r:.3}");
     println!("(the paper quotes \"1.38 times more data\"; the formula gives 1.424)\n");
+    assert!(r > 1.0, "local view must over-save");
+    result.metric("paper_example_r", r);
 
     // BT class C on 125 processors: ~500 MB of extra saved state.
     let extra = shadow::extra_bytes(162.0, 125, 2.0, 3, 40.0, 8.0);
+    result.metric("bt_classc_extra_mb", extra / 1e6);
     println!(
         "BT class C (162^3 grid, 8 five-component fields) on 125 processors:\n\
          local view saves {:.0} MB more than the DRMS global view (paper: ~500 MB)\n",
@@ -44,9 +83,14 @@ fn main() {
         } else {
             "-".to_string()
         };
+        result.metric(&format!("p{p}.analytic_r"), analytic);
         rows.push(vec![p.to_string(), format!("{n:.1}"), format!("{analytic:.3}"), measured]);
     }
     println!("{}", render(&header, &rows));
+    if let Some(dir) = json {
+        let path = result.write_to(dir).expect("write BENCH_shadow_model.json");
+        println!("wrote {}", path.display());
+    }
     println!(
         "\nr increases with P at constant N: the more tasks, the more a task-based\n\
          checkpoint over-saves. (Measured values fall below the analytic bound\n\

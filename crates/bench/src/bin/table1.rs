@@ -6,9 +6,13 @@
 //! plain message-passing solver to make it reconfigurable), versus the total.
 //!
 //! ```text
-//! cargo run --release -p drms-bench --bin table1
+//! cargo run --release -p drms-bench --bin table1 [--json DIR]
 //! ```
 
+use std::path::PathBuf;
+
+use drms_bench::gate::run_gated;
+use drms_bench::json::BenchResult;
 use drms_bench::table::render;
 
 const SOURCES: &[(&str, &str)] = &[
@@ -57,12 +61,42 @@ fn drms_lines(src: &str) -> usize {
         .count()
 }
 
+fn parse_args() -> Option<PathBuf> {
+    let mut json = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--json" => match it.next() {
+                Some(dir) => json = Some(PathBuf::from(dir)),
+                None => usage("--json needs a value"),
+            },
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown flag {other:?}")),
+        }
+    }
+    json
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: table1 [--json DIR]");
+    std::process::exit(2);
+}
+
 fn main() {
+    let json = parse_args();
+    run_gated("table1", "cargo run --release -p drms-bench --bin table1", || body(json.as_deref()));
+}
+
+fn body(json: Option<&std::path::Path>) {
     println!("Table 1 — source lines added to adopt the DRMS programming model\n");
     let header = vec!["file", "code lines", "DRMS-API lines", "share"];
     let mut rows = Vec::new();
     let mut total = 0usize;
     let mut drms = 0usize;
+    let mut result = BenchResult::new("table1");
     for (name, src) in SOURCES {
         let t = code_lines(src);
         let d = drms_lines(src);
@@ -81,7 +115,15 @@ fn main() {
         drms.to_string(),
         format!("{:.1}%", 100.0 * drms as f64 / total as f64),
     ]);
+    assert!(drms > 0 && drms * 4 < total, "DRMS-API share must stay a small fraction");
+    result.metric("total_code_lines", total as f64);
+    result.metric("drms_api_lines", drms as f64);
+    result.metric("drms_share_pct", 100.0 * drms as f64 / total as f64);
     println!("{}", render(&header, &rows));
+    if let Some(dir) = json {
+        let path = result.write_to(dir).expect("write BENCH_table1.json");
+        println!("wrote {}", path.display());
+    }
     println!(
         "\nPaper (Fortran NPB): BT 107/10,973 = 1.0%; LU 85/9,641 = 0.9%;\n\
          SP 99/9,561 = 1.0%. The mini-apps are far smaller than the NPB codes, so\n\

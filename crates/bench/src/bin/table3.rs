@@ -10,6 +10,8 @@
 use drms_apps::{bt, lu, sp, AppVariant};
 use drms_bench::args::Options;
 use drms_bench::experiment::run_state_size;
+use drms_bench::gate::run_gated;
+use drms_bench::json::BenchResult;
 use drms_bench::table::{mb, render};
 
 /// Paper values at class A, SI MB: (drms data, drms array, drms total,
@@ -22,8 +24,15 @@ const PAPER: &[(&str, [f64; 6])] = &[
 
 fn main() {
     let opts = Options::from_env();
+    let repro = format!("cargo run --release -p drms-bench --bin table3 -- --class {}", opts.class);
+    run_gated("table3", &repro, || body(&opts));
+}
+
+fn body(opts: &Options) {
     println!("Table 3 — size of saved state (SI MB); paper values are class A");
     println!("class {}\n", opts.class);
+    let mut result = BenchResult::new("table3");
+    result.param("class", opts.class);
 
     let header = vec![
         "app",
@@ -53,6 +62,13 @@ fn main() {
             spmd.push(run_state_size(&spec, AppVariant::Spmd, pes).expect("spmd"));
         }
 
+        result.metric(&format!("{}.drms_data_mb", spec.name), mb(d8.segment_component));
+        result.metric(&format!("{}.drms_array_mb", spec.name), mb(d8.array_component));
+        result.metric(&format!("{}.drms_total_mb", spec.name), mb(d8.total));
+        for (pes, s) in [4usize, 8, 16].into_iter().zip(&spmd) {
+            result.metric(&format!("{}.spmd_{pes}pe_mb", spec.name), mb(s.total));
+        }
+
         let paper = PAPER.iter().find(|(n, _)| *n == spec.name).unwrap().1;
         let scale = opts.class.memory_scale();
         rows.push(vec![
@@ -72,6 +88,10 @@ fn main() {
         eprintln!("... {} done", spec.name);
     }
     println!("{}", render(&header, &rows));
+    if let Some(dir) = &opts.json {
+        let path = result.write_to(dir).expect("write BENCH_table3.json");
+        println!("wrote {}", path.display());
+    }
     println!(
         "Invariants verified: DRMS total identical at 8 and 16 tasks; SPMD grows\n\
          linearly (each task saves its full compile-time-fixed segment)."

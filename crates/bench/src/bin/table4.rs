@@ -9,6 +9,8 @@ use std::sync::Arc;
 use drms_apps::{bt, lu, sp, AppVariant, MiniApp};
 use drms_bench::args::Options;
 use drms_bench::experiment::experiment_fs;
+use drms_bench::gate::run_gated;
+use drms_bench::json::BenchResult;
 use drms_bench::table::render;
 use drms_core::EnableFlag;
 use drms_msg::{run_spmd, CostModel};
@@ -23,8 +25,15 @@ const PAPER: &[(&str, [u64; 4])] = &[
 
 fn main() {
     let opts = Options::from_env();
+    let repro = format!("cargo run --release -p drms-bench --bin table4 -- --class {}", opts.class);
+    run_gated("table4", &repro, || body(&opts));
+}
+
+fn body(opts: &Options) {
     println!("Table 4 — components of a representative task's data segment (bytes)");
     println!("class {} | paper values are class A\n", opts.class);
+    let mut result = BenchResult::new("table4");
+    result.param("class", opts.class);
 
     let header = vec!["app", "component", "measured", "paper (class A)", "delta"];
     let mut rows = Vec::new();
@@ -52,6 +61,19 @@ fn main() {
             }
             format!("{:+.1}%", 100.0 * (m as f64 - p as f64) / p as f64)
         };
+        assert!(
+            a.total >= a.local_sections + a.system + a.private_replicated,
+            "{}: anatomy components must not exceed the total",
+            spec.name
+        );
+        for (key, v) in [
+            ("total_bytes", a.total),
+            ("local_sections_bytes", a.local_sections),
+            ("system_bytes", a.system),
+            ("private_replicated_bytes", a.private_replicated),
+        ] {
+            result.metric(&format!("{}.{key}", spec.name), v as f64);
+        }
         for (label, measured, paper_v) in [
             ("total data", a.total, scaled(paper[0])),
             ("local sections", a.local_sections, scaled(paper[1])),
@@ -68,6 +90,10 @@ fn main() {
         }
     }
     println!("{}", render(&header, &rows));
+    if let Some(dir) = &opts.json {
+        let path = result.write_to(dir).expect("write BENCH_table4.json");
+        println!("wrote {}", path.display());
+    }
     println!(
         "Anatomy notes (matching the paper's discussion): local sections are ~1/4 of\n\
          the arrays plus shadow storage; the ~33 MB system region is message-passing\n\

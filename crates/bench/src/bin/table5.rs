@@ -8,6 +8,8 @@
 use drms_apps::{bt, lu, sp, AppSpec, AppVariant};
 use drms_bench::args::Options;
 use drms_bench::experiment::run_pair;
+use drms_bench::gate::run_gated;
+use drms_bench::json::BenchResult;
 use drms_bench::stats::Summary;
 use drms_bench::table::render;
 
@@ -64,6 +66,14 @@ fn paper_cell(app: &str, restart: bool, pes: usize, variant: AppVariant) -> Stri
 
 fn main() {
     let opts = Options::from_env();
+    let repro = format!(
+        "cargo run --release -p drms-bench --bin table5 -- --class {} --runs {}",
+        opts.class, opts.runs
+    );
+    run_gated("table5", &repro, || body(&opts));
+}
+
+fn body(opts: &Options) {
     println!(
         "Table 5 — checkpoint and restart times (simulated seconds, mean ± sd of {} runs)",
         opts.runs
@@ -93,6 +103,10 @@ fn main() {
         "SPMD (paper)",
     ];
     let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut result = BenchResult::new("table5");
+    result.param("class", opts.class);
+    result.param("runs", opts.runs);
+    result.param("pes", opts.pes.iter().map(|p| p.to_string()).collect::<Vec<_>>().join(","));
 
     for spec in &specs {
         for &pes in &opts.pes {
@@ -110,6 +124,10 @@ fn main() {
                 measured[1][vi] = Some(Summary::of(&restarts));
             }
             for (oi, op) in ["checkpoint", "restart"].into_iter().enumerate() {
+                for (vi, variant) in ["drms", "spmd"].into_iter().enumerate() {
+                    let mean = measured[oi][vi].as_ref().unwrap().mean;
+                    result.metric(&format!("{}.p{pes}.{variant}.{op}_s", spec.name), mean);
+                }
                 rows.push(vec![
                     spec.name.to_string(),
                     pes.to_string(),
@@ -124,6 +142,10 @@ fn main() {
         }
     }
     println!("{}", render(&header, &rows));
+    if let Some(dir) = &opts.json {
+        let path = result.write_to(dir).expect("write BENCH_table5.json");
+        println!("wrote {}", path.display());
+    }
     println!(
         "Shapes to check against the paper: DRMS checkpoint always beats SPMD and the\n\
          gap widens with PEs; DRMS restart *improves* with PEs (client-limited reads);\n\

@@ -9,6 +9,8 @@
 use drms_apps::{bt, lu, sp, AppVariant};
 use drms_bench::args::Options;
 use drms_bench::experiment::run_pair;
+use drms_bench::gate::run_gated;
+use drms_bench::json::BenchResult;
 use drms_bench::stats::Summary;
 use drms_bench::table::render;
 use drms_core::report::OpBreakdown;
@@ -38,12 +40,24 @@ fn six(b: &OpBreakdown) -> [f64; 6] {
 
 fn main() {
     let opts = Options::from_env();
+    let repro = format!(
+        "cargo run --release -p drms-bench --bin table6 -- --class {} --runs {}",
+        opts.class, opts.runs
+    );
+    run_gated("table6", &repro, || body(&opts));
+}
+
+fn body(opts: &Options) {
     println!("Table 6 — components of DRMS checkpoint and restart (mean of {} runs)", opts.runs);
     println!("class {} | paper values are class A\n", opts.class);
 
     let header =
         vec!["app", "PEs", "op", "", "total(s)", "rate", "seg %", "seg rate", "arr %", "arr rate"];
     let mut rows = Vec::new();
+    let mut result = BenchResult::new("table6");
+    result.param("class", opts.class);
+    result.param("runs", opts.runs);
+    result.param("pes", opts.pes.iter().map(|p| p.to_string()).collect::<Vec<_>>().join(","));
     for spec in [bt(opts.class), lu(opts.class), sp(opts.class)] {
         for &pes in &opts.pes {
             let mut cs: Vec<[f64; 6]> = Vec::new();
@@ -66,6 +80,11 @@ fn main() {
                 ("checkpoint", mean6(&cs), paper.map(|p| p.2)),
                 ("restart", mean6(&rs), paper.map(|p| p.3)),
             ] {
+                let key = |m: &str| format!("{}.p{pes}.{op}.{m}", spec.name);
+                result.metric(&key("total_s"), measured[0]);
+                result.metric(&key("rate_mb_s"), measured[1]);
+                result.metric(&key("seg_pct"), measured[2]);
+                result.metric(&key("arr_pct"), measured[4]);
                 let fmt = |v: [f64; 6]| -> Vec<String> {
                     vec![
                         format!("{:.1}", v[0]),
@@ -95,6 +114,10 @@ fn main() {
         }
     }
     println!("{}", render(&header, &rows));
+    if let Some(dir) = &opts.json {
+        let path = result.write_to(dir).expect("write BENCH_table6.json");
+        println!("wrote {}", path.display());
+    }
     println!(
         "Rates are SI MB/s. Restart rows omit the initialization component from the\n\
          percentages, like the paper (they add to ~85-90% of the total). Shapes:\n\

@@ -1,7 +1,7 @@
 //! Observability trace of one checkpoint/restart cycle per mini-app.
 //!
 //! ```text
-//! cargo run --release -p drms-bench --bin trace [--class W] [--pes 4] [--out target/trace]
+//! cargo run --release -p drms-bench --bin trace [--class W] [--pes 4] [--out target/trace] [--json DIR]
 //! ```
 //!
 //! For each of BT, LU and SP: runs a fresh incarnation to the mid-point,
@@ -19,6 +19,8 @@ use std::sync::Arc;
 
 use drms_apps::{bt, lu, sp, AppSpec, AppVariant, Class, MiniApp};
 use drms_bench::experiment::experiment_fs;
+use drms_bench::gate::run_gated;
+use drms_bench::json::BenchResult;
 use drms_core::report::OpBreakdown;
 use drms_core::{Drms, EnableFlag};
 use drms_msg::{run_spmd_traced, CostModel};
@@ -30,10 +32,12 @@ struct TraceOpts {
     class: Class,
     pes: usize,
     out: PathBuf,
+    json: Option<PathBuf>,
 }
 
 fn parse_args() -> TraceOpts {
-    let mut opts = TraceOpts { class: Class::W, pes: 4, out: PathBuf::from("target/trace") };
+    let mut opts =
+        TraceOpts { class: Class::W, pes: 4, out: PathBuf::from("target/trace"), json: None };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value =
@@ -53,6 +57,7 @@ fn parse_args() -> TraceOpts {
                     .unwrap_or_else(|| usage(&format!("bad PE count {v:?}")));
             }
             "--out" => opts.out = PathBuf::from(value("--out")),
+            "--json" => opts.json = Some(PathBuf::from(value("--json"))),
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag {other:?}")),
         }
@@ -64,12 +69,20 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
     }
-    eprintln!("usage: trace [--class T|S|W|A] [--pes N] [--out DIR]");
+    eprintln!("usage: trace [--class T|S|W|A] [--pes N] [--out DIR] [--json DIR]");
     std::process::exit(2);
 }
 
 fn main() {
     let opts = parse_args();
+    let repro = format!(
+        "cargo run --release -p drms-bench --bin trace -- --class {} --pes {}",
+        opts.class, opts.pes
+    );
+    run_gated("trace", &repro, || body(&opts));
+}
+
+fn body(opts: &TraceOpts) {
     std::fs::create_dir_all(&opts.out).expect("create output directory");
     println!(
         "Tracing one DRMS checkpoint/restart cycle per app (class {}, {} PEs, seed {SEED})",
@@ -77,15 +90,23 @@ fn main() {
     );
     println!("Trace files go to {}\n", opts.out.display());
 
+    let mut result = BenchResult::new("trace");
+    result.param("class", opts.class);
+    result.param("pes", opts.pes);
+    result.param("seed", SEED);
     for spec in [bt(opts.class), lu(opts.class), sp(opts.class)] {
-        trace_app(&spec, opts.pes, &opts.out);
+        trace_app(&spec, opts.pes, &opts.out, &mut result);
+    }
+    if let Some(dir) = &opts.json {
+        let path = result.write_to(dir).expect("write BENCH_trace.json");
+        println!("wrote {}", path.display());
     }
     println!("All trace-derived breakdowns matched the reported ones exactly.");
 }
 
 /// Runs the checkpoint/restart cycle for one app, tracing each operation
 /// with its own recorder so each trace covers exactly one operation.
-fn trace_app(spec: &AppSpec, pes: usize, out: &Path) {
+fn trace_app(spec: &AppSpec, pes: usize, out: &Path, result: &mut BenchResult) {
     let fs = experiment_fs(spec.class, SEED);
     Drms::install_binary(&fs, &spec.drms_config());
 
@@ -112,7 +133,7 @@ fn trace_app(spec: &AppSpec, pes: usize, out: &Path) {
         },
     )
     .expect("checkpoint incarnation");
-    emit(&rec, ckpts[0], spec.name, "checkpoint", out);
+    emit(&rec, ckpts[0], spec.name, "checkpoint", out, result);
 
     // --- incarnation 2: restart from the mid-point ----------------------
     fs.clear_residency();
@@ -138,18 +159,27 @@ fn trace_app(spec: &AppSpec, pes: usize, out: &Path) {
         },
     )
     .expect("restart incarnation");
-    emit(&rec, restarts[0], spec.name, "restart", out);
+    emit(&rec, restarts[0], spec.name, "restart", out, result);
 }
 
 /// Checks the trace against the reported breakdown, writes the export files,
 /// and prints the phase summary.
-fn emit(rec: &TraceRecorder, reported: OpBreakdown, app: &str, op: &str, out: &Path) {
+fn emit(
+    rec: &TraceRecorder,
+    reported: OpBreakdown,
+    app: &str,
+    op: &str,
+    out: &Path,
+    result: &mut BenchResult,
+) {
     let summary = rec.phase_summary();
     let derived = OpBreakdown::from_trace(&summary, rec.metrics());
     assert_eq!(
         derived, reported,
         "{app} {op}: trace-derived breakdown diverges from the reported one"
     );
+    result.metric(&format!("{app}.{op}.total_s"), reported.total());
+    result.metric(&format!("{app}.{op}.total_mb"), reported.total_bytes() as f64 / 1e6);
 
     let chrome = out.join(format!("{app}-{op}.trace.json"));
     let jsonl = out.join(format!("{app}-{op}.events.jsonl"));

@@ -17,5 +17,7 @@
 
 pub mod args;
 pub mod experiment;
+pub mod gate;
+pub mod json;
 pub mod stats;
 pub mod table;

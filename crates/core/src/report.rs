@@ -146,6 +146,7 @@ mod tests {
                 phase: Phase::Segment,
                 name: "s".into(),
                 kind: EventKind::Begin,
+                corr: None,
             },
             TraceEvent {
                 t: 4.0,
@@ -153,6 +154,7 @@ mod tests {
                 phase: Phase::Segment,
                 name: "s".into(),
                 kind: EventKind::End,
+                corr: None,
             },
             TraceEvent {
                 t: 4.0,
@@ -160,6 +162,7 @@ mod tests {
                 phase: Phase::Arrays,
                 name: "a".into(),
                 kind: EventKind::Begin,
+                corr: None,
             },
             TraceEvent {
                 t: 9.0,
@@ -167,6 +170,7 @@ mod tests {
                 phase: Phase::Arrays,
                 name: "a".into(),
                 kind: EventKind::End,
+                corr: None,
             },
         ];
         let summary = PhaseSummary::from_events(&events);

@@ -17,7 +17,7 @@
 use std::sync::Arc;
 
 use drms_msg::Ctx;
-use drms_obs::names;
+use drms_obs::{names, Phase};
 
 use crate::{DarrayError, DistArray, Distribution, Element, Result};
 
@@ -37,6 +37,7 @@ pub fn assign<T: Element>(ctx: &mut Ctx, dst: &mut DistArray<T>, src: &DistArray
             got: src.dist().ntasks().max(dst.dist().ntasks()),
         });
     }
+    let t0 = ctx.now();
     // Pack: my assigned source elements destined for each task's mapped
     // section.
     let mut outgoing = Vec::with_capacity(p);
@@ -65,8 +66,11 @@ pub fn assign<T: Element>(ctx: &mut Ctx, dst: &mut DistArray<T>, src: &DistArray
 
     ctx.charge((packed_bytes + unpacked_bytes) as f64 / ctx.cost().memcpy_bw);
     if ctx.recorder().enabled() {
+        let rank = ctx.rank();
+        ctx.recorder().span_start(t0, rank, Phase::Redistribute, src.name());
+        ctx.recorder().span_end(ctx.now(), rank, Phase::Redistribute, src.name());
         ctx.recorder().counter_add(
-            ctx.rank(),
+            rank,
             names::REDISTRIBUTION_BYTES,
             Some(src.name()),
             packed_bytes as u64,
@@ -95,6 +99,7 @@ pub fn refresh_shadows<T: Element>(ctx: &mut Ctx, array: &mut DistArray<T>) -> R
         return Err(DarrayError::TaskCountMismatch { expected: p, got: array.dist().ntasks() });
     }
 
+    let t0 = ctx.now();
     let mut outgoing = Vec::with_capacity(p);
     let mut moved = 0usize;
     for dest in 0..p {
@@ -126,8 +131,11 @@ pub fn refresh_shadows<T: Element>(ctx: &mut Ctx, array: &mut DistArray<T>) -> R
     }
     ctx.charge(moved as f64 / ctx.cost().memcpy_bw);
     if ctx.recorder().enabled() {
+        let rank = ctx.rank();
+        ctx.recorder().span_start(t0, rank, Phase::Redistribute, array.name());
+        ctx.recorder().span_end(ctx.now(), rank, Phase::Redistribute, array.name());
         ctx.recorder().counter_add(
-            ctx.rank(),
+            rank,
             names::REDISTRIBUTION_BYTES,
             Some(array.name()),
             moved as u64,

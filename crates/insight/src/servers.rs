@@ -1,0 +1,131 @@
+//! Per-PIOFS-server utilization and Gantt report.
+//!
+//! The `piofs` crate exports one busy interval per server per priced I/O
+//! phase (the later of the server's prior busy horizon and the phase
+//! start, up to the server's new horizon), so per-server intervals never
+//! overlap and utilization is a plain sum against the operation window.
+
+use drms_obs::ServerInterval;
+
+/// Aggregate utilization of one PIOFS server over an operation window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerRow {
+    /// Server index.
+    pub server: usize,
+    /// Total busy time in simulated seconds.
+    pub busy: f64,
+    /// Number of busy intervals.
+    pub intervals: usize,
+    /// Earliest busy start.
+    pub first: f64,
+    /// Latest busy end — the server's finish horizon.
+    pub last: f64,
+}
+
+impl ServerRow {
+    /// Busy fraction of `wall` (0 when `wall` is 0).
+    pub fn utilization(&self, wall: f64) -> f64 {
+        if wall > 0.0 {
+            self.busy / wall
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Per-server utilization report plus the interval list for Gantt
+/// rendering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerReport {
+    /// One row per server that was ever busy, sorted by server index.
+    pub rows: Vec<ServerRow>,
+    /// All busy intervals, deterministically sorted (Gantt source).
+    pub intervals: Vec<ServerInterval>,
+}
+
+impl ServerReport {
+    /// The server gating the operation: latest finish horizon, ties to
+    /// the larger busy total, then the lower index.
+    pub fn slowest(&self) -> Option<usize> {
+        self.rows
+            .iter()
+            .max_by(|a, b| {
+                a.last
+                    .total_cmp(&b.last)
+                    .then(a.busy.total_cmp(&b.busy))
+                    .then(b.server.cmp(&a.server))
+            })
+            .map(|r| r.server)
+    }
+
+    /// Busy-time imbalance: max busy over mean busy (1.0 = perfectly
+    /// balanced, 0 when no server was busy).
+    pub fn imbalance(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        let max = self.rows.iter().map(|r| r.busy).fold(0.0, f64::max);
+        let mean = self.rows.iter().map(|r| r.busy).sum::<f64>() / self.rows.len() as f64;
+        if mean > 0.0 {
+            max / mean
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Aggregates deterministically sorted server intervals (as returned by
+/// `TraceRecorder::server_intervals`) into the per-server report.
+pub fn server_report(intervals: &[ServerInterval]) -> ServerReport {
+    let mut rows: Vec<ServerRow> = Vec::new();
+    for iv in intervals {
+        match rows.iter_mut().find(|r| r.server == iv.server) {
+            Some(r) => {
+                r.busy += iv.end - iv.start;
+                r.intervals += 1;
+                r.first = r.first.min(iv.start);
+                r.last = r.last.max(iv.end);
+            }
+            None => rows.push(ServerRow {
+                server: iv.server,
+                busy: iv.end - iv.start,
+                intervals: 1,
+                first: iv.start,
+                last: iv.end,
+            }),
+        }
+    }
+    rows.sort_by_key(|r| r.server);
+    ServerReport { rows, intervals: intervals.to_vec() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(server: usize, start: f64, end: f64) -> ServerInterval {
+        ServerInterval { server, name: "collective".into(), start, end }
+    }
+
+    #[test]
+    fn aggregates_busy_time_per_server() {
+        let report = server_report(&[iv(0, 0.0, 1.0), iv(1, 0.0, 3.0), iv(0, 2.0, 2.5)]);
+        assert_eq!(report.rows.len(), 2);
+        assert_eq!(report.rows[0].server, 0);
+        assert!((report.rows[0].busy - 1.5).abs() < 1e-12);
+        assert_eq!(report.rows[0].intervals, 2);
+        assert_eq!(report.rows[0].last, 2.5);
+        assert_eq!(report.slowest(), Some(1));
+        assert!((report.rows[1].utilization(3.0) - 1.0).abs() < 1e-12);
+        // max 3.0 over mean 2.25.
+        assert!((report.imbalance() - 3.0 / 2.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_is_well_behaved() {
+        let report = server_report(&[]);
+        assert!(report.rows.is_empty());
+        assert_eq!(report.slowest(), None);
+        assert_eq!(report.imbalance(), 0.0);
+    }
+}

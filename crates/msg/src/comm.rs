@@ -27,6 +27,9 @@ struct Envelope {
     src: Rank,
     tag: u64,
     arrival: f64,
+    /// Correlation id shared by the send and receive trace reports, so
+    /// causal analysis can pair them into cross-task edges.
+    corr: u64,
     payload: Vec<u8>,
 }
 
@@ -73,7 +76,7 @@ impl World {
     /// call it directly when driving tasks by hand.
     pub fn ctx(self: &Arc<World>, rank: Rank) -> Ctx {
         assert!(rank < self.ntasks);
-        Ctx { rank, world: Arc::clone(self), clock: SimClock::new() }
+        Ctx { rank, world: Arc::clone(self), clock: SimClock::new(), send_seq: 0 }
     }
 }
 
@@ -104,6 +107,9 @@ pub struct Ctx {
     rank: Rank,
     world: Arc<World>,
     clock: SimClock,
+    /// Messages sent so far by this task; combined with the rank it yields
+    /// a correlation id unique per message and deterministic per run.
+    send_seq: u64,
 }
 
 impl Ctx {
@@ -165,16 +171,24 @@ impl Ctx {
     pub fn send(&mut self, dst: Rank, tag: u64, payload: Vec<u8>) {
         assert!(dst < self.world.ntasks, "send to nonexistent rank {dst}");
         let cost = &self.world.cost;
+        // Correlation id: (rank+1) in the high bits, per-task send sequence
+        // in the low bits — unique per message and deterministic per run.
+        let corr = ((self.rank as u64 + 1) << 40) | self.send_seq;
+        self.send_seq += 1;
+        let bytes = payload.len();
         if self.world.recorder.enabled() {
             let rec = &self.world.recorder;
             rec.counter_add(self.rank, names::MESSAGES_SENT, None, 1);
-            rec.counter_add(self.rank, names::MESSAGE_BYTES, None, payload.len() as u64);
+            rec.counter_add(self.rank, names::MESSAGE_BYTES, None, bytes as u64);
         }
-        self.clock.advance(cost.send_overhead + cost.wire_time(payload.len()));
+        self.clock.advance(cost.send_overhead + cost.wire_time(bytes));
+        if self.world.recorder.enabled() {
+            self.world.recorder.msg_sent(self.clock.now(), self.rank, dst, tag, corr, bytes as u64);
+        }
         let arrival = self.clock.now() + cost.latency;
         let mb = &self.world.mailboxes[dst];
         let mut q = mb.queue.lock();
-        q.push(Envelope { src: self.rank, tag, arrival, payload });
+        q.push(Envelope { src: self.rank, tag, arrival, corr, payload });
         mb.cv.notify_all();
     }
 
@@ -187,9 +201,19 @@ impl Ctx {
         loop {
             if let Some(pos) = q.iter().position(|e| e.src == src && e.tag == tag) {
                 let env = q.remove(pos);
+                drop(q);
                 let cost = &self.world.cost;
                 self.clock.advance_to(env.arrival);
                 self.clock.advance(cost.recv_overhead);
+                if self.world.recorder.enabled() {
+                    self.world.recorder.msg_received(
+                        self.clock.now(),
+                        src,
+                        self.rank,
+                        tag,
+                        env.corr,
+                    );
+                }
                 return env.payload;
             }
             if mb.cv.wait_for(&mut q, Duration::from_secs(120)).timed_out() {
@@ -538,6 +562,46 @@ mod tests {
         // One p2p message plus one alltoallv message per rank.
         assert_eq!(rec.metrics().counter_total(names::MESSAGES_SENT), 3);
         assert_eq!(rec.metrics().counter_total(names::MESSAGE_BYTES), 120);
+        // The point-to-point message got a correlation id and both
+        // endpoints reported, so causal analysis can pair send with
+        // receive. (alltoallv is a synchronized exchange — it has no
+        // per-message arrival to pair, only the counters above.)
+        let msgs = rec.msg_records();
+        assert_eq!(msgs.len(), 1);
+        let m = &msgs[0];
+        assert_eq!((m.src, m.dst, m.tag, m.bytes), (0, 1, 9, 100));
+        assert!(m.recv_t.is_some_and(|rt| rt >= m.send_t));
+    }
+
+    #[test]
+    fn p2p_correlation_ids_unique_and_paired_across_many_messages() {
+        use drms_obs::TraceRecorder;
+
+        let rec = Arc::new(TraceRecorder::new());
+        crate::run_spmd_traced(
+            3,
+            CostModel::default(),
+            Arc::clone(&rec) as Arc<dyn Recorder>,
+            |ctx| {
+                let me = ctx.rank();
+                let next = (me + 1) % 3;
+                let prev = (me + 2) % 3;
+                for i in 0..4u64 {
+                    ctx.send(next, i, vec![me as u8; 8]);
+                }
+                for i in 0..4u64 {
+                    assert_eq!(ctx.recv(prev, i).len(), 8);
+                }
+            },
+        )
+        .unwrap();
+        let msgs = rec.msg_records();
+        assert_eq!(msgs.len(), 12);
+        assert!(msgs.iter().all(|m| m.recv_t.is_some_and(|rt| rt >= m.send_t)));
+        let mut corrs: Vec<u64> = msgs.iter().map(|m| m.corr).collect();
+        corrs.sort_unstable();
+        corrs.dedup();
+        assert_eq!(corrs.len(), 12, "correlation ids must be unique");
     }
 
     #[test]

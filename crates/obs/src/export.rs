@@ -26,7 +26,10 @@ fn json_str(s: &str) -> String {
 
 impl TraceRecorder {
     /// Exports everything as JSON Lines: one object per event (sorted by
-    /// simulated time), then one per counter series, then one per gauge.
+    /// simulated time), then one per counter series, then one per gauge,
+    /// then one per latency histogram. Events carry a `corr` field only
+    /// when they have a correlation id, so uncorrelated lines are
+    /// byte-identical to earlier releases.
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
         for ev in self.events() {
@@ -35,13 +38,18 @@ impl TraceRecorder {
                 EventKind::End => "end",
                 EventKind::Instant => "instant",
             };
+            let corr = match ev.corr {
+                Some(c) => format!(",\"corr\":{c}"),
+                None => String::new(),
+            };
             out.push_str(&format!(
-                "{{\"t\":{},\"rank\":{},\"phase\":{},\"name\":{},\"kind\":\"{}\"}}\n",
+                "{{\"t\":{},\"rank\":{},\"phase\":{},\"name\":{},\"kind\":\"{}\"{}}}\n",
                 ev.t,
                 ev.rank,
                 json_str(ev.phase.as_str()),
                 json_str(&ev.name),
-                kind
+                kind,
+                corr
             ));
         }
         for (key, value) in self.metrics().counters() {
@@ -63,6 +71,19 @@ impl TraceRecorder {
                 json_str(name),
                 index,
                 value
+            ));
+        }
+        for (name, h) in self.metrics().histograms() {
+            out.push_str(&format!(
+                "{{\"hist\":{},\"count\":{},\"sum\":{},\"max\":{},\
+                 \"p50\":{},\"p95\":{},\"p99\":{}}}\n",
+                json_str(name),
+                h.count(),
+                h.sum(),
+                h.max(),
+                h.p50(),
+                h.p95(),
+                h.p99()
             ));
         }
         out
@@ -129,8 +150,23 @@ mod tests {
 {\"t\":0.5,\"rank\":1,\"phase\":\"control\",\"name\":\"mark\",\"kind\":\"instant\"}\n\
 {\"t\":1,\"rank\":0,\"phase\":\"segment\",\"name\":\"seg \\\"q\\\"\",\"kind\":\"end\"}\n\
 {\"counter\":\"stream.bytes\",\"rank\":1,\"array\":\"u\",\"value\":2048}\n\
-{\"gauge\":\"piofs.server_busy\",\"index\":2,\"value\":0.125}\n";
+{\"gauge\":\"piofs.server_busy\",\"index\":2,\"value\":0.125}\n\
+{\"hist\":\"segment\",\"count\":1,\"sum\":0.75,\"max\":0.75,\
+\"p50\":0.75,\"p95\":0.75,\"p99\":0.75}\n";
         assert_eq!(sample().to_jsonl(), expected);
+    }
+
+    /// Correlated instants carry a `corr` field; uncorrelated lines stay
+    /// byte-identical to the golden above.
+    #[test]
+    fn jsonl_corr_field_only_when_present() {
+        let r = TraceRecorder::new();
+        r.event_with_corr(0.5, 0, Phase::Control, "job bt started", 3);
+        let text = r.to_jsonl();
+        assert!(text.contains("\"kind\":\"instant\",\"corr\":3}"));
+        let r = TraceRecorder::new();
+        r.event(0.5, 0, Phase::Control, "job bt started");
+        assert!(!r.to_jsonl().contains("corr"));
     }
 
     /// Golden snapshot of the Chrome trace export.

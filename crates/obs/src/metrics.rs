@@ -15,10 +15,115 @@ pub struct CounterKey {
     pub array: Option<String>,
 }
 
+/// Number of latency buckets: log-spaced at factor √2 from 1 µs, covering
+/// about 1 µs to 2.3e3 s before the overflow bucket.
+const NBUCKETS: usize = 64;
+
+/// Upper bound (inclusive) of bucket `k`: `1e-6 · 2^(k/2)` seconds.
+/// Computed from `powi` and the exact `SQRT_2` constant only, so bounds are
+/// bit-identical across platforms (no `powf`).
+fn bucket_bound(k: usize) -> f64 {
+    let half = (k / 2) as i32;
+    let base = 1e-6 * 2f64.powi(half);
+    if k.is_multiple_of(2) {
+        base
+    } else {
+        base * std::f64::consts::SQRT_2
+    }
+}
+
+/// Fixed-bucket latency histogram with deterministic quantiles.
+///
+/// Buckets are log-spaced at factor √2 starting at 1 µs; a sample lands in
+/// the first bucket whose upper bound is ≥ the sample (the last bucket
+/// catches overflow). Quantiles report the upper bound of the bucket where
+/// the cumulative count crosses the quantile point, clamped to the exact
+/// observed maximum — a pure function of the recorded samples, independent
+/// of insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { counts: vec![0; NBUCKETS], count: 0, sum: 0.0, max: 0.0 }
+    }
+}
+
+impl Histogram {
+    /// Records one sample (negative samples clamp to zero).
+    pub fn record(&mut self, value: f64) {
+        let v = value.max(0.0);
+        let idx = (0..NBUCKETS - 1).find(|&k| v <= bucket_bound(k)).unwrap_or(NBUCKETS - 1);
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of recorded samples (seconds).
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Exact maximum recorded sample (seconds); 0 when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Deterministic quantile estimate for `q` in `[0, 1]`: the upper bound
+    /// of the bucket where the cumulative count reaches `ceil(q·count)`,
+    /// clamped to the observed maximum. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (k, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                // The overflow bucket has no meaningful upper bound; report
+                // the exact maximum instead.
+                if k == NBUCKETS - 1 {
+                    return self.max;
+                }
+                return bucket_bound(k).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate (see [`Histogram::quantile`]).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+}
+
 #[derive(Debug, Default)]
 struct Inner {
     counters: BTreeMap<CounterKey, u64>,
     gauges: BTreeMap<(&'static str, usize), f64>,
+    histograms: BTreeMap<&'static str, Histogram>,
 }
 
 /// Thread-safe registry of monotonic counters (labelled by rank and
@@ -70,6 +175,21 @@ impl MetricsRegistry {
     pub fn gauges(&self) -> Vec<((&'static str, usize), f64)> {
         self.inner.lock().gauges.iter().map(|(k, v)| (*k, *v)).collect()
     }
+
+    /// Records one latency sample (seconds) into histogram `name`.
+    pub fn histogram_record(&self, name: &'static str, value: f64) {
+        self.inner.lock().histograms.entry(name).or_default().record(value);
+    }
+
+    /// Snapshot of histogram `name`, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.inner.lock().histograms.iter().find(|(n, _)| **n == name).map(|(_, h)| h.clone())
+    }
+
+    /// Every histogram, sorted by name.
+    pub fn histograms(&self) -> Vec<(&'static str, Histogram)> {
+        self.inner.lock().histograms.iter().map(|(n, h)| (*n, h.clone())).collect()
+    }
 }
 
 #[cfg(test)]
@@ -100,6 +220,59 @@ mod tests {
         m.counter_add(2, "msg.messages_sent", None, 1);
         m.counter_add(2, "msg.messages_sent", None, 3);
         assert_eq!(m.counter_total("msg.messages_sent"), 5);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log_spaced_and_quantiles_deterministic() {
+        // Bounds grow by exactly √2 per bucket (up to float rounding).
+        for k in 1..NBUCKETS {
+            let ratio = bucket_bound(k) / bucket_bound(k - 1);
+            assert!((ratio - std::f64::consts::SQRT_2).abs() < 1e-12, "k={k} ratio={ratio}");
+        }
+        let mut h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0.0);
+        for v in [0.001, 0.002, 0.004, 0.100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - 0.107).abs() < 1e-12);
+        assert_eq!(h.max(), 0.100);
+        // Quantiles never exceed the exact max, and p99 lands at it.
+        assert!(h.p50() <= h.p95() && h.p95() <= h.p99());
+        assert!(h.p99() <= h.max());
+        // Order independence: the same samples reversed give identical state.
+        let mut r = Histogram::default();
+        for v in [0.100, 0.004, 0.002, 0.001] {
+            r.record(v);
+        }
+        assert_eq!(h, r);
+    }
+
+    #[test]
+    fn histogram_overflow_and_negative_samples() {
+        let mut h = Histogram::default();
+        h.record(-1.0); // clamps to zero, lands in the first bucket
+        h.record(1e9); // beyond the last bound: overflow bucket
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), 1e9);
+        assert_eq!(h.quantile(1.0), 1e9);
+        assert_eq!(h.quantile(0.0), bucket_bound(0).min(1e9));
+    }
+
+    #[test]
+    fn registry_histograms_aggregate_by_name() {
+        let m = MetricsRegistry::new();
+        assert!(m.histogram("io_phase").is_none());
+        m.histogram_record("io_phase", 0.5);
+        m.histogram_record("io_phase", 1.5);
+        m.histogram_record("stream_wave", 0.25);
+        let h = m.histogram("io_phase").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), 1.5);
+        let all = m.histograms();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].0, "io_phase");
+        assert_eq!(all[1].0, "stream_wave");
     }
 
     #[test]

@@ -29,6 +29,30 @@ pub trait Recorder: Send + Sync {
     /// Records an instantaneous event.
     fn event(&self, t: f64, rank: usize, phase: Phase, name: &str) {}
 
+    /// Records an instantaneous event carrying a correlation id, so causal
+    /// analysis can link it to other records (e.g. a job start to its JSA
+    /// incarnation number). The default forwards to [`Recorder::event`],
+    /// dropping the id.
+    fn event_with_corr(&self, t: f64, rank: usize, phase: Phase, name: &str, corr: u64) {
+        self.event(t, rank, phase, name);
+    }
+
+    /// Reports the completed send of a point-to-point message: `t` is the
+    /// sender's clock after the send call returned (wire time charged),
+    /// `corr` is the message's unique correlation id shared with the
+    /// matching [`Recorder::msg_received`] report.
+    fn msg_sent(&self, t: f64, src: usize, dst: usize, tag: u64, corr: u64, bytes: u64) {}
+
+    /// Reports the completed receive of the message with correlation id
+    /// `corr`: `t` is the receiver's clock after delivery (arrival plus
+    /// receive overhead).
+    fn msg_received(&self, t: f64, src: usize, dst: usize, tag: u64, corr: u64) {}
+
+    /// Reports one PIOFS server's busy interval inside a priced I/O phase
+    /// (`[start, end]` in simulated seconds), for utilization and
+    /// stripe-imbalance attribution.
+    fn server_interval(&self, server: usize, name: &str, start: f64, end: f64) {}
+
     /// Adds `delta` to the monotonic counter `name`, labelled by `rank`
     /// and optionally an `array` name.
     fn counter_add(&self, rank: usize, name: &'static str, array: Option<&str>, delta: u64) {}
@@ -55,6 +79,10 @@ mod tests {
         r.span_start(0.0, 0, Phase::Init, "x");
         r.span_end(1.0, 0, Phase::Init, "x");
         r.event(0.5, 1, Phase::Control, "e");
+        r.event_with_corr(0.5, 1, Phase::Control, "e", 7);
+        r.msg_sent(0.1, 0, 1, 9, 42, 128);
+        r.msg_received(0.2, 0, 1, 9, 42);
+        r.server_interval(3, "collective", 0.0, 1.0);
         r.counter_add(0, crate::names::MESSAGES_SENT, None, 3);
         r.gauge_set(crate::names::SERVER_BUSY, 2, 1.5);
     }

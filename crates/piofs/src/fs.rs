@@ -625,6 +625,9 @@ impl Piofs {
         for (k, &b) in pricing.server_busy.iter().enumerate() {
             rec.gauge_set(names::SERVER_BUSY, k, b);
         }
+        for &(k, start, finish) in &pricing.server_spans {
+            rec.server_interval(k, name, start, finish);
+        }
     }
 }
 
@@ -991,5 +994,42 @@ mod tests {
         })
         .unwrap();
         assert_eq!(fs.total_bytes("ck/"), 150);
+    }
+
+    #[test]
+    fn traced_phase_exports_server_busy_intervals() {
+        use drms_obs::{Recorder, TraceRecorder};
+        use std::sync::Arc;
+
+        let rec = Arc::new(TraceRecorder::new());
+        let fs = fs();
+        drms_msg::run_spmd_traced(
+            2,
+            CostModel::free(),
+            Arc::clone(&rec) as Arc<dyn Recorder>,
+            |ctx| {
+                let off = (ctx.rank() as u64) * (1 << 20);
+                fs.collective_write(
+                    ctx,
+                    vec![WriteReq { path: "seg".into(), offset: off, data: vec![7; 1 << 20] }],
+                );
+            },
+        )
+        .unwrap();
+        let spans = rec.server_intervals();
+        assert!(!spans.is_empty(), "busy servers must report intervals");
+        // Intervals are well-formed and name the priced phase.
+        for s in &spans {
+            assert!(s.end > s.start, "interval {s:?}");
+            assert_eq!(s.name, "collective");
+        }
+        // Each server's last interval end matches its busy-horizon gauge.
+        for s in &spans {
+            let busy = rec.metrics().gauge(names::SERVER_BUSY, s.server).unwrap();
+            assert!(s.end <= busy + 1e-12, "interval end {} past horizon {busy}", s.end);
+        }
+        // A 2 MB write across a striped file touches more than one server.
+        let servers: std::collections::BTreeSet<usize> = spans.iter().map(|s| s.server).collect();
+        assert!(servers.len() > 1, "expected multiple busy servers, got {servers:?}");
     }
 }

@@ -83,6 +83,11 @@ pub(crate) struct Pricing {
     pub completion: HashMap<usize, f64>,
     /// New per-server busy horizon.
     pub server_busy: Vec<f64>,
+    /// Busy interval `(server, start, end)` of each server that did work in
+    /// this phase: start is the later of the server's prior busy horizon
+    /// and `t0`, end is its new horizon. Exported to the observability
+    /// recorder for per-server utilization/Gantt attribution.
+    pub server_spans: Vec<(usize, f64, f64)>,
 }
 
 /// Prices one phase. `busy` and `residency` are indexed by node; `t_sync`
@@ -191,6 +196,10 @@ pub(crate) fn price_phase(
         server_time[k] = t;
     }
     let server_finish: Vec<f64> = (0..n).map(|k| busy[k].max(t0) + server_time[k]).collect();
+    let server_spans: Vec<(usize, f64, f64)> = (0..n)
+        .filter(|&k| server_time[k] > 0.0)
+        .map(|k| (k, busy[k].max(t0), server_finish[k]))
+        .collect();
 
     // ---- client times --------------------------------------------------
     let occ_pen = 1.0 - frac_occ * cfg.occupancy_write_penalty;
@@ -240,7 +249,7 @@ pub(crate) fn price_phase(
         completion.insert(c, t0 + (base - t0) * jit);
     }
 
-    Pricing { t0, completion, server_busy: server_finish }
+    Pricing { t0, completion, server_busy: server_finish, server_spans }
 }
 
 #[cfg(test)]

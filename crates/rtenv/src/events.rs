@@ -172,10 +172,24 @@ impl EventLog {
 
     /// Appends an event.
     pub fn record(&self, e: Event) {
+        self.record_inner(e, None);
+    }
+
+    /// Appends an event carrying a correlation id in its trace mirror (the
+    /// JSA links each `JobStarted` to its incarnation number this way, so
+    /// causal analysis can attribute spans to incarnations).
+    pub fn record_linked(&self, e: Event, corr: u64) {
+        self.record_inner(e, Some(corr));
+    }
+
+    fn record_inner(&self, e: Event, corr: Option<u64>) {
         let mut events = self.inner.lock();
         if self.recorder.enabled() {
             let seq = events.len() as f64;
-            self.recorder.event(seq, 0, Phase::Control, &e.to_string());
+            match corr {
+                Some(c) => self.recorder.event_with_corr(seq, 0, Phase::Control, &e.to_string(), c),
+                None => self.recorder.event(seq, 0, Phase::Control, &e.to_string()),
+            }
             match &e {
                 Event::JobStarted { .. } => {
                     self.recorder.counter_add(0, names::JOB_STARTS, None, 1)
@@ -251,6 +265,26 @@ mod tests {
         assert_eq!(events[0].t, 0.0);
         assert_eq!(events[3].t, 3.0);
         assert!(events[0].name.contains("started on 8 tasks"));
+    }
+
+    #[test]
+    fn linked_events_carry_correlation_id() {
+        use drms_obs::TraceRecorder;
+
+        let rec = Arc::new(TraceRecorder::default());
+        let log = EventLog::with_recorder(rec.clone());
+        log.record_linked(Event::JobStarted { app: "bt".into(), ntasks: 4, restart_from: None }, 0);
+        log.record(Event::TcRestarted { proc: 1 });
+        log.record_linked(
+            Event::JobStarted { app: "bt".into(), ntasks: 4, restart_from: Some("ck/1".into()) },
+            1,
+        );
+        let events = rec.events();
+        assert_eq!(events[0].corr, Some(0));
+        assert_eq!(events[1].corr, None);
+        assert_eq!(events[2].corr, Some(1));
+        // Counters fire for linked records too.
+        assert_eq!(rec.metrics().counter_total(names::JOB_STARTS), 2);
     }
 
     #[test]

@@ -205,11 +205,14 @@ impl Jsa {
 
             let kill = KillToken::new();
             self.rc.form_pool(&job.app, &procs, kill.clone());
-            self.log.record(Event::JobStarted {
-                app: job.app.clone(),
-                ntasks,
-                restart_from: restart_from.clone(),
-            });
+            self.log.record_linked(
+                Event::JobStarted {
+                    app: job.app.clone(),
+                    ntasks,
+                    restart_from: restart_from.clone(),
+                },
+                incarnation as u64,
+            );
 
             let env = JobEnv {
                 fs: Arc::clone(&self.fs),

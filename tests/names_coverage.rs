@@ -1,0 +1,271 @@
+//! Drift test for `obs::names`: every well-known metric name must be
+//! emitted by at least one instrumentation site during the canonical traced
+//! scenarios below. A name declared in `names::ALL` that no code path ever
+//! emits is dead weight — and worse, a dashboard or baseline keyed on it
+//! would silently read zero forever. The scenarios are trimmed versions of
+//! the storage-fault campaigns: a degraded restart through parity
+//! reconstruction, a direct scrub pass, and a memory-tier chain whose
+//! survivability threshold is crossed.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use drms::core::segment::DataSegment;
+use drms::core::{Drms, DrmsConfig, Start};
+use drms::darray::{DistArray, Distribution};
+use drms::memtier::{
+    restore_arrays_from_tier, resume_from_tier, spill_checkpoint, store_checkpoint, store_feasible,
+    MemTier, RestartTier,
+};
+use drms::msg::CostModel;
+use drms::obs::{names, TraceRecorder};
+use drms::piofs::{Piofs, PiofsConfig};
+use drms::resil::{scrub_checkpoint, CorruptionCampaign};
+use drms::rtenv::{
+    EventLog, JobOutcome, JobSpec, Jsa, JsaPolicy, ProcessorState, ResourceCoordinator,
+};
+use drms::slices::{Order, Slice};
+
+const NITER: i64 = 10;
+const CKPT_EVERY: i64 = 3;
+const NPROCS: usize = 8;
+const APP: &str = "drift";
+
+fn domain() -> Slice {
+    Slice::boxed(&[(1, 18), (1, 14)])
+}
+
+struct World {
+    rc: Arc<ResourceCoordinator>,
+    fs: Arc<Piofs>,
+    log: EventLog,
+    rec: Arc<TraceRecorder>,
+}
+
+fn build_world(seed: u64, parity: bool) -> World {
+    let rec = Arc::new(TraceRecorder::default());
+    let log = EventLog::with_recorder(rec.clone());
+    let rc = Arc::new(ResourceCoordinator::new(NPROCS, log.clone()));
+    let cfg = if parity {
+        PiofsConfig::test_tiny(NPROCS).with_parity()
+    } else {
+        PiofsConfig::test_tiny(NPROCS)
+    };
+    let fs = Piofs::new(cfg, seed);
+    Drms::install_binary(&fs, &DrmsConfig::new(APP));
+    World { rc, fs, log, rec }
+}
+
+/// Re-enter `fs` with a fresh coordinator and recorder (continues the
+/// checkpoint chain left by a previous run over the same file system).
+fn reenter(w: &World) -> World {
+    let rec = Arc::new(TraceRecorder::default());
+    let log = EventLog::with_recorder(rec.clone());
+    World {
+        rc: Arc::new(ResourceCoordinator::new(NPROCS, log.clone())),
+        fs: Arc::clone(&w.fs),
+        log,
+        rec,
+    }
+}
+
+/// A fault fired once iteration `at` is reached on rank 0: optionally kill
+/// a PIOFS server, then kill each listed processor.
+#[derive(Clone)]
+struct Fault {
+    at: i64,
+    server: Option<usize>,
+    victims: Vec<usize>,
+}
+
+/// Runs the drift job under the JSA with an optional memory tier and a
+/// fault schedule. The job checkpoints every third iteration and the final
+/// state must match an uninterrupted run bitwise.
+fn run_job(w: &World, tier: Option<Arc<MemTier>>, faults: Vec<Fault>) {
+    let mut jsa = Jsa::new(
+        Arc::clone(&w.rc),
+        Arc::clone(&w.fs),
+        w.log.clone(),
+        CostModel::default(),
+        JsaPolicy { repair_when_starved: true, ..Default::default() },
+    );
+    if let Some(tier) = tier {
+        jsa = jsa.with_memtier(tier);
+    }
+
+    let injected = Arc::new(AtomicUsize::new(0));
+    let rc2 = Arc::clone(&w.rc);
+    let fs2 = Arc::clone(&w.fs);
+    let faults = Arc::new(faults);
+
+    let job = JobSpec::new(APP, (1, NPROCS), move |ctx, env| {
+        let dist = Distribution::block_auto(&domain(), ctx.ntasks(), 1).unwrap();
+        let mut u = DistArray::<f64>::new("u", Order::ColumnMajor, dist, ctx.rank());
+        let mut seg = DataSegment::new();
+        let mut start_iter = 1i64;
+        let mut drms = match (env.restart_from.as_deref(), env.restart_tier) {
+            (Some(prefix), RestartTier::Memory) => {
+                let tier = env.memtier.as_ref().expect("memory restart without a tier");
+                let (drms, info) = resume_from_tier(
+                    ctx,
+                    &env.fs,
+                    tier,
+                    DrmsConfig::new(APP),
+                    env.enable.clone(),
+                    prefix,
+                )
+                .unwrap();
+                seg = info.segment.clone();
+                start_iter = seg.control("iter").unwrap() + 1;
+                restore_arrays_from_tier(ctx, tier, &drms, prefix, &info.manifest, &mut [&mut u])
+                    .unwrap();
+                drms
+            }
+            _ => {
+                let (drms, start) = Drms::initialize(
+                    ctx,
+                    &env.fs,
+                    DrmsConfig::new(APP),
+                    env.enable.clone(),
+                    env.restart_from.as_deref(),
+                )
+                .unwrap();
+                match start {
+                    Start::Fresh => u.fill_assigned(|p| (p[0] * 13 + p[1] * 3) as f64),
+                    Start::Restarted(info) => {
+                        seg = info.segment.clone();
+                        start_iter = seg.control("iter").unwrap() + 1;
+                        drms.restore_arrays(
+                            ctx,
+                            &env.fs,
+                            env.restart_from.as_deref().unwrap(),
+                            &info.manifest,
+                            &mut [&mut u],
+                        )
+                        .unwrap();
+                    }
+                }
+                drms
+            }
+        };
+        for iter in start_iter..=NITER {
+            if env.sop_killed(ctx) {
+                return JobOutcome::Killed;
+            }
+            let region = u.assigned().clone();
+            region.points(Order::ColumnMajor).for_each(|p| {
+                let v = u.get(p).unwrap();
+                u.set(p, v + 1.5).unwrap();
+            });
+            seg.set_control("iter", iter);
+            if iter % CKPT_EVERY == 0 {
+                let prefix = format!("ck/drift/{iter}");
+                match &env.memtier {
+                    Some(tier) if store_feasible(ctx, tier) => {
+                        store_checkpoint(ctx, tier, &prefix, &mut drms, &seg, &[&u]).unwrap();
+                        spill_checkpoint(ctx, &env.fs, tier, &prefix).unwrap();
+                    }
+                    _ => {
+                        drms.reconfig_checkpoint(ctx, &env.fs, &prefix, &seg, &[&u]).unwrap();
+                    }
+                }
+            }
+            if ctx.rank() == 0 {
+                let k = injected.load(Ordering::SeqCst);
+                if let Some(fault) = faults.get(k) {
+                    if iter >= fault.at {
+                        injected.store(k + 1, Ordering::SeqCst);
+                        if let Some(server) = fault.server {
+                            fs2.fail_server(server);
+                        }
+                        for &victim in &fault.victims {
+                            if rc2.state_of(victim) != ProcessorState::Failed {
+                                rc2.fail_processor(victim);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if env.sop_killed(ctx) {
+            return JobOutcome::Killed;
+        }
+        JobOutcome::Completed
+    });
+
+    let summary = jsa.run_job(&job);
+    assert!(summary.completed, "drift job did not complete: {summary:?}");
+}
+
+/// Names emitted into `rec`: every counter series plus every gauge.
+fn emitted(rec: &TraceRecorder) -> BTreeSet<&'static str> {
+    let m = rec.metrics();
+    let mut out: BTreeSet<&'static str> = m.counters().iter().map(|(k, _)| k.name).collect();
+    out.extend(m.gauges().iter().map(|((n, _), _)| *n));
+    out
+}
+
+/// Union of emitted names over every canonical scenario must cover
+/// `names::ALL` exactly — a newly declared name that no instrumentation
+/// site emits fails here, as does a scenario regression that silences an
+/// existing site.
+#[test]
+fn every_metric_name_is_emitted_by_some_instrumentation_site() {
+    let mut covered: BTreeSet<&'static str> = BTreeSet::new();
+
+    // Scenario 1 — degraded restart: parity striping, a PIOFS server and a
+    // processor die mid-run; the restart reads lost stripes through XOR
+    // reconstruction and redistributes 8 -> 7 tasks. Covers the messaging,
+    // streaming, PIOFS, core, parity/reconstruction and job-retry names.
+    {
+        let w = build_world(11, true);
+        run_job(&w, None, vec![Fault { at: 4, server: Some(2), victims: vec![3] }]);
+        covered.extend(emitted(&w.rec));
+    }
+
+    // Scenario 2 — scrub pass: seeded corruption against the newest
+    // checkpoint of a clean parity run, then a direct scrub. Covers
+    // detection and parity repair.
+    {
+        let w = build_world(7, true);
+        run_job(&w, None, Vec::new());
+        let hits = CorruptionCampaign::new(0xC0FFEE, 1).apply(&w.fs, "ck/drift/9");
+        assert!(!hits.is_empty(), "campaign applied no corruption");
+        let report = scrub_checkpoint(&w.fs, "ck/drift/9", &*w.rec, 0.0);
+        assert!(report.detected > 0 && report.repaired > 0, "scrub found nothing: {report:?}");
+        covered.extend(emitted(&w.rec));
+    }
+
+    // Scenario 3 — memory-tier chain: a clean tier-checkpointed run (r=1,
+    // no parity) leaves resident entries plus spilled durable checkpoints;
+    // the durable copy of the newest is then damaged and a second run first
+    // restarts out of the tier (hit), then a mass node-kill crosses the
+    // survivability threshold (invalidation), falling back to the durable
+    // chain past the damaged checkpoint (quarantine + fallback depth).
+    {
+        let w = build_world(31, false);
+        let tier = MemTier::new(1);
+        run_job(&w, Some(Arc::clone(&tier)), Vec::new());
+        covered.extend(emitted(&w.rec));
+
+        assert!(w.fs.corrupt_range("ck/drift/9/array-u", 0, 16, 13) > 0);
+        let w2 = reenter(&w);
+        run_job(&w2, Some(tier), vec![Fault { at: 10, server: None, victims: (0..=6).collect() }]);
+        covered.extend(emitted(&w2.rec));
+    }
+
+    let missing: Vec<&str> = names::ALL.iter().copied().filter(|n| !covered.contains(n)).collect();
+    assert!(
+        missing.is_empty(),
+        "metric names declared in obs::names but never emitted by any \
+         instrumentation site across the canonical scenarios: {missing:?}"
+    );
+
+    // The inverse direction: the scenarios must not emit names that are
+    // missing from the declared list (instrumentation drifting ahead of
+    // `names::ALL`).
+    let undeclared: Vec<&str> =
+        covered.iter().copied().filter(|n| !names::ALL.contains(n)).collect();
+    assert!(undeclared.is_empty(), "emitted metric names missing from names::ALL: {undeclared:?}");
+}
