@@ -1,0 +1,77 @@
+//! Bounded exponential backoff with deterministic jitter.
+
+use crate::rng::unit;
+
+/// Retry schedule for transient faults: up to `max_attempts` tries, with an
+/// exponentially growing, capped, jittered delay charged between attempts.
+///
+/// The schedule is a pure function of the policy and a caller-supplied key
+/// (derived from the fault-plan seed plus the operation's coordinates), so
+/// replaying a campaign replays the exact same waits. Delays are monotone
+/// non-decreasing by construction — the jittered exponential is folded
+/// through a running maximum — and never exceed `cap`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempt budget (first try included). After this many faulted
+    /// attempts the operation gives up: reads fail, writes and sends
+    /// escalate to the blocking path.
+    pub max_attempts: u32,
+    /// Delay before the first retry, simulated seconds.
+    pub base: f64,
+    /// Multiplicative growth per retry.
+    pub factor: f64,
+    /// Upper bound on any single delay, simulated seconds.
+    pub cap: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 4, base: 0.002, factor: 2.0, cap: 0.05 }
+    }
+}
+
+impl RetryPolicy {
+    /// Delay to charge before retry number `attempt` (0-based), jittered by
+    /// `key`. Monotone non-decreasing in `attempt` and bounded by `cap`.
+    pub fn delay(&self, attempt: u32, key: u64) -> f64 {
+        let mut d = 0.0f64;
+        for k in 0..=attempt {
+            // Jitter in [0.5, 1.0] keeps every term under the cap while
+            // decorrelating retry storms across ranks and operations.
+            let jitter = 0.5 + 0.5 * unit(&[key, k as u64]);
+            let raw = (self.base * self.factor.powi(k as i32)).min(self.cap) * jitter;
+            d = d.max(raw);
+        }
+        d.min(self.cap)
+    }
+
+    /// The full schedule of delays a giving-up operation would charge:
+    /// one entry per retry, `max_attempts - 1` entries total (the first
+    /// attempt waits for nothing).
+    pub fn schedule(&self, key: u64) -> Vec<f64> {
+        (0..self.max_attempts.saturating_sub(1)).map(|a| self.delay(a, key)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_schedule_grows_and_respects_cap() {
+        let p = RetryPolicy::default();
+        let s = p.schedule(7);
+        assert_eq!(s.len(), 3);
+        for w in s.windows(2) {
+            assert!(w[1] >= w[0], "schedule must be monotone: {s:?}");
+        }
+        assert!(s.iter().all(|&d| d > 0.0 && d <= p.cap), "{s:?}");
+    }
+
+    #[test]
+    fn deterministic_per_key() {
+        let p = RetryPolicy { max_attempts: 8, base: 0.001, factor: 3.0, cap: 0.2 };
+        assert_eq!(p.schedule(11), p.schedule(11));
+        assert_ne!(p.schedule(11), p.schedule(12));
+    }
+}

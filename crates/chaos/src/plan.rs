@@ -1,0 +1,149 @@
+//! Declarative fault plans.
+
+use crate::backoff::RetryPolicy;
+
+/// Declares the [`CrashPoint`] enum, its stable names, and `CrashPoint::ALL`
+/// in one place, mirroring the `phases!` idiom in `drms-obs`: a crash point
+/// added here is automatically part of the exhaustive sweep campaigns that
+/// iterate `ALL`, so no point can silently escape coverage.
+macro_rules! crash_points {
+    ($($(#[$doc:meta])* $variant:ident = $name:literal;)+) => {
+        /// An enumerated instant inside a checkpoint or restart at which
+        /// the chaos controller can kill the region. Each point names a
+        /// distinct window of the two-phase commit protocol (or of the
+        /// restart path), so sweeping `ALL` exercises every intermediate
+        /// on-storage state an interruption can leave behind.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        pub enum CrashPoint {
+            $($(#[$doc])* $variant,)+
+        }
+
+        impl CrashPoint {
+            /// Stable lowercase name, used in traces and repro lines.
+            pub fn as_str(&self) -> &'static str {
+                match self {
+                    $(CrashPoint::$variant => $name,)+
+                }
+            }
+
+            /// Every crash point, in protocol order. Generated from the
+            /// same variant list as the enum, so sweeps cannot miss one.
+            pub const ALL: [CrashPoint; [$(CrashPoint::$variant),+].len()] =
+                [$(CrashPoint::$variant),+];
+        }
+    };
+}
+
+crash_points! {
+    /// Checkpoint entered: SOP advanced, nothing written yet.
+    CkptEnter = "ckpt_enter";
+    /// Data segment staged, arrays not yet streamed.
+    CkptAfterSegment = "ckpt_after_segment";
+    /// One array stream finished (arm an occurrence to pick which).
+    CkptAfterArray = "ckpt_after_array";
+    /// All data and the manifest staged under the `.tmp` prefix, nothing
+    /// published.
+    CkptStagedManifest = "ckpt_staged_manifest";
+    /// Data files renamed into the final prefix, manifest rename (the
+    /// commit point) not yet executed.
+    CkptMidPublish = "ckpt_mid_publish";
+    /// Manifest renamed into place: the checkpoint is committed, but the
+    /// region dies before the operation returns.
+    CkptCommitted = "ckpt_committed";
+    /// Restart: application text loaded, data segment not yet read.
+    RestartAfterInit = "restart_after_init";
+    /// Restart: data segment decoded, arrays not yet restored.
+    RestartAfterSegment = "restart_after_segment";
+    /// Restart: every array restored, region dies before resuming compute.
+    RestartAfterArrays = "restart_after_arrays";
+}
+
+impl std::fmt::Display for CrashPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Message-layer faults, decided per `(rank, send sequence)`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MsgFaults {
+    /// Probability a send attempt fails transiently and is retried under
+    /// the plan's [`RetryPolicy`].
+    pub drop_prob: f64,
+    /// Probability a message is delivered twice (receive-side dedup drops
+    /// the duplicate by correlation id).
+    pub dup_prob: f64,
+    /// Upper bound on extra delivery latency, simulated seconds (uniform
+    /// per message; 0 disables).
+    pub max_extra_latency: f64,
+}
+
+/// File-system faults, decided per `(rank, operation sequence)`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PiofsFaults {
+    /// Probability an I/O operation hits a transient server error and is
+    /// retried under the plan's [`RetryPolicy`].
+    pub transient_prob: f64,
+    /// Optional single armed torn write (partial `write_at`).
+    pub torn: Option<TornWrite>,
+}
+
+/// One armed torn write: the n-th `write_at` whose path contains the
+/// pattern persists only a prefix of its payload — the simulation of a
+/// crash or media error mid-write. Fires once.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TornWrite {
+    /// Substring selecting the victim path (e.g. `"manifest"`).
+    pub path_contains: String,
+    /// Which matching write to tear, 1-based.
+    pub occurrence: u32,
+    /// Fraction of the payload that lands, in `[0, 1)`.
+    pub keep_fraction: f64,
+}
+
+/// A complete, seeded fault plan: what to inject at each layer, and the
+/// retry policy instrumented code backs off with. The default plan injects
+/// nothing (all probabilities zero, no torn write, no crash).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Seed all stateless fault decisions hash against.
+    pub seed: u64,
+    /// Message-transport faults.
+    pub msg: MsgFaults,
+    /// File-system faults.
+    pub piofs: PiofsFaults,
+    /// Optional armed crash: the region dies at the n-th consultation
+    /// (1-based occurrence) of the given point. Fires once per controller.
+    pub crash: Option<(CrashPoint, u32)>,
+    /// Backoff schedule for transient-fault retries.
+    pub retry: RetryPolicy,
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and no faults armed.
+    pub fn seeded(seed: u64) -> FaultPlan {
+        FaultPlan { seed, ..Default::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_point_names_unique_and_all_exhaustive() {
+        let mut names: Vec<&str> = CrashPoint::ALL.iter().map(|p| p.as_str()).collect();
+        assert_eq!(names.len(), CrashPoint::ALL.len());
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), CrashPoint::ALL.len(), "duplicate crash-point name");
+    }
+
+    #[test]
+    fn default_plan_is_inert() {
+        let p = FaultPlan::default();
+        assert_eq!(p.msg.drop_prob, 0.0);
+        assert_eq!(p.piofs.transient_prob, 0.0);
+        assert!(p.crash.is_none() && p.piofs.torn.is_none());
+    }
+}

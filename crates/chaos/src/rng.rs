@@ -1,0 +1,58 @@
+//! Stateless hashing for fault decisions.
+//!
+//! Fault decisions must not flow through a shared seeded generator: task
+//! threads interleave nondeterministically, so the *order* in which sites
+//! draw from a shared stream would vary run to run even under a fixed seed.
+//! Instead every decision hashes its full coordinates — seed, site, rank,
+//! per-site sequence, attempt — so the outcome is a pure function of *what*
+//! is being decided, independent of *when* any other task decides anything.
+
+/// SplitMix64 finalizer: a well-mixed bijection on `u64`.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hashes a list of coordinates into one well-mixed word. Order-sensitive,
+/// so `(site, rank)` and `(rank, site)` decide independently.
+pub fn mix(coords: &[u64]) -> u64 {
+    let mut h = 0x243F_6A88_85A3_08D3u64; // pi, as tradition demands
+    for &c in coords {
+        h = splitmix(h ^ c);
+    }
+    splitmix(h)
+}
+
+/// Maps coordinates to a uniform value in `[0, 1)`.
+pub fn unit(coords: &[u64]) -> f64 {
+    // 53 mantissa bits give the full f64 resolution available in [0, 1).
+    (mix(coords) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_deterministic_and_order_sensitive() {
+        assert_eq!(mix(&[1, 2, 3]), mix(&[1, 2, 3]));
+        assert_ne!(mix(&[1, 2, 3]), mix(&[3, 2, 1]));
+        assert_ne!(mix(&[0]), mix(&[0, 0]));
+    }
+
+    #[test]
+    fn unit_stays_in_range_and_spreads() {
+        let mut lo = 0usize;
+        for i in 0..10_000u64 {
+            let u = unit(&[42, i]);
+            assert!((0.0..1.0).contains(&u), "u = {u}");
+            if u < 0.5 {
+                lo += 1;
+            }
+        }
+        // A grossly biased hash would fail this loose band.
+        assert!((4000..6000).contains(&lo), "low-half count {lo}");
+    }
+}

@@ -1,0 +1,76 @@
+//! Property tests for the retry/backoff schedule and the retry-loop shape
+//! the instrumented layers use.
+
+use drms_chaos::{ChaosCtl, FaultPlan, PiofsFaults, RetryPolicy};
+use proptest::prelude::*;
+
+/// The vendored proptest shim only generates integer ranges, so the policy
+/// space is drawn on an integer lattice and mapped into floats: bases in
+/// [0.1ms, 100ms), factors in [1.0, 4.0), caps in [1ms, 1s).
+fn policies() -> impl Strategy<Value = RetryPolicy> {
+    (1u32..13, 1u64..1000, 0u64..30, 1u64..1000).prop_map(|(max_attempts, b, f, c)| RetryPolicy {
+        max_attempts,
+        base: b as f64 * 1e-4,
+        factor: 1.0 + f as f64 * 0.1,
+        cap: c as f64 * 1e-3,
+    })
+}
+
+proptest! {
+    /// Delays never shrink as attempts accumulate: a later retry always
+    /// waits at least as long as an earlier one.
+    #[test]
+    fn schedule_is_monotone_non_decreasing(p in policies(), key in 0u64..u64::MAX) {
+        let s = p.schedule(key);
+        for w in s.windows(2) {
+            prop_assert!(w[1] >= w[0], "schedule not monotone: {:?}", s);
+        }
+    }
+
+    /// No delay exceeds the configured cap, and all are non-negative.
+    #[test]
+    fn schedule_is_bounded_by_cap(p in policies(), key in 0u64..u64::MAX) {
+        for (i, d) in p.schedule(key).iter().enumerate() {
+            prop_assert!(*d >= 0.0 && *d <= p.cap, "delay {} = {} vs cap {}", i, d, p.cap);
+        }
+    }
+
+    /// The schedule is a pure function of (policy, key): same inputs, same
+    /// waits — the repro-line guarantee.
+    #[test]
+    fn schedule_is_deterministic_per_seed(p in policies(), key in 0u64..u64::MAX) {
+        prop_assert_eq!(p.schedule(key), p.schedule(key));
+        prop_assert_eq!(p.delay(0, key).to_bits(), p.delay(0, key).to_bits());
+    }
+
+    /// The retry loop shape every instrumented site uses — try, and while
+    /// the controller faults the attempt, back off and retry until the
+    /// budget is spent — performs at most `max_attempts` tries, even under
+    /// a plan that faults every attempt.
+    #[test]
+    fn attempts_never_exceed_budget(
+        p in policies(),
+        seed in 0u64..u64::MAX,
+        prob_milli in 0u64..1001,
+    ) {
+        let ctl = ChaosCtl::new(FaultPlan {
+            seed,
+            piofs: PiofsFaults { transient_prob: prob_milli as f64 / 1000.0, torn: None },
+            retry: p,
+            ..Default::default()
+        });
+        let mut attempts = 0u32;
+        let mut charged = 0.0f64;
+        loop {
+            attempts += 1;
+            if !ctl.io_fault(0, 1, attempts as u64 - 1) || attempts >= p.max_attempts {
+                break;
+            }
+            charged += p.delay(attempts - 1, seed);
+        }
+        prop_assert!(attempts <= p.max_attempts, "{} > {}", attempts, p.max_attempts);
+        // Total backoff is bounded by the worst-case schedule sum.
+        let worst: f64 = p.schedule(seed).iter().sum();
+        prop_assert!(charged <= worst + 1e-12, "charged {} vs worst {}", charged, worst);
+    }
+}

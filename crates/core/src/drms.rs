@@ -1,11 +1,16 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use drms_chaos::CrashPoint;
 use drms_msg::Ctx;
 use drms_obs::{names, Phase};
 use drms_piofs::{Piofs, ReadAccess, ReadReq};
 
+use crate::commit::{
+    compute_integrity_staged, publish_data, publish_manifest, staged_manifest_path, staging_prefix,
+};
 use crate::handle::{encode_locals, CheckpointArray};
+use crate::inject::crash_point;
 use crate::manifest::{
     array_path, manifest_path, segment_path, task_segment_path, ArrayEntry, CkptKind,
     FileIntegrity, Manifest,
@@ -153,6 +158,7 @@ impl Drms {
             )?;
         }
         ctx.barrier();
+        crash_point(ctx, CrashPoint::RestartAfterInit, false)?;
         let t1 = ctx.now();
 
         // Each task loads the single saved data segment.
@@ -175,6 +181,7 @@ impl Drms {
         }
         let segment = DataSegment::decode(&seg_bytes)?;
         ctx.barrier();
+        crash_point(ctx, CrashPoint::RestartAfterSegment, false)?;
         let t2 = ctx.now();
         phase_span(ctx, Phase::Init, "load_text", t0, t1);
         phase_span(ctx, Phase::Segment, "load_segment", t1, t2);
@@ -295,6 +302,11 @@ impl Drms {
     /// `base_segment` plus the local-sections region assembled from the
     /// arrays — then all tasks cooperate to stream every distributed array.
     /// Returns the phase breakdown (Table 6's rows).
+    ///
+    /// Crash-consistent: everything is staged under `{prefix}.tmp` and
+    /// published by the two-phase commit of [`crate::commit`], so an
+    /// interrupted checkpoint is never discoverable and a restart always
+    /// lands on the last *committed* state.
     pub fn reconfig_checkpoint(
         &mut self,
         ctx: &mut Ctx,
@@ -305,10 +317,12 @@ impl Drms {
     ) -> Result<OpBreakdown> {
         self.sop += 1;
         ctx.barrier();
+        crash_point(ctx, CrashPoint::CkptEnter, false)?;
         let t0 = ctx.now();
 
-        // Phase 1: one task's data segment.
-        let seg_path = segment_path(prefix);
+        // Phase 1: one task's data segment, staged.
+        let staging = staging_prefix(prefix);
+        let seg_path = segment_path(&staging);
         if ctx.rank() == 0 {
             let local = crate::segment::Region {
                 name: "local-sections".to_string(),
@@ -320,17 +334,20 @@ impl Drms {
             fs.write_at(ctx, &seg_path, 0, &bytes);
         }
         ctx.barrier();
+        crash_point(ctx, CrashPoint::CkptAfterSegment, true)?;
         let t1 = ctx.now();
 
-        // Phase 2: every distributed array, streamed in sequence.
+        // Phase 2: every distributed array, streamed in sequence, staged.
         let io = self.cfg.io.resolve(ctx.ntasks());
         for a in arrays {
-            a.write_stream(ctx, fs, &array_path(prefix, a.array_name()), io)?;
+            a.write_stream(ctx, fs, &array_path(&staging, a.array_name()), io)?;
+            crash_point(ctx, CrashPoint::CkptAfterArray, true)?;
         }
         ctx.barrier();
         let t2 = ctx.now();
 
-        // Manifest last: its presence marks the checkpoint complete.
+        // Manifest, staged as `manifest.tmp`: decodable and complete, but
+        // deliberately invisible to checkpoint discovery until published.
         if ctx.rank() == 0 {
             let manifest = Manifest {
                 app: self.cfg.app.clone(),
@@ -346,14 +363,35 @@ impl Drms {
                         order: a.order(),
                     })
                     .collect(),
-                integrity: compute_integrity(fs, prefix),
+                integrity: compute_integrity_staged(fs, prefix),
             };
             let bytes = manifest.encode();
-            fs.create(&manifest_path(prefix));
-            fs.write_at(ctx, &manifest_path(prefix), 0, &bytes);
+            let smp = staged_manifest_path(prefix);
+            fs.create(&smp);
+            fs.write_at(ctx, &smp, 0, &bytes);
+        }
+        // No barrier before the publish: only rank 0 acts in this window
+        // (renames are control-plane), and the crash-point vote is itself
+        // a synchronization when a controller is armed — so a chaos-free
+        // checkpoint pays exactly the one barrier it always did.
+        crash_point(ctx, CrashPoint::CkptStagedManifest, true)?;
+
+        // Publish: move data into place (uncommitting any previous
+        // checkpoint at this prefix), then atomically rename the manifest.
+        if ctx.rank() == 0 {
+            publish_data(fs, prefix);
+        }
+        crash_point(ctx, CrashPoint::CkptMidPublish, true)?;
+        if ctx.rank() == 0 {
+            let committed = publish_manifest(fs, prefix);
+            debug_assert!(committed, "staged manifest must exist at the commit point");
+            if ctx.recorder().enabled() {
+                ctx.recorder().counter_add(0, names::COMMITS, None, 1);
+            }
         }
         ctx.barrier();
         let t3 = ctx.now();
+        crash_point(ctx, CrashPoint::CkptCommitted, false)?;
 
         for &a in arrays {
             self.saved_versions
@@ -363,7 +401,7 @@ impl Drms {
             init: 0.0,
             segment: t1 - t0,
             arrays: t2 - t1,
-            segment_bytes: fs.size(&seg_path)?,
+            segment_bytes: fs.size(&segment_path(prefix))?,
             array_bytes: arrays.iter().map(|a| a.stream_bytes()).sum(),
         };
         phase_span(ctx, Phase::Segment, "write_segment", t0, t1);
@@ -407,8 +445,10 @@ impl Drms {
 
         self.sop += 1;
         ctx.barrier();
+        crash_point(ctx, CrashPoint::CkptEnter, false)?;
         let t0 = ctx.now();
-        let seg_path = segment_path(prefix);
+        let staging = staging_prefix(prefix);
+        let seg_path = segment_path(&staging);
         if ctx.rank() == 0 {
             let local = crate::segment::Region {
                 name: "local-sections".to_string(),
@@ -420,18 +460,21 @@ impl Drms {
             fs.write_at(ctx, &seg_path, 0, &bytes);
         }
         ctx.barrier();
+        crash_point(ctx, CrashPoint::CkptAfterSegment, true)?;
         let t1 = ctx.now();
 
         let io = self.cfg.io.resolve(ctx.ntasks());
         for a in &to_write {
-            a.write_stream(ctx, fs, &array_path(prefix, a.array_name()), io)?;
+            a.write_stream(ctx, fs, &array_path(&staging, a.array_name()), io)?;
+            crash_point(ctx, CrashPoint::CkptAfterArray, true)?;
         }
         ctx.barrier();
         let t2 = ctx.now();
 
         if ctx.rank() == 0 {
             // Manifest still lists every array (skipped ones are current on
-            // disk), so restart is oblivious to incrementality.
+            // disk, and the staged integrity union covers both), so restart
+            // is oblivious to incrementality.
             let manifest = Manifest {
                 app: self.cfg.app.clone(),
                 kind: CkptKind::Drms,
@@ -446,14 +489,33 @@ impl Drms {
                         order: a.order(),
                     })
                     .collect(),
-                integrity: compute_integrity(fs, prefix),
+                integrity: compute_integrity_staged(fs, prefix),
             };
             let bytes = manifest.encode();
-            fs.create(&manifest_path(prefix));
-            fs.write_at(ctx, &manifest_path(prefix), 0, &bytes);
+            let smp = staged_manifest_path(prefix);
+            fs.create(&smp);
+            fs.write_at(ctx, &smp, 0, &bytes);
+        }
+        // No barrier before the publish: only rank 0 acts in this window
+        // (renames are control-plane), and the crash-point vote is itself
+        // a synchronization when a controller is armed — so a chaos-free
+        // checkpoint pays exactly the one barrier it always did.
+        crash_point(ctx, CrashPoint::CkptStagedManifest, true)?;
+
+        if ctx.rank() == 0 {
+            publish_data(fs, prefix);
+        }
+        crash_point(ctx, CrashPoint::CkptMidPublish, true)?;
+        if ctx.rank() == 0 {
+            let committed = publish_manifest(fs, prefix);
+            debug_assert!(committed, "staged manifest must exist at the commit point");
+            if ctx.recorder().enabled() {
+                ctx.recorder().counter_add(0, names::COMMITS, None, 1);
+            }
         }
         ctx.barrier();
         let t3 = ctx.now();
+        crash_point(ctx, CrashPoint::CkptCommitted, false)?;
 
         for &a in arrays {
             self.saved_versions
@@ -463,7 +525,7 @@ impl Drms {
             init: 0.0,
             segment: t1 - t0,
             arrays: t2 - t1,
-            segment_bytes: fs.size(&seg_path)?,
+            segment_bytes: fs.size(&segment_path(prefix))?,
             array_bytes: to_write.iter().map(|a| a.stream_bytes()).sum(),
         };
         phase_span(ctx, Phase::Segment, "write_segment", t0, t1);
@@ -532,6 +594,7 @@ impl Drms {
             a.read_stream(ctx, fs, &array_path(prefix, a.array_name()), io)?;
         }
         ctx.barrier();
+        crash_point(ctx, CrashPoint::RestartAfterArrays, false)?;
         let t1 = ctx.now();
         phase_span(ctx, Phase::Arrays, "restore_arrays", t0, t1);
         record_bytes(ctx, 0, arrays.iter().map(|a| a.stream_bytes()).sum());
@@ -623,15 +686,21 @@ pub fn delete_checkpoint(fs: &Piofs, prefix: &str) -> bool {
     for info in fs.list(&format!("{prefix}/")) {
         fs.delete(&info.path);
     }
+    // Any staging left by an interrupted checkpoint to this prefix goes
+    // with it (it could only ever commit over the state just deleted).
+    crate::commit::abort_staged(fs, prefix);
     existed
 }
 
-/// Reclaims data files stranded by an interrupted [`delete_checkpoint`]:
-/// checkpoint-shaped files (`segment`, `task-{rank}`, `array-{name}`) whose
+/// Reclaims data files stranded by an interrupted [`delete_checkpoint`] or
+/// an interrupted two-phase commit: checkpoint-shaped files (`segment`,
+/// `task-{rank}`, `array-{name}`, and the staged `manifest.tmp`) whose
 /// prefix has no manifest. A prefix with a quarantined manifest
 /// (`manifest.quarantined`) is *not* an orphan — its data is deliberately
-/// preserved for diagnosis. Must not run concurrently with a checkpoint
-/// being written (data lands before the manifest does). Returns the swept
+/// preserved for diagnosis. Staging prefixes (`{prefix}.tmp`) never hold a
+/// file named exactly `manifest`, so crashed checkpoint attempts are always
+/// reclaimed here. Must not run concurrently with a checkpoint being
+/// written (data lands before the manifest does). Returns the swept
 /// prefixes. Control-plane operation (no clock).
 pub fn sweep_orphans(fs: &Piofs) -> Vec<String> {
     let mut prefixes: std::collections::BTreeMap<String, (bool, Vec<String>)> = Default::default();
@@ -640,7 +709,11 @@ pub fn sweep_orphans(fs: &Piofs) -> Vec<String> {
         let entry = prefixes.entry(prefix.to_string()).or_default();
         if name == "manifest" || name == "manifest.quarantined" {
             entry.0 = true;
-        } else if name == "segment" || name.starts_with("task-") || name.starts_with("array-") {
+        } else if name == "segment"
+            || name == "manifest.tmp"
+            || name.starts_with("task-")
+            || name.starts_with("array-")
+        {
             entry.1.push(info.path.clone());
         }
     }

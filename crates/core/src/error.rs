@@ -38,6 +38,14 @@ pub enum CoreError {
         /// Human-readable description.
         String,
     ),
+    /// The operation was cut short by an injected crash point (robustness
+    /// campaigns): the region dies here as a unit, exactly as if the node
+    /// hosting it failed, and recovery proceeds from the last committed
+    /// checkpoint.
+    Interrupted(
+        /// The crash-point name that fired.
+        String,
+    ),
 }
 
 impl fmt::Display for CoreError {
@@ -54,6 +62,7 @@ impl fmt::Display for CoreError {
             ),
             CoreError::ManifestMismatch(m) => write!(f, "manifest mismatch: {m}"),
             CoreError::Integrity(m) => write!(f, "integrity failure: {m}"),
+            CoreError::Interrupted(p) => write!(f, "interrupted at crash point {p:?}"),
         }
     }
 }

@@ -1,0 +1,42 @@
+//! Collective crash-point injection for robustness campaigns.
+//!
+//! A crash must be a *collective* decision: if rank 0 alone vanished
+//! mid-checkpoint, its siblings would hang in the next barrier until the
+//! stall guard fired. Instead, rank 0 consults the chaos controller and the
+//! vote is propagated through the exchange board, so every task returns
+//! [`CoreError::Interrupted`] from the same point — the job-level analog of
+//! a node death at that instant. The runtime environment treats the error
+//! like any other kill and drives a restart from the last *committed*
+//! checkpoint.
+
+use drms_chaos::CrashPoint;
+use drms_msg::Ctx;
+use drms_obs::{names, Phase};
+
+use crate::{CoreError, Result};
+
+/// Fires the enumerated crash point when the region runs under a chaos
+/// plan that armed it. Regions without a chaos controller pay nothing:
+/// no exchange, no branch on plan contents, so virtual timing is
+/// bit-identical to a build without injection.
+///
+/// `aborts_commit` marks points where a staged-but-uncommitted checkpoint
+/// is abandoned, counted separately (as [`names::COMMIT_ABORTS`]) from
+/// crashes that interrupt nothing in flight.
+pub fn crash_point(ctx: &mut Ctx, point: CrashPoint, aborts_commit: bool) -> Result<()> {
+    let Some(chaos) = ctx.chaos() else { return Ok(()) };
+    let mine = ctx.rank() == 0 && chaos.should_crash(point);
+    let (votes, _) = ctx.exchange(mine);
+    if !votes[0] {
+        return Ok(());
+    }
+    if ctx.rank() == 0 && ctx.recorder().enabled() {
+        let rec = ctx.recorder();
+        rec.counter_add(0, names::CRASHES_INJECTED, None, 1);
+        if aborts_commit {
+            rec.counter_add(0, names::COMMIT_ABORTS, None, 1);
+        }
+        rec.event(ctx.now(), 0, Phase::Control, &format!("crash:{point}"));
+    }
+    Err(CoreError::Interrupted(point.as_str().to_string()))
+}

@@ -36,6 +36,7 @@
 
 #![deny(missing_docs)]
 
+pub mod commit;
 pub mod manifest;
 pub mod mpmd;
 pub mod report;
@@ -46,12 +47,18 @@ pub mod wire;
 mod drms;
 mod error;
 mod handle;
+mod inject;
 
 pub use drms::{
     checkpoint_is_valid, compute_integrity, delete_checkpoint, find_checkpoints, integrity_chunk,
     retain_checkpoints, sweep_orphans, Drms, DrmsConfig, EnableFlag, RestartInfo, Start,
 };
 pub use error::CoreError;
+pub use inject::crash_point;
+
+/// Re-export of the fault-injection crate, so campaign code can name
+/// [`chaos::CrashPoint`] and fault plans through the core facade.
+pub use drms_chaos as chaos;
 pub use handle::{decode_locals, encode_locals, CheckpointArray};
 
 /// Crate-wide result alias.

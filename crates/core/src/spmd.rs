@@ -58,8 +58,13 @@ pub fn checkpoint(
             integrity: crate::drms::compute_integrity(fs, prefix),
         };
         let bytes = manifest.encode();
-        fs.create(&manifest_path(prefix));
-        fs.write_at(ctx, &manifest_path(prefix), 0, &bytes);
+        // Stage, then publish by rename: the manifest appears atomically,
+        // so an observer never sees a half-written commit marker.
+        let smp = crate::commit::staged_manifest_path(prefix);
+        fs.create(&smp);
+        fs.write_at(ctx, &smp, 0, &bytes);
+        fs.delete(&manifest_path(prefix));
+        crate::commit::publish_manifest(fs, prefix);
     }
     ctx.barrier();
     let t2 = ctx.now();

@@ -325,9 +325,22 @@ fn finish_spill(ctx: &mut Ctx, fs: &Piofs, tier: &MemTier, prefix: &str) -> Resu
     let mut m = Manifest::decode(&tier.manifest_bytes(prefix)?).map_err(CoreError::from)?;
     m.integrity = compute_integrity(fs, prefix);
     let bytes = m.encode();
+    // Two-phase: stage the manifest, then publish it by atomic rename, so
+    // a spill interrupted mid-write never leaves a torn commit marker (the
+    // manifest-less data files fall to the orphan sweep instead).
+    let smp = drms_core::commit::staged_manifest_path(prefix);
+    fs.create(&smp);
+    fs.write_at(ctx, &smp, 0, &bytes);
     let mp = manifest_path(prefix);
-    fs.create(&mp);
-    fs.write_at(ctx, &mp, 0, &bytes);
+    fs.delete(&mp);
+    if !drms_core::commit::publish_manifest(fs, prefix) {
+        return Err(MemTierError::SpillVerify(format!(
+            "{prefix:?} spill could not publish its manifest"
+        )));
+    }
+    if ctx.recorder().enabled() {
+        ctx.recorder().counter_add(ctx.rank(), names::COMMITS, None, 1);
+    }
     let report = drms_resil::verify_checkpoint(fs, prefix, ctx.recorder(), ctx.now());
     if !report.is_valid() {
         fs.delete(&mp);

@@ -1,14 +1,16 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use drms_obs::{names, NullRecorder, Recorder};
+use drms_chaos::{mix, ChaosCtl};
+use drms_obs::{names, NullRecorder, Phase, Recorder};
 use parking_lot::{Condvar, Mutex};
 
 use crate::board::Board;
 use crate::{CostModel, Rank, SimClock};
 
 /// Shared state of one SPMD region: mailboxes, the exchange board, the cost
-/// model, the task → node placement, and the observability recorder.
+/// model, the task → node placement, the observability recorder, and the
+/// optional chaos controller.
 pub struct World {
     ntasks: usize,
     node_of: Vec<usize>,
@@ -16,6 +18,7 @@ pub struct World {
     mailboxes: Vec<Mailbox>,
     board: Board,
     recorder: Arc<dyn Recorder>,
+    chaos: Option<Arc<ChaosCtl>>,
 }
 
 struct Mailbox {
@@ -48,6 +51,30 @@ impl World {
         cost: CostModel,
         recorder: Arc<dyn Recorder>,
     ) -> Arc<World> {
+        Self::build(ntasks, node_of, cost, recorder, None)
+    }
+
+    /// Like [`World::new_traced`], but with a chaos controller installed:
+    /// the send path injects transient failures, duplicated deliveries,
+    /// and added latency per the controller's plan, and instrumented
+    /// layers reach the controller through [`Ctx::chaos`].
+    pub fn new_chaos(
+        ntasks: usize,
+        node_of: Vec<usize>,
+        cost: CostModel,
+        recorder: Arc<dyn Recorder>,
+        chaos: Arc<ChaosCtl>,
+    ) -> Arc<World> {
+        Self::build(ntasks, node_of, cost, recorder, Some(chaos))
+    }
+
+    fn build(
+        ntasks: usize,
+        node_of: Vec<usize>,
+        cost: CostModel,
+        recorder: Arc<dyn Recorder>,
+        chaos: Option<Arc<ChaosCtl>>,
+    ) -> Arc<World> {
         assert!(ntasks > 0, "an SPMD region needs at least one task");
         assert_eq!(node_of.len(), ntasks, "one node per task");
         Arc::new(World {
@@ -59,6 +86,7 @@ impl World {
                 .collect(),
             board: Board::new(ntasks),
             recorder,
+            chaos,
         })
     }
 
@@ -76,7 +104,14 @@ impl World {
     /// call it directly when driving tasks by hand.
     pub fn ctx(self: &Arc<World>, rank: Rank) -> Ctx {
         assert!(rank < self.ntasks);
-        Ctx { rank, world: Arc::clone(self), clock: SimClock::new(), send_seq: 0 }
+        Ctx {
+            rank,
+            world: Arc::clone(self),
+            clock: SimClock::new(),
+            send_seq: 0,
+            chaos_seq: 0,
+            seen_corr: std::collections::HashSet::new(),
+        }
     }
 }
 
@@ -110,6 +145,13 @@ pub struct Ctx {
     /// Messages sent so far by this task; combined with the rank it yields
     /// a correlation id unique per message and deterministic per run.
     send_seq: u64,
+    /// Chaos decisions drawn so far by this task: a per-task sequence, so
+    /// fault outcomes are independent of how sibling tasks interleave.
+    chaos_seq: u64,
+    /// Correlation ids already delivered to this task — receive-side dedup
+    /// for chaos-injected duplicate deliveries. Populated only in chaos
+    /// worlds.
+    seen_corr: std::collections::HashSet<u64>,
 }
 
 impl Ctx {
@@ -144,6 +186,21 @@ impl Ctx {
         &*self.world.recorder
     }
 
+    /// The chaos controller of this region, when the world was built with
+    /// [`World::new_chaos`]. A clone of the shared handle (cheap), so
+    /// callers can consult it while still charging the clock.
+    pub fn chaos(&self) -> Option<Arc<ChaosCtl>> {
+        self.world.chaos.clone()
+    }
+
+    /// Draws the next per-task chaos sequence number. Instrumented sites
+    /// fold it into their fault-decision hash so consecutive operations on
+    /// one task decide independently, deterministically per run.
+    pub fn chaos_key(&mut self) -> u64 {
+        self.chaos_seq += 1;
+        self.chaos_seq
+    }
+
     /// Current simulated time, seconds.
     pub fn now(&self) -> f64 {
         self.clock.now()
@@ -170,10 +227,10 @@ impl Ctx {
     /// arrival timestamp (sender completion + latency).
     pub fn send(&mut self, dst: Rank, tag: u64, payload: Vec<u8>) {
         assert!(dst < self.world.ntasks, "send to nonexistent rank {dst}");
-        let cost = &self.world.cost;
         // Correlation id: (rank+1) in the high bits, per-task send sequence
         // in the low bits — unique per message and deterministic per run.
-        let corr = ((self.rank as u64 + 1) << 40) | self.send_seq;
+        let seq = self.send_seq;
+        let corr = ((self.rank as u64 + 1) << 40) | seq;
         self.send_seq += 1;
         let bytes = payload.len();
         if self.world.recorder.enabled() {
@@ -181,13 +238,55 @@ impl Ctx {
             rec.counter_add(self.rank, names::MESSAGES_SENT, None, 1);
             rec.counter_add(self.rank, names::MESSAGE_BYTES, None, bytes as u64);
         }
+
+        // Transient send failures: retry with bounded backoff; after the
+        // budget the transport escalates to the blocking reliable path (a
+        // give-up), so delivery still happens — the faults cost time, not
+        // data.
+        let mut extra_latency = 0.0;
+        let mut duplicate = false;
+        if let Some(chaos) = self.world.chaos.clone() {
+            let policy = chaos.retry();
+            let mut attempt: u32 = 0;
+            while chaos.msg_drop(self.rank as u64, seq, attempt as u64) {
+                attempt += 1;
+                chaos.note_retry();
+                if self.world.recorder.enabled() {
+                    self.world.recorder.counter_add(self.rank, names::MSG_RETRIES, None, 1);
+                }
+                if attempt >= policy.max_attempts {
+                    chaos.note_giveup();
+                    if self.world.recorder.enabled() {
+                        self.world.recorder.counter_add(self.rank, names::RETRY_GIVEUPS, None, 1);
+                    }
+                    break;
+                }
+                let d = policy.delay(attempt - 1, mix(&[corr, dst as u64]));
+                let t0 = self.clock.now();
+                self.clock.advance(d);
+                if self.world.recorder.enabled() {
+                    let rec = &self.world.recorder;
+                    rec.span_start(t0, self.rank, Phase::Retry, "send_backoff");
+                    rec.span_end(self.clock.now(), self.rank, Phase::Retry, "send_backoff");
+                }
+            }
+            extra_latency = chaos.msg_extra_latency(self.rank as u64, seq);
+            duplicate = chaos.msg_dup(self.rank as u64, seq);
+        }
+
+        let cost = &self.world.cost;
         self.clock.advance(cost.send_overhead + cost.wire_time(bytes));
         if self.world.recorder.enabled() {
             self.world.recorder.msg_sent(self.clock.now(), self.rank, dst, tag, corr, bytes as u64);
         }
-        let arrival = self.clock.now() + cost.latency;
+        let arrival = self.clock.now() + cost.latency + extra_latency;
         let mb = &self.world.mailboxes[dst];
         let mut q = mb.queue.lock();
+        if duplicate {
+            // Delivered twice with the same correlation id; the receiver's
+            // dedup drops whichever copy arrives second.
+            q.push(Envelope { src: self.rank, tag, arrival, corr, payload: payload.clone() });
+        }
         q.push(Envelope { src: self.rank, tag, arrival, corr, payload });
         mb.cv.notify_all();
     }
@@ -201,6 +300,14 @@ impl Ctx {
         loop {
             if let Some(pos) = q.iter().position(|e| e.src == src && e.tag == tag) {
                 let env = q.remove(pos);
+                // Chaos worlds can deliver a message twice; the first copy
+                // wins and later copies are dropped by correlation id.
+                if self.world.chaos.is_some() && !self.seen_corr.insert(env.corr) {
+                    if self.world.recorder.enabled() {
+                        self.world.recorder.counter_add(self.rank, names::MSG_DUPLICATES, None, 1);
+                    }
+                    continue;
+                }
                 drop(q);
                 let cost = &self.world.cost;
                 self.clock.advance_to(env.arrival);
@@ -364,6 +471,95 @@ impl Incoming {
 mod tests {
     use super::*;
     use crate::run_spmd;
+    use crate::run_spmd_chaos;
+    use drms_chaos::{FaultPlan, MsgFaults};
+    use drms_obs::TraceRecorder;
+
+    #[test]
+    fn chaos_drops_retry_then_deliver() {
+        // Every send attempt is faulted: the sender burns its whole retry
+        // budget, gives up, and escalates — the payload still arrives.
+        let plan = FaultPlan {
+            msg: MsgFaults { drop_prob: 1.0, ..Default::default() },
+            ..FaultPlan::seeded(7)
+        };
+        let ctl = ChaosCtl::new(plan);
+        let rec = Arc::new(TraceRecorder::new());
+        let out = run_spmd_chaos(2, CostModel::free(), rec.clone(), ctl.clone(), |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 5, vec![42]);
+                0u8
+            } else {
+                ctx.recv(0, 5)[0]
+            }
+        })
+        .unwrap();
+        assert_eq!(out, vec![0, 42]);
+        assert!(ctl.retries() > 0, "fault plan never tripped a retry");
+        assert_eq!(ctl.giveups(), 1, "full-budget drop must escalate exactly once");
+        let m = rec.metrics();
+        assert!(m.counter_total(names::MSG_RETRIES) > 0);
+        assert_eq!(m.counter_total(names::RETRY_GIVEUPS), 1);
+    }
+
+    #[test]
+    fn chaos_duplicates_are_dropped_by_dedup() {
+        let plan = FaultPlan {
+            msg: MsgFaults { dup_prob: 1.0, ..Default::default() },
+            ..FaultPlan::seeded(11)
+        };
+        let ctl = ChaosCtl::new(plan);
+        let rec = Arc::new(TraceRecorder::new());
+        let out = run_spmd_chaos(2, CostModel::free(), rec.clone(), ctl, |ctx| {
+            if ctx.rank() == 0 {
+                for i in 0..5u8 {
+                    ctx.send(1, 9, vec![i]);
+                }
+                Vec::new()
+            } else {
+                (0..5).map(|_| ctx.recv(0, 9)[0]).collect::<Vec<u8>>()
+            }
+        })
+        .unwrap();
+        // Payloads arrive exactly once each despite double delivery. The
+        // fifth message's second copy is still queued when the region ends
+        // (nothing recvs past it), so four duplicates are actually dropped.
+        assert_eq!(out[1], (0..5).collect::<Vec<u8>>());
+        assert_eq!(rec.metrics().counter_total(names::MSG_DUPLICATES), 4);
+    }
+
+    #[test]
+    fn chaos_run_is_deterministic() {
+        let run = |seed: u64| {
+            let plan = FaultPlan {
+                msg: MsgFaults { drop_prob: 0.4, dup_prob: 0.3, max_extra_latency: 0.25 },
+                ..FaultPlan::seeded(seed)
+            };
+            let ctl = ChaosCtl::new(plan);
+            let out = run_spmd_chaos(
+                2,
+                CostModel::default(),
+                Arc::new(drms_obs::NullRecorder),
+                ctl.clone(),
+                |ctx| {
+                    if ctx.rank() == 0 {
+                        for i in 0..20u8 {
+                            ctx.send(1, 1, vec![i]);
+                        }
+                    } else {
+                        for _ in 0..20 {
+                            ctx.recv(0, 1);
+                        }
+                    }
+                    ctx.now().to_bits()
+                },
+            )
+            .unwrap();
+            (out, ctl.retries(), ctl.giveups())
+        };
+        assert_eq!(run(3), run(3), "same seed must replay bit-identically");
+        assert_ne!(run(3), run(4), "different seeds should perturb the run");
+    }
 
     #[test]
     fn p2p_roundtrip_and_timing() {

@@ -34,8 +34,13 @@ mod runner;
 pub use clock::{CostModel, SimClock};
 pub use comm::{Ctx, Incoming, ReduceOp, World};
 pub use runner::{
-    run_spmd, run_spmd_traced, run_spmd_with_nodes, run_spmd_with_nodes_traced, SpmdError,
+    run_spmd, run_spmd_chaos, run_spmd_traced, run_spmd_with_nodes, run_spmd_with_nodes_chaos,
+    run_spmd_with_nodes_traced, SpmdError,
 };
+
+/// Re-export of the fault-injection crate: consumers that only hold a
+/// [`Ctx`] can name the controller types without a direct dependency.
+pub use drms_chaos as chaos;
 
 /// Task identifier within an SPMD region (0-based rank).
 pub type Rank = usize;

@@ -94,6 +94,42 @@ where
     run_world(World::new_traced(ntasks, node_of, cost, recorder), f)
 }
 
+/// Runs `f` as an SPMD region whose message layer is subject to the fault
+/// plan carried by `chaos` (transient send failures with retry/backoff,
+/// duplicated deliveries, added latency). Placement is one-to-one onto
+/// nodes `0..ntasks`.
+pub fn run_spmd_chaos<R, F>(
+    ntasks: usize,
+    cost: CostModel,
+    recorder: Arc<dyn Recorder>,
+    chaos: Arc<drms_chaos::ChaosCtl>,
+    f: F,
+) -> Result<Vec<R>, SpmdError>
+where
+    R: Send,
+    F: Fn(&mut Ctx) -> R + Sync,
+{
+    run_spmd_with_nodes_chaos(ntasks, (0..ntasks).collect(), cost, recorder, chaos, f)
+}
+
+/// [`run_spmd_chaos`] with an explicit task → node placement — the entry
+/// point chaos campaigns drive through the scheduler, which places restart
+/// incarnations on whatever processors survive.
+pub fn run_spmd_with_nodes_chaos<R, F>(
+    ntasks: usize,
+    node_of: Vec<usize>,
+    cost: CostModel,
+    recorder: Arc<dyn Recorder>,
+    chaos: Arc<drms_chaos::ChaosCtl>,
+    f: F,
+) -> Result<Vec<R>, SpmdError>
+where
+    R: Send,
+    F: Fn(&mut Ctx) -> R + Sync,
+{
+    run_world(World::new_chaos(ntasks, node_of, cost, recorder, chaos), f)
+}
+
 fn run_world<R, F>(world: Arc<World>, f: F) -> Result<Vec<R>, SpmdError>
 where
     R: Send,

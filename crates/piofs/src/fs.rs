@@ -4,8 +4,9 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use drms_chaos::mix;
 use drms_msg::Ctx;
-use drms_obs::{names, Phase, Recorder};
+use drms_obs::{names, NullRecorder, Phase, Recorder};
 
 use crate::config::PiofsConfig;
 use crate::parity::ParityGeom;
@@ -44,6 +45,16 @@ pub enum PiofsError {
         /// Its length.
         len: u64,
     },
+    /// Transient server faults persisted through the whole retry budget.
+    /// Only single-client reads surface this: writes and collective
+    /// operations escalate to the blocking path instead of failing, so
+    /// they can never strand sibling tasks in a collective.
+    Unavailable {
+        /// Offending path.
+        path: String,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for PiofsError {
@@ -60,6 +71,9 @@ impl fmt::Display for PiofsError {
                 "range [{offset}, {}) of {path} lost with its server and not reconstructible",
                 offset + len
             ),
+            PiofsError::Unavailable { path, attempts } => {
+                write!(f, "{path} unavailable after {attempts} attempts")
+            }
         }
     }
 }
@@ -93,6 +107,9 @@ struct State {
 pub struct Piofs {
     cfg: PiofsConfig,
     state: Mutex<State>,
+    /// Recorder for control-plane events that happen outside any task
+    /// context (rename refusals). Defaults to the null recorder.
+    recorder: Mutex<Arc<dyn Recorder>>,
 }
 
 /// Descriptor as exchanged between tasks in a collective phase.
@@ -118,7 +135,14 @@ impl Piofs {
                 rng: SplitMix64::new(seed),
                 down: vec![false; n],
             }),
+            recorder: Mutex::new(Arc::new(NullRecorder)),
         })
+    }
+
+    /// Attaches a recorder for control-plane events (e.g. refused renames)
+    /// that occur with no task clock in scope.
+    pub fn set_recorder(&self, rec: Arc<dyn Recorder>) {
+        *self.recorder.lock() = rec;
     }
 
     /// The configuration in effect.
@@ -240,13 +264,30 @@ impl Piofs {
         f.write_parity_aware(0, &bytes, geom.as_ref(), &down);
     }
 
-    /// Renames a file; `true` if `from` existed (any file at `to` is
-    /// replaced). Control-plane operation (no clock).
+    /// Renames a file; `true` if `from` existed and the rename happened.
+    /// Control-plane operation (no clock).
+    ///
+    /// A rename is **refused** (returns `false`, `from` untouched) when it
+    /// would replace an existing committed manifest: a manifest's presence
+    /// is the commit marker of its checkpoint, so silently clobbering one
+    /// could destroy the only restartable state. Callers that really mean
+    /// to replace a manifest must delete the old one first — making the
+    /// checkpoint visibly uncommitted in between. Other targets are
+    /// replaced as plain renames always were.
     pub fn rename(&self, from: &str, to: &str) -> bool {
         if from == to {
             return self.exists(from);
         }
         let mut st = self.state.lock();
+        if to.ends_with("/manifest") && st.files.contains_key(to) {
+            drop(st);
+            let rec = self.recorder.lock().clone();
+            if rec.enabled() {
+                rec.counter_add(0, names::RENAMES_REFUSED, None, 1);
+                rec.event(0.0, 0, Phase::Control, &format!("rename_refused:{to}"));
+            }
+            return false;
+        }
         match st.files.remove(from) {
             Some(f) => {
                 st.files.insert(to.to_string(), f);
@@ -383,10 +424,66 @@ impl Piofs {
     // Single-client I/O
     // ------------------------------------------------------------------
 
+    /// Consults the chaos controller (when the region runs under one) for
+    /// transient-fault weather over one I/O operation. Each faulted attempt
+    /// charges a backoff wait — visible as a [`Phase::Retry`] span — to the
+    /// caller's clock. Returns `Ok(())` once an attempt clears within the
+    /// retry budget and `Err(attempts)` when the budget is exhausted; the
+    /// caller decides whether that is an escalation (writes, collectives)
+    /// or a hard failure (single-client reads).
+    fn weather(&self, ctx: &mut Ctx, what: &'static str) -> Result<(), u32> {
+        let Some(chaos) = ctx.chaos() else { return Ok(()) };
+        let key = ctx.chaos_key();
+        let policy = chaos.retry();
+        let rank = ctx.rank();
+        let mut attempt: u32 = 0;
+        while chaos.io_fault(rank as u64, key, attempt as u64) {
+            attempt += 1;
+            chaos.note_retry();
+            if ctx.recorder().enabled() {
+                ctx.recorder().counter_add(rank, names::IO_RETRIES, None, 1);
+            }
+            if attempt >= policy.max_attempts {
+                chaos.note_giveup();
+                if ctx.recorder().enabled() {
+                    ctx.recorder().counter_add(rank, names::RETRY_GIVEUPS, None, 1);
+                }
+                return Err(attempt);
+            }
+            let d = policy.delay(attempt - 1, mix(&[key, rank as u64]));
+            let t0 = ctx.now();
+            ctx.charge(d);
+            let rec = ctx.recorder();
+            if rec.enabled() {
+                rec.span_start(t0, rank, Phase::Retry, what);
+                rec.span_end(t0 + d, rank, Phase::Retry, what);
+            }
+        }
+        Ok(())
+    }
+
     /// Writes `data` at `offset`, creating the file if needed. Single-client
     /// operation: only the calling task is involved (e.g. the representative
     /// task writing the data segment while siblings wait at a barrier).
+    ///
+    /// Transient faults from an attached chaos plan are retried with
+    /// backoff; when the budget runs out the write escalates to the
+    /// blocking reliable path and still lands. A torn-write fault instead
+    /// persists only a strict prefix of `data` — the crash-consistency
+    /// hazard the two-phase checkpoint commit defends against.
     pub fn write_at(&self, ctx: &mut Ctx, path: &str, offset: u64, data: &[u8]) {
+        let _ = self.weather(ctx, "write_at");
+        let mut data = data;
+        if let Some(chaos) = ctx.chaos() {
+            if let Some(keep) = chaos.torn_len(path, data.len()) {
+                data = &data[..keep];
+                let rec = ctx.recorder();
+                if rec.enabled() {
+                    rec.counter_add(ctx.rank(), names::TORN_WRITES, None, 1);
+                    rec.event(ctx.now(), ctx.rank(), Phase::Control, &format!("torn:{path}"));
+                }
+            }
+        }
         let node = ctx.node();
         let rank = ctx.rank();
         let now = ctx.now();
@@ -425,6 +522,11 @@ impl Piofs {
     }
 
     /// Reads `len` bytes at `offset`. Single-client operation.
+    ///
+    /// Transient faults from an attached chaos plan are retried with
+    /// backoff; a read that exhausts the budget fails with
+    /// [`PiofsError::Unavailable`] (no sibling is waiting on it, so a hard
+    /// failure is safe — callers fall back to an older checkpoint).
     pub fn read_at(
         &self,
         ctx: &mut Ctx,
@@ -433,6 +535,9 @@ impl Piofs {
         len: u64,
         access: ReadAccess,
     ) -> Result<Vec<u8>, PiofsError> {
+        if let Err(attempts) = self.weather(ctx, "read_at") {
+            return Err(PiofsError::Unavailable { path: path.to_string(), attempts });
+        }
         let node = ctx.node();
         let rank = ctx.rank();
         let now = ctx.now();
@@ -474,6 +579,10 @@ impl Piofs {
     /// phase is priced once, deterministically, and every task's clock
     /// advances to its computed completion.
     pub fn collective_write(&self, ctx: &mut Ctx, reqs: Vec<WriteReq>) {
+        // Chaos weather: faults cost each task retry waits before it joins
+        // the phase, never an abort — a task that bailed unilaterally would
+        // strand its siblings in the descriptor exchange.
+        let _ = self.weather(ctx, "collective_write");
         // Store this task's bytes and build wire descriptors.
         let geom = self.geom();
         let mut descs = Vec::with_capacity(reqs.len());
@@ -512,6 +621,9 @@ impl Piofs {
         ctx: &mut Ctx,
         reqs: Vec<ReadReq>,
     ) -> Result<Vec<Vec<u8>>, PiofsError> {
+        // As in `collective_write`: weather delays participation, it never
+        // aborts a collective unilaterally.
+        let _ = self.weather(ctx, "collective_read");
         let descs: Vec<WireDesc> = reqs
             .iter()
             .map(|r| WireDesc {
@@ -951,6 +1063,97 @@ mod tests {
         assert_eq!(fs.peek("b").unwrap(), vec![1, 2, 3]);
         assert!(!fs.rename("missing", "c"));
         assert!(fs.rename("b", "b"));
+    }
+
+    #[test]
+    fn rename_refuses_to_clobber_committed_manifest() {
+        use drms_obs::TraceRecorder;
+
+        let fs = fs();
+        let rec = Arc::new(TraceRecorder::new());
+        fs.set_recorder(rec.clone());
+        fs.preload("ck/1/manifest", vec![1]);
+        fs.preload("ck/1/manifest.tmp", vec![2]);
+        // Clobbering a committed manifest is refused; both files survive.
+        assert!(!fs.rename("ck/1/manifest.tmp", "ck/1/manifest"));
+        assert_eq!(fs.peek("ck/1/manifest").unwrap(), vec![1]);
+        assert_eq!(fs.peek("ck/1/manifest.tmp").unwrap(), vec![2]);
+        assert_eq!(rec.metrics().counter_total(names::RENAMES_REFUSED), 1);
+        // Deleting the committed manifest first (the explicit uncommit
+        // step) makes the same rename legal.
+        assert!(fs.delete("ck/1/manifest"));
+        assert!(fs.rename("ck/1/manifest.tmp", "ck/1/manifest"));
+        assert_eq!(fs.peek("ck/1/manifest").unwrap(), vec![2]);
+        // Non-manifest targets keep plain replace semantics.
+        fs.preload("x", vec![7]);
+        fs.preload("y", vec![8]);
+        assert!(fs.rename("x", "y"));
+        assert_eq!(fs.peek("y").unwrap(), vec![7]);
+    }
+
+    #[test]
+    fn chaos_retries_escalate_writes_and_fail_reads() {
+        use drms_chaos::{ChaosCtl, FaultPlan, PiofsFaults};
+        use drms_obs::TraceRecorder;
+
+        let fs = fs();
+        let plan = FaultPlan {
+            piofs: PiofsFaults { transient_prob: 1.0, torn: None },
+            ..FaultPlan::seeded(13)
+        };
+        let ctl = ChaosCtl::new(plan);
+        let rec = Arc::new(TraceRecorder::new());
+        let out = drms_msg::run_spmd_chaos(1, CostModel::free(), rec.clone(), ctl, |ctx| {
+            // Every attempt faults: the write burns its budget, escalates,
+            // and still lands.
+            fs.write_at(ctx, "f", 0, &[1, 2, 3]);
+            assert_eq!(fs.peek("f").unwrap(), vec![1, 2, 3]);
+            // The read gives up hard with Unavailable.
+            fs.read_at(ctx, "f", 0, 3, ReadAccess::Sequential)
+        })
+        .unwrap();
+        assert!(matches!(&out[0], Err(PiofsError::Unavailable { .. })), "{:?}", out[0]);
+        let m = rec.metrics();
+        assert!(m.counter_total(names::IO_RETRIES) > 0);
+        assert_eq!(m.counter_total(names::RETRY_GIVEUPS), 2);
+    }
+
+    #[test]
+    fn chaos_torn_write_persists_strict_prefix() {
+        use drms_chaos::{ChaosCtl, FaultPlan, PiofsFaults, TornWrite};
+        use drms_obs::TraceRecorder;
+
+        let fs = fs();
+        let plan = FaultPlan {
+            piofs: PiofsFaults {
+                transient_prob: 0.0,
+                torn: Some(TornWrite {
+                    path_contains: "seg".into(),
+                    occurrence: 2,
+                    keep_fraction: 0.5,
+                }),
+            },
+            ..FaultPlan::seeded(3)
+        };
+        let ctl = ChaosCtl::new(plan);
+        let rec = Arc::new(TraceRecorder::new());
+        drms_msg::run_spmd_chaos(1, CostModel::free(), rec.clone(), ctl, |ctx| {
+            fs.write_at(ctx, "other", 0, &[9; 10]); // no match: untouched
+            fs.write_at(ctx, "ck/seg", 0, &[1; 10]); // occurrence 1: whole
+            fs.write_at(ctx, "ck/seg", 10, &[2; 10]); // occurrence 2: torn
+            fs.write_at(ctx, "ck/seg", 20, &[3; 10]); // fires once only
+        })
+        .unwrap();
+        assert_eq!(fs.peek("other").unwrap(), vec![9; 10]);
+        let got = fs.peek("ck/seg").unwrap();
+        // The torn second write kept a strict prefix (5 of 10 bytes), so
+        // the file has a hole of zeros where the tail should have been...
+        assert_eq!(&got[..10], &[1; 10]);
+        assert_eq!(&got[10..15], &[2; 5]);
+        assert_eq!(&got[15..20], &[0; 5]);
+        // ...while writes before and after the armed occurrence are whole.
+        assert_eq!(&got[20..30], &[3; 10]);
+        assert_eq!(rec.metrics().counter_total(names::TORN_WRITES), 1);
     }
 
     #[test]

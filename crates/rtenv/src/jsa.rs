@@ -3,9 +3,10 @@
 
 use std::sync::Arc;
 
+use drms_chaos::ChaosCtl;
 use drms_core::{find_checkpoints, EnableFlag};
 use drms_memtier::{MemTier, RestartTier};
-use drms_msg::{run_spmd_with_nodes_traced, CostModel};
+use drms_msg::{run_spmd_with_nodes_chaos, run_spmd_with_nodes_traced, CostModel};
 use drms_piofs::Piofs;
 use parking_lot::Mutex;
 
@@ -82,6 +83,7 @@ pub struct Jsa {
     cost: CostModel,
     policy: JsaPolicy,
     memtier: Option<Arc<MemTier>>,
+    chaos: Option<Arc<ChaosCtl>>,
     /// Index into the event log up to which processor failures have been
     /// applied to the memory tier (each failure wipes a node's resident
     /// pieces exactly once; repaired processors come back empty).
@@ -97,7 +99,21 @@ impl Jsa {
         cost: CostModel,
         policy: JsaPolicy,
     ) -> Jsa {
-        Jsa { rc, fs, log, cost, policy, memtier: None, tier_cursor: Mutex::new(0) }
+        Jsa { rc, fs, log, cost, policy, memtier: None, chaos: None, tier_cursor: Mutex::new(0) }
+    }
+
+    /// Attaches a chaos controller: every incarnation of every job runs
+    /// under its fault plan (message-layer faults, transient I/O faults,
+    /// and enumerated crash points). Campaign instrumentation — production
+    /// schedulers never call this.
+    pub fn with_chaos(mut self, chaos: Arc<ChaosCtl>) -> Jsa {
+        self.chaos = Some(chaos);
+        self
+    }
+
+    /// The attached chaos controller, if any.
+    pub fn chaos(&self) -> Option<&Arc<ChaosCtl>> {
+        self.chaos.as_ref()
     }
 
     /// Attaches an in-memory checkpoint tier: restarts prefer the newest
@@ -224,13 +240,24 @@ impl Jsa {
                 restart_tier,
             };
             let body = Arc::clone(&job.body);
-            let outcomes = run_spmd_with_nodes_traced(
-                ntasks,
-                procs.clone(),
-                self.cost,
-                self.log.recorder(),
-                move |ctx| body(ctx, &env),
-            )
+            let run = move |ctx: &mut drms_msg::Ctx| body(ctx, &env);
+            let outcomes = match &self.chaos {
+                Some(chaos) => run_spmd_with_nodes_chaos(
+                    ntasks,
+                    procs.clone(),
+                    self.cost,
+                    self.log.recorder(),
+                    Arc::clone(chaos),
+                    run,
+                ),
+                None => run_spmd_with_nodes_traced(
+                    ntasks,
+                    procs.clone(),
+                    self.cost,
+                    self.log.recorder(),
+                    run,
+                ),
+            }
             .unwrap_or_else(|e| vec![JobOutcome::Failed(e.to_string())]);
 
             // Merge task outcomes: any kill or failure dominates.

@@ -6,6 +6,8 @@
 //! the subsystems:
 //!
 //! * [`slices`] — ranges, slices, stream linearization, recursive partition;
+//! * [`chaos`] — deterministic fault injection (fault plans, crash points,
+//!   retry/backoff policy) for robustness campaigns;
 //! * [`msg`] — the SPMD task runtime with virtual-time message passing;
 //! * [`piofs`] — the striped parallel file system simulator;
 //! * [`darray`] — distributions, distributed arrays, redistribution,
@@ -21,6 +23,7 @@
 //! * [`apps`] — mini NAS-parallel-benchmark applications (BT, LU, SP).
 
 pub use drms_apps as apps;
+pub use drms_chaos as chaos;
 pub use drms_core as core;
 pub use drms_darray as darray;
 pub use drms_memtier as memtier;

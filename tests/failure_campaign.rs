@@ -25,15 +25,20 @@ const NPROCS: usize = 8;
 /// campaign always names its seed and reproduces with one command.
 const CAMPAIGN_SEEDS: &[u64] = &[1, 2, 3, 4, 5, 6];
 
-/// The one-command repro printed by every campaign assertion.
-/// `FAILURE_CAMPAIGN_SEED` narrows the suite to the failing seed.
+/// The one-command repro printed by every campaign assertion, in the
+/// repo-wide `FAULT_SEED` convention shared with the chaos and
+/// storage-fault campaigns: it narrows the suite to the failing seed.
 fn repro_cmd(seed: u64) -> String {
-    format!("FAILURE_CAMPAIGN_SEED={seed} cargo test --test failure_campaign -- --nocapture")
+    format!("FAULT_SEED={seed} cargo test --test failure_campaign -- --nocapture")
 }
 
-/// The seed filter, when the repro command set one.
+/// The seed filter, when a repro command set one. `FAILURE_CAMPAIGN_SEED`
+/// is honored as a legacy spelling.
 fn seed_filter() -> Option<u64> {
-    std::env::var("FAILURE_CAMPAIGN_SEED").ok().and_then(|s| s.parse().ok())
+    std::env::var("FAULT_SEED")
+        .or_else(|_| std::env::var("FAILURE_CAMPAIGN_SEED"))
+        .ok()
+        .and_then(|s| s.parse().ok())
 }
 
 fn domain() -> Slice {

@@ -11,15 +11,16 @@ use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use drms::chaos::{ChaosCtl, CrashPoint, FaultPlan, MsgFaults, PiofsFaults, TornWrite};
 use drms::core::segment::DataSegment;
-use drms::core::{Drms, DrmsConfig, Start};
+use drms::core::{CoreError, Drms, DrmsConfig, Start};
 use drms::darray::{DistArray, Distribution};
 use drms::memtier::{
     restore_arrays_from_tier, resume_from_tier, spill_checkpoint, store_checkpoint, store_feasible,
     MemTier, RestartTier,
 };
-use drms::msg::CostModel;
-use drms::obs::{names, TraceRecorder};
+use drms::msg::{run_spmd_chaos, CostModel};
+use drms::obs::{names, Recorder, TraceRecorder};
 use drms::piofs::{Piofs, PiofsConfig};
 use drms::resil::{scrub_checkpoint, CorruptionCampaign};
 use drms::rtenv::{
@@ -198,6 +199,85 @@ fn run_job(w: &World, tier: Option<Arc<MemTier>>, faults: Vec<Fault>) {
     assert!(summary.completed, "drift job did not complete: {summary:?}");
 }
 
+/// Runs the drift job under a chaos controller: fault-injection weather at
+/// every layer plus an armed crash inside the commit window. The body
+/// reports injected crashes as kills, so the JSA reincarnates the job from
+/// the newest committed checkpoint.
+fn run_chaos_job(w: &World, ctl: Arc<ChaosCtl>) {
+    let jsa = Jsa::new(
+        Arc::clone(&w.rc),
+        Arc::clone(&w.fs),
+        w.log.clone(),
+        CostModel::default(),
+        JsaPolicy { repair_when_starved: true, ..Default::default() },
+    )
+    .with_chaos(ctl);
+
+    let job = JobSpec::new(APP, (1, NPROCS), move |ctx, env| {
+        let (mut drms, start) = match Drms::initialize(
+            ctx,
+            &env.fs,
+            DrmsConfig::new(APP),
+            env.enable.clone(),
+            env.restart_from.as_deref(),
+        ) {
+            Ok(v) => v,
+            Err(CoreError::Interrupted(_)) => return JobOutcome::Killed,
+            Err(e) => return JobOutcome::Failed(e.to_string()),
+        };
+        let dist = Distribution::block_auto(&domain(), ctx.ntasks(), 1).unwrap();
+        let mut u = DistArray::<f64>::new("u", Order::ColumnMajor, dist, ctx.rank());
+        let mut seg = DataSegment::new();
+        let mut start_iter = 1i64;
+        match start {
+            Start::Fresh => u.fill_assigned(|p| (p[0] * 13 + p[1] * 3) as f64),
+            Start::Restarted(info) => {
+                seg = info.segment.clone();
+                start_iter = seg.control("iter").unwrap() + 1;
+                match drms.restore_arrays(
+                    ctx,
+                    &env.fs,
+                    env.restart_from.as_deref().unwrap(),
+                    &info.manifest,
+                    &mut [&mut u],
+                ) {
+                    Ok(_) => {}
+                    Err(CoreError::Interrupted(_)) => return JobOutcome::Killed,
+                    Err(e) => return JobOutcome::Failed(e.to_string()),
+                }
+            }
+        }
+        for iter in start_iter..=NITER {
+            if env.sop_killed(ctx) {
+                return JobOutcome::Killed;
+            }
+            let region = u.assigned().clone();
+            region.points(Order::ColumnMajor).for_each(|p| {
+                let v = u.get(p).unwrap();
+                u.set(p, v + 1.5).unwrap();
+            });
+            seg.set_control("iter", iter);
+            if iter % CKPT_EVERY == 0 {
+                match drms.reconfig_checkpoint(
+                    ctx,
+                    &env.fs,
+                    &format!("ck/drift/{iter}"),
+                    &seg,
+                    &[&u],
+                ) {
+                    Ok(_) => {}
+                    Err(CoreError::Interrupted(_)) => return JobOutcome::Killed,
+                    Err(e) => return JobOutcome::Failed(e.to_string()),
+                }
+            }
+        }
+        JobOutcome::Completed
+    });
+
+    let summary = jsa.run_job(&job);
+    assert!(summary.completed, "chaos drift job did not complete: {summary:?}");
+}
+
 /// Names emitted into `rec`: every counter series plus every gauge.
 fn emitted(rec: &TraceRecorder) -> BTreeSet<&'static str> {
     let m = rec.metrics();
@@ -253,6 +333,61 @@ fn every_metric_name_is_emitted_by_some_instrumentation_site() {
         let w2 = reenter(&w);
         run_job(&w2, Some(tier), vec![Fault { at: 10, server: None, victims: (0..=6).collect() }]);
         covered.extend(emitted(&w2.rec));
+    }
+
+    // Scenario 4 — chaos: deterministic fault injection against the
+    // two-phase commit. Message drops/duplicates and transient I/O errors
+    // retry under backoff; a staged segment write is torn and the region
+    // crashes inside the commit window (abort + reincarnation + eventual
+    // commit). Covers the retry, duplicate, torn, crash and commit names.
+    {
+        let w = build_world(5, false);
+        let ctl = ChaosCtl::new(FaultPlan {
+            msg: MsgFaults { drop_prob: 0.3, dup_prob: 0.5, max_extra_latency: 1e-4 },
+            piofs: PiofsFaults {
+                transient_prob: 0.3,
+                torn: Some(TornWrite {
+                    path_contains: ".tmp/segment".to_string(),
+                    occurrence: 1,
+                    keep_fraction: 0.5,
+                }),
+            },
+            crash: Some((CrashPoint::CkptAfterSegment, 1)),
+            ..FaultPlan::seeded(5)
+        });
+        run_chaos_job(&w, ctl);
+        covered.extend(emitted(&w.rec));
+    }
+
+    // Scenario 5 — retry exhaustion and the rename no-clobber guard. A
+    // certain-to-drop plan makes a send burn its whole attempt budget and
+    // escalate (giveup); a stray rename onto a committed manifest bounces
+    // off the guard into the file system's own recorder.
+    {
+        let rec = Arc::new(TraceRecorder::default());
+        let ctl = ChaosCtl::new(FaultPlan {
+            msg: MsgFaults { drop_prob: 1.0, dup_prob: 1.0, ..Default::default() },
+            ..FaultPlan::seeded(17)
+        });
+        run_spmd_chaos(2, CostModel::default(), rec.clone(), ctl, |ctx| {
+            // Repeated traffic on one channel, so a duplicated delivery is
+            // position-matched by a later recv and dropped by the dedup.
+            for i in 0..3u8 {
+                if ctx.rank() == 0 {
+                    ctx.send(1, 0, vec![i]);
+                } else {
+                    ctx.recv(0, 0);
+                }
+            }
+        })
+        .unwrap();
+
+        let fs = Piofs::new(PiofsConfig::test_tiny(2), 17);
+        fs.set_recorder(rec.clone() as Arc<dyn Recorder>);
+        fs.preload("ck/guard/manifest", vec![1; 8]);
+        fs.preload("ck/guard/stray", vec![2; 8]);
+        assert!(!fs.rename("ck/guard/stray", "ck/guard/manifest"));
+        covered.extend(emitted(&rec));
     }
 
     let missing: Vec<&str> = names::ALL.iter().copied().filter(|n| !covered.contains(n)).collect();
