@@ -59,8 +59,7 @@ struct Opts {
 }
 
 fn parse_args() -> Opts {
-    let env_seed =
-        std::env::var("FAULT_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_SEED);
+    let env_seed = drms_bench::seed::fault_seed_or(DEFAULT_SEED);
     let mut opts =
         Opts { seed: env_seed, json: None, baseline: None, tolerance: 0.05, bless: false };
     let mut it = std::env::args().skip(1);
@@ -102,7 +101,7 @@ fn usage(err: &str) -> ! {
 }
 
 fn repro(opts: &Opts) -> String {
-    format!("cargo run --release -p drms-bench --bin chaos -- --fault-seed {}", opts.seed)
+    drms_bench::seed::bin_repro("chaos", opts.seed)
 }
 
 fn domain() -> Slice {

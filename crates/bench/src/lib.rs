@@ -19,5 +19,6 @@ pub mod args;
 pub mod experiment;
 pub mod gate;
 pub mod json;
+pub mod seed;
 pub mod stats;
 pub mod table;

@@ -189,7 +189,7 @@ impl Drms {
         // in this phase are ntasks x file size: record per rank, matching the
         // aggregate the restart report uses.
         if ctx.recorder().enabled() {
-            ctx.recorder().counter_add(ctx.rank(), names::SEGMENT_BYTES, None, len);
+            ctx.recorder().counter_add_at(ctx.now(), ctx.rank(), names::SEGMENT_BYTES, None, len);
         }
 
         let delta = ctx.ntasks() as i64 - manifest.ntasks as i64;
@@ -251,7 +251,8 @@ impl Drms {
         phase_span(ctx, Phase::Init, "load_text", t0, t1);
         phase_span(ctx, Phase::Segment, "load_segment", t1, t2);
         if ctx.recorder().enabled() {
-            ctx.recorder().counter_add(
+            ctx.recorder().counter_add_at(
+                ctx.now(),
                 ctx.rank(),
                 names::SEGMENT_BYTES,
                 None,
@@ -386,7 +387,7 @@ impl Drms {
             let committed = publish_manifest(fs, prefix);
             debug_assert!(committed, "staged manifest must exist at the commit point");
             if ctx.recorder().enabled() {
-                ctx.recorder().counter_add(0, names::COMMITS, None, 1);
+                ctx.recorder().counter_add_at(ctx.now(), 0, names::COMMITS, None, 1);
             }
         }
         ctx.barrier();
@@ -510,7 +511,7 @@ impl Drms {
             let committed = publish_manifest(fs, prefix);
             debug_assert!(committed, "staged manifest must exist at the commit point");
             if ctx.recorder().enabled() {
-                ctx.recorder().counter_add(0, names::COMMITS, None, 1);
+                ctx.recorder().counter_add_at(ctx.now(), 0, names::COMMITS, None, 1);
             }
         }
         ctx.barrier();
@@ -781,8 +782,8 @@ pub(crate) fn record_bytes(ctx: &Ctx, segment_bytes: u64, array_bytes: u64) {
         return;
     }
     let rec = ctx.recorder();
-    rec.counter_add(0, names::SEGMENT_BYTES, None, segment_bytes);
-    rec.counter_add(0, names::ARRAY_BYTES, None, array_bytes);
+    rec.counter_add_at(ctx.now(), 0, names::SEGMENT_BYTES, None, segment_bytes);
+    rec.counter_add_at(ctx.now(), 0, names::ARRAY_BYTES, None, array_bytes);
 }
 
 /// Collective read + decode of a manifest.

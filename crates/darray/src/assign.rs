@@ -69,7 +69,8 @@ pub fn assign<T: Element>(ctx: &mut Ctx, dst: &mut DistArray<T>, src: &DistArray
         let rank = ctx.rank();
         ctx.recorder().span_start(t0, rank, Phase::Redistribute, src.name());
         ctx.recorder().span_end(ctx.now(), rank, Phase::Redistribute, src.name());
-        ctx.recorder().counter_add(
+        ctx.recorder().counter_add_at(
+            ctx.now(),
             rank,
             names::REDISTRIBUTION_BYTES,
             Some(src.name()),
@@ -134,7 +135,8 @@ pub fn refresh_shadows<T: Element>(ctx: &mut Ctx, array: &mut DistArray<T>) -> R
         let rank = ctx.rank();
         ctx.recorder().span_start(t0, rank, Phase::Redistribute, array.name());
         ctx.recorder().span_end(ctx.now(), rank, Phase::Redistribute, array.name());
-        ctx.recorder().counter_add(
+        ctx.recorder().counter_add_at(
+            ctx.now(),
             rank,
             names::REDISTRIBUTION_BYTES,
             Some(array.name()),

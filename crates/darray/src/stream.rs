@@ -99,13 +99,20 @@ pub fn write_section_with<T: Element>(
         if traced {
             let bytes: usize = reqs.iter().map(|r| r.data.len()).sum();
             let rec = ctx.recorder();
-            rec.counter_add(
+            rec.counter_add_at(
+                ctx.now(),
                 ctx.rank(),
                 names::PIECES_WRITTEN,
                 Some(array.name()),
                 reqs.len() as u64,
             );
-            rec.counter_add(ctx.rank(), names::BYTES_STREAMED, Some(array.name()), bytes as u64);
+            rec.counter_add_at(
+                ctx.now(),
+                ctx.rank(),
+                names::BYTES_STREAMED,
+                Some(array.name()),
+                bytes as u64,
+            );
         }
         fs.collective_write(ctx, reqs);
         if traced {
@@ -182,7 +189,8 @@ pub fn read_section_with<T: Element>(
         }
         if traced {
             let bytes: u64 = reqs.iter().map(|r| r.len).sum();
-            ctx.recorder().counter_add(
+            ctx.recorder().counter_add_at(
+                ctx.now(),
                 ctx.rank(),
                 names::BYTES_STREAMED,
                 Some(array.name()),
@@ -260,8 +268,15 @@ pub fn collect_section_pieces<T: Element>(
                 let data = encode(aux.local());
                 if traced {
                     let rec = ctx.recorder();
-                    rec.counter_add(ctx.rank(), names::PIECES_WRITTEN, Some(array.name()), 1);
-                    rec.counter_add(
+                    rec.counter_add_at(
+                        ctx.now(),
+                        ctx.rank(),
+                        names::PIECES_WRITTEN,
+                        Some(array.name()),
+                        1,
+                    );
+                    rec.counter_add_at(
+                        ctx.now(),
                         ctx.rank(),
                         names::BYTES_STREAMED,
                         Some(array.name()),
@@ -324,7 +339,8 @@ pub fn read_section_via<T: Element>(
                     )));
                 }
                 if traced {
-                    ctx.recorder().counter_add(
+                    ctx.recorder().counter_add_at(
+                        ctx.now(),
                         ctx.rank(),
                         names::BYTES_STREAMED,
                         Some(array.name()),

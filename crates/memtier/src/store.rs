@@ -238,8 +238,11 @@ pub fn store_checkpoint(
         rec.span_start(t0, 0, Phase::MemTier, "store");
         rec.span_end(t1, 0, Phase::MemTier, "store");
         rec.event(t1, 0, Phase::MemTier, &format!("MemTierStore {prefix}"));
-        rec.counter_add(0, names::MEMTIER_STORE_BYTES, None, bytes);
-        rec.counter_add(0, names::MEMTIER_REPLICA_BYTES, None, replica_bytes);
+        rec.counter_add_at(t1, 0, names::MEMTIER_STORE_BYTES, None, bytes);
+        rec.counter_add_at(t1, 0, names::MEMTIER_REPLICA_BYTES, None, replica_bytes);
+        if let Some(r) = tier.min_replicas(prefix) {
+            rec.gauge_set_at(t1, 0, names::MEMTIER_REPLICAS, 0, r as f64);
+        }
     }
     if let Some(err) = votes[0].clone() {
         return Err(MemTierError::Incomplete(err));
@@ -309,8 +312,8 @@ pub fn spill_checkpoint(
         let rec = ctx.recorder();
         rec.span_start(t0, 0, Phase::Spill, "spill");
         rec.span_end(t1, 0, Phase::Spill, "spill");
-        rec.counter_add(0, names::MEMTIER_SPILL_BYTES, None, bytes);
-        rec.gauge_set(names::MEMTIER_SPILL_SECONDS, 0, t1 - t0);
+        rec.counter_add_at(t1, 0, names::MEMTIER_SPILL_BYTES, None, bytes);
+        rec.gauge_set_at(t1, 0, names::MEMTIER_SPILL_SECONDS, 0, t1 - t0);
     }
     if let Some(err) = votes[0].clone() {
         return Err(MemTierError::SpillVerify(err));
@@ -339,7 +342,7 @@ fn finish_spill(ctx: &mut Ctx, fs: &Piofs, tier: &MemTier, prefix: &str) -> Resu
         )));
     }
     if ctx.recorder().enabled() {
-        ctx.recorder().counter_add(ctx.rank(), names::COMMITS, None, 1);
+        ctx.recorder().counter_add_at(ctx.now(), ctx.rank(), names::COMMITS, None, 1);
     }
     let report = drms_resil::verify_checkpoint(fs, prefix, ctx.recorder(), ctx.now());
     if !report.is_valid() {

@@ -148,6 +148,16 @@ impl MemTier {
         self.inner.lock().get(prefix).is_some_and(|c| c.spilled)
     }
 
+    /// Minimum surviving holder count over the pieces of the sealed entry
+    /// under `prefix` — the replica-health signal live monitoring watches
+    /// (it starts at the configured replication degree and decays as node
+    /// loss eats copies). `None` when no sealed entry exists.
+    pub fn min_replicas(&self, prefix: &str) -> Option<usize> {
+        let inner = self.inner.lock();
+        let ck = inner.get(prefix).filter(|c| c.sealed)?;
+        ck.files.values().flat_map(|f| f.pieces.iter().map(|p| p.holders.len())).min()
+    }
+
     /// Decodes the manifest of a sealed entry.
     pub fn manifest(&self, prefix: &str) -> Result<Manifest> {
         let inner = self.inner.lock();

@@ -235,8 +235,9 @@ impl Ctx {
         let bytes = payload.len();
         if self.world.recorder.enabled() {
             let rec = &self.world.recorder;
-            rec.counter_add(self.rank, names::MESSAGES_SENT, None, 1);
-            rec.counter_add(self.rank, names::MESSAGE_BYTES, None, bytes as u64);
+            let t = self.clock.now();
+            rec.counter_add_at(t, self.rank, names::MESSAGES_SENT, None, 1);
+            rec.counter_add_at(t, self.rank, names::MESSAGE_BYTES, None, bytes as u64);
         }
 
         // Transient send failures: retry with bounded backoff; after the
@@ -252,12 +253,24 @@ impl Ctx {
                 attempt += 1;
                 chaos.note_retry();
                 if self.world.recorder.enabled() {
-                    self.world.recorder.counter_add(self.rank, names::MSG_RETRIES, None, 1);
+                    self.world.recorder.counter_add_at(
+                        self.clock.now(),
+                        self.rank,
+                        names::MSG_RETRIES,
+                        None,
+                        1,
+                    );
                 }
                 if attempt >= policy.max_attempts {
                     chaos.note_giveup();
                     if self.world.recorder.enabled() {
-                        self.world.recorder.counter_add(self.rank, names::RETRY_GIVEUPS, None, 1);
+                        self.world.recorder.counter_add_at(
+                            self.clock.now(),
+                            self.rank,
+                            names::RETRY_GIVEUPS,
+                            None,
+                            1,
+                        );
                     }
                     break;
                 }
@@ -304,7 +317,13 @@ impl Ctx {
                 // wins and later copies are dropped by correlation id.
                 if self.world.chaos.is_some() && !self.seen_corr.insert(env.corr) {
                     if self.world.recorder.enabled() {
-                        self.world.recorder.counter_add(self.rank, names::MSG_DUPLICATES, None, 1);
+                        self.world.recorder.counter_add_at(
+                            self.clock.now(),
+                            self.rank,
+                            names::MSG_DUPLICATES,
+                            None,
+                            1,
+                        );
                     }
                     continue;
                 }
@@ -424,8 +443,9 @@ impl Ctx {
                 .filter(|&(d, b)| d != self.rank && !b.is_empty())
                 .count() as u64;
             let rec = &*self.world.recorder;
-            rec.counter_add(self.rank, names::MESSAGES_SENT, None, msgs);
-            rec.counter_add(self.rank, names::MESSAGE_BYTES, None, sent as u64);
+            let t = self.clock.now();
+            rec.counter_add_at(t, self.rank, names::MESSAGES_SENT, None, msgs);
+            rec.counter_add_at(t, self.rank, names::MESSAGE_BYTES, None, sent as u64);
         }
         let (all, t) = self.exchange(outgoing);
         let received: usize = all

@@ -53,12 +53,146 @@ pub trait Recorder: Send + Sync {
     /// stripe-imbalance attribution.
     fn server_interval(&self, server: usize, name: &str, start: f64, end: f64) {}
 
+    /// As [`Recorder::server_interval`], naming the task whose I/O phase
+    /// priced the interval. Aggregate sinks keep the default (which drops
+    /// the rank); streaming sinks override it to attribute the interval to
+    /// the reporting task's stream, keeping per-task sample order
+    /// deterministic when several ranks price phases concurrently.
+    fn server_interval_from(&self, rank: usize, server: usize, name: &str, start: f64, end: f64) {
+        self.server_interval(server, name, start, end);
+    }
+
     /// Adds `delta` to the monotonic counter `name`, labelled by `rank`
     /// and optionally an `array` name.
     fn counter_add(&self, rank: usize, name: &'static str, array: Option<&str>, delta: u64) {}
 
+    /// As [`Recorder::counter_add`], stamped with the caller's simulated
+    /// clock `t`. Aggregate-only sinks keep the default (which drops the
+    /// timestamp and forwards to [`Recorder::counter_add`]); streaming
+    /// sinks such as windowed online collectors override it to place the
+    /// increment on the simulated time axis. Instrumentation sites that
+    /// hold a clock should prefer this variant.
+    fn counter_add_at(
+        &self,
+        t: f64,
+        rank: usize,
+        name: &'static str,
+        array: Option<&str>,
+        delta: u64,
+    ) {
+        self.counter_add(rank, name, array, delta);
+    }
+
     /// Sets gauge `name[index]` to `value` (e.g. per-server busy time).
     fn gauge_set(&self, name: &'static str, index: usize, value: f64) {}
+
+    /// As [`Recorder::gauge_set`], stamped with the caller's simulated
+    /// clock `t` and reporting `rank`. Aggregate sinks keep the default
+    /// (which drops both); streaming sinks override it to place the sample
+    /// on the reporting task's stream.
+    fn gauge_set_at(&self, t: f64, rank: usize, name: &'static str, index: usize, value: f64) {
+        self.gauge_set(name, index, value);
+    }
+}
+
+/// Recorder that tees every report to a list of downstream recorders, so a
+/// post-hoc trace sink and an online streaming sink can observe the same
+/// run. `enabled()` is true when any branch is enabled; disabled branches
+/// still receive the calls (their own empty bodies make that free).
+pub struct FanoutRecorder {
+    sinks: Vec<std::sync::Arc<dyn Recorder>>,
+}
+
+impl FanoutRecorder {
+    /// A fan-out over `sinks`, invoked in order on every hook.
+    pub fn new(sinks: Vec<std::sync::Arc<dyn Recorder>>) -> FanoutRecorder {
+        FanoutRecorder { sinks }
+    }
+}
+
+impl Recorder for FanoutRecorder {
+    fn enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.enabled())
+    }
+
+    fn span_start(&self, t: f64, rank: usize, phase: Phase, name: &str) {
+        for s in &self.sinks {
+            s.span_start(t, rank, phase, name);
+        }
+    }
+
+    fn span_end(&self, t: f64, rank: usize, phase: Phase, name: &str) {
+        for s in &self.sinks {
+            s.span_end(t, rank, phase, name);
+        }
+    }
+
+    fn event(&self, t: f64, rank: usize, phase: Phase, name: &str) {
+        for s in &self.sinks {
+            s.event(t, rank, phase, name);
+        }
+    }
+
+    fn event_with_corr(&self, t: f64, rank: usize, phase: Phase, name: &str, corr: u64) {
+        for s in &self.sinks {
+            s.event_with_corr(t, rank, phase, name, corr);
+        }
+    }
+
+    fn msg_sent(&self, t: f64, src: usize, dst: usize, tag: u64, corr: u64, bytes: u64) {
+        for s in &self.sinks {
+            s.msg_sent(t, src, dst, tag, corr, bytes);
+        }
+    }
+
+    fn msg_received(&self, t: f64, src: usize, dst: usize, tag: u64, corr: u64) {
+        for s in &self.sinks {
+            s.msg_received(t, src, dst, tag, corr);
+        }
+    }
+
+    fn server_interval(&self, server: usize, name: &str, start: f64, end: f64) {
+        for s in &self.sinks {
+            s.server_interval(server, name, start, end);
+        }
+    }
+
+    fn server_interval_from(&self, rank: usize, server: usize, name: &str, start: f64, end: f64) {
+        for s in &self.sinks {
+            s.server_interval_from(rank, server, name, start, end);
+        }
+    }
+
+    fn counter_add(&self, rank: usize, name: &'static str, array: Option<&str>, delta: u64) {
+        for s in &self.sinks {
+            s.counter_add(rank, name, array, delta);
+        }
+    }
+
+    fn counter_add_at(
+        &self,
+        t: f64,
+        rank: usize,
+        name: &'static str,
+        array: Option<&str>,
+        delta: u64,
+    ) {
+        for s in &self.sinks {
+            s.counter_add_at(t, rank, name, array, delta);
+        }
+    }
+
+    fn gauge_set(&self, name: &'static str, index: usize, value: f64) {
+        for s in &self.sinks {
+            s.gauge_set(name, index, value);
+        }
+    }
+
+    fn gauge_set_at(&self, t: f64, rank: usize, name: &'static str, index: usize, value: f64) {
+        for s in &self.sinks {
+            s.gauge_set_at(t, rank, name, index, value);
+        }
+    }
 }
 
 /// Recorder that drops everything; the default wherever a recorder is
@@ -84,6 +218,32 @@ mod tests {
         r.msg_received(0.2, 0, 1, 9, 42);
         r.server_interval(3, "collective", 0.0, 1.0);
         r.counter_add(0, crate::names::MESSAGES_SENT, None, 3);
+        r.counter_add_at(0.7, 0, crate::names::MESSAGES_SENT, None, 3);
         r.gauge_set(crate::names::SERVER_BUSY, 2, 1.5);
+    }
+
+    #[test]
+    fn fanout_tees_to_every_sink() {
+        use crate::TraceRecorder;
+        use std::sync::Arc;
+
+        let a = Arc::new(TraceRecorder::default());
+        let b = Arc::new(TraceRecorder::default());
+        let fan = FanoutRecorder::new(vec![a.clone() as Arc<dyn Recorder>, b.clone()]);
+        assert!(fan.enabled());
+        fan.event(1.0, 0, Phase::Control, "e");
+        fan.counter_add_at(2.0, 1, crate::names::COMMITS, None, 2);
+        fan.gauge_set(crate::names::SERVER_BUSY, 0, 3.5);
+        for rec in [&a, &b] {
+            assert_eq!(rec.events().len(), 1);
+            assert_eq!(rec.metrics().counter_total(crate::names::COMMITS), 2);
+            assert_eq!(rec.metrics().gauge(crate::names::SERVER_BUSY, 0), Some(3.5));
+        }
+    }
+
+    #[test]
+    fn fanout_of_nulls_is_disabled() {
+        let fan = FanoutRecorder::new(vec![std::sync::Arc::new(NullRecorder)]);
+        assert!(!fan.enabled());
     }
 }

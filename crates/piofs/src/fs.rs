@@ -315,7 +315,20 @@ impl Piofs {
             return 0;
         }
         st.down[k] = true;
-        st.files.values_mut().map(|f| f.fail_server(k, &geom, parity_on)).sum()
+        let degraded = st.down.iter().filter(|&&d| d).count();
+        let lost = st.files.values_mut().map(|f| f.fail_server(k, &geom, parity_on)).sum();
+        drop(st);
+        self.publish_degraded(degraded);
+        lost
+    }
+
+    /// Publishes the degraded-mode gauge (number of currently failed
+    /// servers); live health rules alert while it is non-zero.
+    fn publish_degraded(&self, degraded: usize) {
+        let rec = self.recorder.lock().clone();
+        if rec.enabled() {
+            rec.gauge_set(names::PIOFS_DEGRADED, 0, degraded as f64);
+        }
     }
 
     /// Brings server `k` back and rebuilds its contents: lost stripe units
@@ -332,12 +345,20 @@ impl Piofs {
             if k < st.down.len() {
                 st.down[k] = false;
             }
-            return st.files.values().map(|f| f.lost.total()).sum();
+            let degraded = st.down.iter().filter(|&&d| d).count();
+            let lost = st.files.values().map(|f| f.lost.total()).sum();
+            drop(st);
+            self.publish_degraded(degraded);
+            return lost;
         };
         let mut st = self.state.lock();
         assert!(k < st.down.len(), "server {k} out of range");
         st.down[k] = false;
-        st.files.values_mut().map(|f| f.repair_after_server(k, &geom)).sum()
+        let degraded = st.down.iter().filter(|&&d| d).count();
+        let lost = st.files.values_mut().map(|f| f.repair_after_server(k, &geom)).sum();
+        drop(st);
+        self.publish_degraded(degraded);
+        lost
     }
 
     /// Whether server `k` is currently failed.
@@ -441,12 +462,12 @@ impl Piofs {
             attempt += 1;
             chaos.note_retry();
             if ctx.recorder().enabled() {
-                ctx.recorder().counter_add(rank, names::IO_RETRIES, None, 1);
+                ctx.recorder().counter_add_at(ctx.now(), rank, names::IO_RETRIES, None, 1);
             }
             if attempt >= policy.max_attempts {
                 chaos.note_giveup();
                 if ctx.recorder().enabled() {
-                    ctx.recorder().counter_add(rank, names::RETRY_GIVEUPS, None, 1);
+                    ctx.recorder().counter_add_at(ctx.now(), rank, names::RETRY_GIVEUPS, None, 1);
                 }
                 return Err(attempt);
             }
@@ -509,7 +530,7 @@ impl Piofs {
         drop(st);
         let rec = ctx.recorder();
         if rec.enabled() && parity_bytes > 0 {
-            rec.counter_add(rank, names::PARITY_BYTES, None, parity_bytes);
+            rec.counter_add_at(now, rank, names::PARITY_BYTES, None, parity_bytes);
         }
         self.observe_phase(
             ctx.recorder(),
@@ -563,7 +584,7 @@ impl Piofs {
         drop(st);
         let rec = ctx.recorder();
         if rec.enabled() && reconstructed > 0 {
-            rec.counter_add(rank, names::RECONSTRUCTED_BYTES, None, reconstructed);
+            rec.counter_add_at(now, rank, names::RECONSTRUCTED_BYTES, None, reconstructed);
         }
         self.observe_phase(ctx.recorder(), rank, "read_at", &[(offset, len)], &pricing);
         ctx.advance_to(pricing.completion[&rank]);
@@ -609,7 +630,7 @@ impl Piofs {
         let rank = ctx.rank();
         let rec = ctx.recorder();
         if rec.enabled() && parity_bytes > 0 {
-            rec.counter_add(rank, names::PARITY_BYTES, None, parity_bytes);
+            rec.counter_add_at(ctx.now(), rank, names::PARITY_BYTES, None, parity_bytes);
         }
         self.run_phase(ctx, descs);
     }
@@ -662,7 +683,7 @@ impl Piofs {
         let rank = ctx.rank();
         let rec = ctx.recorder();
         if rec.enabled() && reconstructed > 0 {
-            rec.counter_add(rank, names::RECONSTRUCTED_BYTES, None, reconstructed);
+            rec.counter_add_at(ctx.now(), rank, names::RECONSTRUCTED_BYTES, None, reconstructed);
         }
         Ok(out)
     }
@@ -720,8 +741,8 @@ impl Piofs {
             return;
         }
         let n = self.cfg.n_servers;
-        rec.counter_add(rank, names::IO_PHASES, None, 1);
-        rec.counter_add(rank, names::IO_REQUESTS, None, extents.len() as u64);
+        rec.counter_add_at(pricing.t0, rank, names::IO_PHASES, None, 1);
+        rec.counter_add_at(pricing.t0, rank, names::IO_REQUESTS, None, extents.len() as u64);
         let stripes: u64 = extents
             .iter()
             .map(|&(off, len)| {
@@ -730,15 +751,30 @@ impl Piofs {
                     .count() as u64
             })
             .sum();
-        rec.counter_add(rank, names::STRIPES_TOUCHED, None, stripes);
+        rec.counter_add_at(pricing.t0, rank, names::STRIPES_TOUCHED, None, stripes);
         let end = pricing.completion.values().fold(pricing.t0, |a, &b| a.max(b));
         rec.span_start(pricing.t0, rank, Phase::IoPhase, name);
         rec.span_end(end, rank, Phase::IoPhase, name);
+        // Queue depth in service time: seconds of work this phase enqueued
+        // on each server (the live imbalance signal; 0 for idle servers).
+        let mut queued = vec![0.0f64; n];
+        for &(k, start, finish) in &pricing.server_spans {
+            if k < n {
+                queued[k] += finish - start;
+            }
+        }
         for (k, &b) in pricing.server_busy.iter().enumerate() {
-            rec.gauge_set(names::SERVER_BUSY, k, b);
+            rec.gauge_set_at(pricing.t0, rank, names::SERVER_BUSY, k, b);
+            rec.gauge_set_at(
+                pricing.t0,
+                rank,
+                names::PIOFS_QUEUE_DEPTH,
+                k,
+                queued.get(k).copied().unwrap_or(0.0),
+            );
         }
         for &(k, start, finish) in &pricing.server_spans {
-            rec.server_interval(k, name, start, finish);
+            rec.server_interval_from(rank, k, name, start, finish);
         }
     }
 }

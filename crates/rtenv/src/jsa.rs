@@ -310,14 +310,28 @@ impl Jsa {
         let events = self.log.snapshot();
         let mut cursor = self.tier_cursor.lock();
         let seen = events.len();
+        let mut applied = false;
         for e in &events[*cursor..] {
             if let Event::ProcessorFailed { proc } = e {
+                applied = true;
                 for prefix in tier.fail_node(*proc) {
                     self.log.record(Event::MemTierInvalidated { prefix });
                 }
             }
         }
         *cursor = seen;
+        // Re-publish the replica-health gauge after node loss ate copies:
+        // the minimum surviving holder count of the newest intact entry, or
+        // zero once no resident checkpoint can serve a restart. Live health
+        // rules alert on this dropping below the configured threshold.
+        let rec = self.log.recorder();
+        if applied && rec.enabled() {
+            let replicas = tier
+                .newest_intact(None)
+                .and_then(|(prefix, _)| tier.min_replicas(&prefix))
+                .unwrap_or(0);
+            rec.gauge_set(drms_obs::names::MEMTIER_REPLICAS, 0, replicas as f64);
+        }
     }
 
     /// Raises the system-initiated-checkpoint signal for a job (feature 2

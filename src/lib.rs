@@ -20,6 +20,9 @@
 //!   stream pieces across nodes, verified spill to PIOFS, tiered restart;
 //! * [`rtenv`] — the RC/TC/JSA run-time environment and failure recovery;
 //! * [`obs`] — the observability layer (recorders, phases, counters);
+//! * [`pulse`] — online telemetry: windowed streaming aggregation, a
+//!   declarative health-rule engine, and live heartbeat/status exporters
+//!   for in-flight runs;
 //! * [`apps`] — mini NAS-parallel-benchmark applications (BT, LU, SP).
 
 pub use drms_apps as apps;
@@ -30,6 +33,7 @@ pub use drms_memtier as memtier;
 pub use drms_msg as msg;
 pub use drms_obs as obs;
 pub use drms_piofs as piofs;
+pub use drms_pulse as pulse;
 pub use drms_resil as resil;
 pub use drms_rtenv as rtenv;
 pub use drms_slices as slices;

@@ -48,14 +48,14 @@ const WEATHER_SEEDS: &[u64] = &[11, 12, 13];
 
 /// The one-command repro printed by every campaign assertion, in the
 /// repo-wide `FAULT_SEED` convention shared with the failure and
-/// storage-fault campaigns.
+/// storage-fault campaigns (see `drms_bench::seed`).
 fn repro_cmd(seed: u64) -> String {
-    format!("FAULT_SEED={seed} cargo test --test chaos_campaign -- --nocapture")
+    drms_bench::seed::test_repro("chaos_campaign", seed)
 }
 
 /// The seed filter, when a repro command set one.
 fn seed_filter() -> Option<u64> {
-    std::env::var("FAULT_SEED").ok().and_then(|s| s.parse().ok())
+    drms_bench::seed::fault_seed_env()
 }
 
 fn domain() -> Slice {

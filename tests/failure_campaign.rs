@@ -29,16 +29,13 @@ const CAMPAIGN_SEEDS: &[u64] = &[1, 2, 3, 4, 5, 6];
 /// repo-wide `FAULT_SEED` convention shared with the chaos and
 /// storage-fault campaigns: it narrows the suite to the failing seed.
 fn repro_cmd(seed: u64) -> String {
-    format!("FAULT_SEED={seed} cargo test --test failure_campaign -- --nocapture")
+    drms_bench::seed::test_repro("failure_campaign", seed)
 }
 
-/// The seed filter, when a repro command set one. `FAILURE_CAMPAIGN_SEED`
-/// is honored as a legacy spelling.
+/// The seed filter, when a repro command set one. The shared helper also
+/// honors `FAILURE_CAMPAIGN_SEED` as a legacy spelling.
 fn seed_filter() -> Option<u64> {
-    std::env::var("FAULT_SEED")
-        .or_else(|_| std::env::var("FAILURE_CAMPAIGN_SEED"))
-        .ok()
-        .and_then(|s| s.parse().ok())
+    drms_bench::seed::fault_seed_env()
 }
 
 fn domain() -> Slice {

@@ -20,8 +20,9 @@ use drms::memtier::{
     MemTier, RestartTier,
 };
 use drms::msg::{run_spmd_chaos, CostModel};
-use drms::obs::{names, Recorder, TraceRecorder};
+use drms::obs::{names, FanoutRecorder, Recorder, TraceRecorder};
 use drms::piofs::{Piofs, PiofsConfig};
+use drms::pulse::{builtin_rules, heartbeat, Pulse, PulseConfig, RuleThresholds};
 use drms::resil::{scrub_checkpoint, CorruptionCampaign};
 use drms::rtenv::{
     EventLog, JobOutcome, JobSpec, Jsa, JsaPolicy, ProcessorState, ResourceCoordinator,
@@ -54,6 +55,29 @@ fn build_world(seed: u64, parity: bool) -> World {
         PiofsConfig::test_tiny(NPROCS)
     };
     let fs = Piofs::new(cfg, seed);
+    fs.set_recorder(rec.clone() as Arc<dyn Recorder>);
+    Drms::install_binary(&fs, &DrmsConfig::new(APP));
+    World { rc, fs, log, rec }
+}
+
+/// Like [`build_world`], but every layer (event log, file system) reports
+/// into `fan` — a fan-out carrying both the trace and a pulse recorder —
+/// while `rec` stays the trace half for coverage extraction.
+fn build_pulse_world(
+    seed: u64,
+    parity: bool,
+    rec: Arc<TraceRecorder>,
+    fan: Arc<dyn Recorder>,
+) -> World {
+    let log = EventLog::with_recorder(fan.clone());
+    let rc = Arc::new(ResourceCoordinator::new(NPROCS, log.clone()));
+    let cfg = if parity {
+        PiofsConfig::test_tiny(NPROCS).with_parity()
+    } else {
+        PiofsConfig::test_tiny(NPROCS)
+    };
+    let fs = Piofs::new(cfg, seed);
+    fs.set_recorder(fan);
     Drms::install_binary(&fs, &DrmsConfig::new(APP));
     World { rc, fs, log, rec }
 }
@@ -388,6 +412,92 @@ fn every_metric_name_is_emitted_by_some_instrumentation_site() {
         fs.preload("ck/guard/stray", vec![2; 8]);
         assert!(!fs.rename("ck/guard/stray", "ck/guard/manifest"));
         covered.extend(emitted(&rec));
+    }
+
+    // Scenario 6 — pulse: the online pipeline rides a fan-out next to the
+    // trace, with thresholds tightened so every built-in rule breaches.
+    // 6a is the memory-tier/parity fault run of scenario 3 re-traced live:
+    // a dead PIOFS server trips the parity-degraded rule, replication 1
+    // sits below the replica floor, waves skew, and the commit gaps breach
+    // a tiny stall SLO. 6b is the chaos run of scenario 4, whose retry
+    // weather trips the storm rule. Covers the alert names and the pulse
+    // self-metrics (samples, drops, heartbeats, alert count, overhead).
+    {
+        let thresholds = RuleThresholds {
+            ckpt_stall_slo: 0.004,
+            straggler_factor: 1.0,
+            straggler_min_ranks: 2,
+            min_replicas: 2.0,
+            ..RuleThresholds::default()
+        };
+        let trace = Arc::new(TraceRecorder::default());
+        let pulse = Pulse::new(PulseConfig {
+            ntasks: NPROCS,
+            window: 0.002,
+            rules: builtin_rules(&thresholds),
+            ..PulseConfig::default()
+        });
+        pulse.set_sink(trace.clone() as Arc<dyn Recorder>);
+        let fan: Arc<dyn Recorder> = Arc::new(FanoutRecorder::new(vec![
+            trace.clone() as Arc<dyn Recorder>,
+            pulse.recorder(),
+        ]));
+        let w = build_pulse_world(31, true, trace.clone(), fan);
+        run_job(
+            &w,
+            Some(MemTier::new(1)),
+            vec![Fault { at: 4, server: Some(2), victims: vec![3] }],
+        );
+        let report = pulse.finish();
+        for alert in [
+            names::ALERT_CKPT_STALL,
+            names::ALERT_STRAGGLER,
+            names::ALERT_PARITY_DEGRADED,
+            names::ALERT_REPLICA_LOSS,
+        ] {
+            assert!(
+                report.alerts.iter().any(|a| a.rule == alert),
+                "pulse rule {alert} never fired; fired: {:?}",
+                report.alerts
+            );
+        }
+        // Every heartbeat line carries the full structural field set.
+        assert!(!report.heartbeats.is_empty());
+        for line in &report.heartbeats {
+            for f in heartbeat::fields::ALL {
+                assert!(line.contains(&format!("\"{f}\":")), "heartbeat missing {f}: {line}");
+            }
+        }
+        covered.extend(emitted(&trace));
+    }
+    {
+        let thresholds = RuleThresholds { retry_rate: 0.001, ..RuleThresholds::default() };
+        let trace = Arc::new(TraceRecorder::default());
+        let pulse = Pulse::new(PulseConfig {
+            ntasks: NPROCS,
+            window: 0.01,
+            rules: builtin_rules(&thresholds),
+            ..PulseConfig::default()
+        });
+        pulse.set_sink(trace.clone() as Arc<dyn Recorder>);
+        let fan: Arc<dyn Recorder> = Arc::new(FanoutRecorder::new(vec![
+            trace.clone() as Arc<dyn Recorder>,
+            pulse.recorder(),
+        ]));
+        let w = build_pulse_world(5, false, trace.clone(), fan);
+        let ctl = ChaosCtl::new(FaultPlan {
+            msg: MsgFaults { drop_prob: 0.3, dup_prob: 0.5, max_extra_latency: 1e-4 },
+            piofs: PiofsFaults { transient_prob: 0.3, torn: None },
+            ..FaultPlan::seeded(5)
+        });
+        run_chaos_job(&w, ctl);
+        let report = pulse.finish();
+        assert!(
+            report.alerts.iter().any(|a| a.rule == names::ALERT_RETRY_STORM),
+            "retry storm never fired; fired: {:?}",
+            report.alerts
+        );
+        covered.extend(emitted(&trace));
     }
 
     let missing: Vec<&str> = names::ALL.iter().copied().filter(|n| !covered.contains(n)).collect();

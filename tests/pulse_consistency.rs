@@ -1,0 +1,147 @@
+//! Cross-check: the pulse pipeline's *online* cumulative totals must agree
+//! with the *post-hoc* truth for the same traced session.
+//!
+//! One fault-free memory-tier run is observed by a fan-out carrying both a
+//! [`TraceRecorder`] and a live pulse. Afterwards:
+//!
+//! * every cumulative counter in the final pulse snapshot equals the trace
+//!   registry's total for that metric, exactly — and the trace holds no
+//!   non-pulse counter the snapshot missed (nothing leaks past the rings);
+//! * per `(rank, phase)`, pulse's online closed-span seconds equal the sum
+//!   of `drms-insight`'s reconstructed span durations (same pairs, summed
+//!   in a different order, so equality is up to float re-association).
+//!
+//! This is the guarantee that makes heartbeat numbers trustworthy: a
+//! dashboard fed by pulse and a post-mortem fed by the trace can never
+//! disagree about what happened.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use drms::core::segment::DataSegment;
+use drms::core::{Drms, DrmsConfig, Start};
+use drms::darray::{DistArray, Distribution};
+use drms::memtier::{spill_checkpoint, store_checkpoint, store_feasible, MemTier};
+use drms::msg::CostModel;
+use drms::obs::{FanoutRecorder, Phase, Recorder, TraceRecorder};
+use drms::piofs::{Piofs, PiofsConfig};
+use drms::pulse::{builtin_rules, Pulse, PulseConfig, RuleThresholds};
+use drms::rtenv::{EventLog, JobOutcome, JobSpec, Jsa, JsaPolicy, ResourceCoordinator};
+use drms::slices::{Order, Slice};
+use drms_insight::Analysis;
+
+const NITER: i64 = 10;
+const CKPT_EVERY: i64 = 3;
+const NPROCS: usize = 8;
+const APP: &str = "pulsecheck";
+
+fn domain() -> Slice {
+    Slice::boxed(&[(1, 18), (1, 14)])
+}
+
+#[test]
+fn online_totals_match_the_post_hoc_trace_and_insight() {
+    let trace = Arc::new(TraceRecorder::default());
+    let pulse = Pulse::new(PulseConfig {
+        ntasks: NPROCS,
+        window: 0.002,
+        rules: builtin_rules(&RuleThresholds::default()),
+        ..PulseConfig::default()
+    });
+    let fan: Arc<dyn Recorder> =
+        Arc::new(FanoutRecorder::new(vec![trace.clone() as Arc<dyn Recorder>, pulse.recorder()]));
+    let log = EventLog::with_recorder(fan.clone());
+    let rc = Arc::new(ResourceCoordinator::new(NPROCS, log.clone()));
+    let fs = Piofs::new(PiofsConfig::test_tiny(NPROCS), 3);
+    fs.set_recorder(fan);
+    Drms::install_binary(&fs, &DrmsConfig::new(APP));
+    let jsa =
+        Jsa::new(Arc::clone(&rc), Arc::clone(&fs), log, CostModel::default(), JsaPolicy::default())
+            .with_memtier(MemTier::new(1));
+
+    let job = JobSpec::new(APP, (1, NPROCS), move |ctx, env| {
+        let dist = Distribution::block_auto(&domain(), ctx.ntasks(), 1).unwrap();
+        let mut u = DistArray::<f64>::new("u", Order::ColumnMajor, dist, ctx.rank());
+        let mut seg = DataSegment::new();
+        let (mut drms, start) = Drms::initialize(
+            ctx,
+            &env.fs,
+            DrmsConfig::new(APP),
+            env.enable.clone(),
+            env.restart_from.as_deref(),
+        )
+        .unwrap();
+        assert!(matches!(start, Start::Fresh));
+        u.fill_assigned(|p| (p[0] * 13 + p[1] * 3) as f64);
+        for iter in 1..=NITER {
+            let region = u.assigned().clone();
+            region.points(Order::ColumnMajor).for_each(|p| {
+                let v = u.get(p).unwrap();
+                u.set(p, v + 1.5).unwrap();
+            });
+            seg.set_control("iter", iter);
+            if iter % CKPT_EVERY == 0 {
+                let prefix = format!("ck/pulsecheck/{iter}");
+                match &env.memtier {
+                    Some(tier) if store_feasible(ctx, tier) => {
+                        store_checkpoint(ctx, tier, &prefix, &mut drms, &seg, &[&u]).unwrap();
+                        spill_checkpoint(ctx, &env.fs, tier, &prefix).unwrap();
+                    }
+                    _ => {
+                        drms.reconfig_checkpoint(ctx, &env.fs, &prefix, &seg, &[&u]).unwrap();
+                    }
+                }
+            }
+        }
+        JobOutcome::Completed
+    });
+
+    let summary = jsa.run_job(&job);
+    assert!(summary.completed, "fault-free run did not complete: {summary:?}");
+    pulse.set_sink(trace.clone() as Arc<dyn Recorder>);
+    let report = pulse.finish();
+    assert_eq!(report.dropped, 0, "bounded rings dropped samples");
+    assert!(!report.cum_counters.is_empty(), "no counters observed — vacuous cross-check");
+
+    // Direction 1: every online cumulative counter equals the trace total.
+    let metrics = trace.metrics();
+    for (&name, &online) in &report.cum_counters {
+        assert_eq!(
+            online,
+            metrics.counter_total(name),
+            "online total for {name} diverged from the trace registry"
+        );
+    }
+    // Direction 2: the trace holds no non-pulse counter the snapshot
+    // missed. (The `pulse.*` series are emitted by the collector into the
+    // trace sink after the run — they are pulse's output, not its input.)
+    for (key, _) in metrics.counters() {
+        assert!(
+            key.name.starts_with("pulse.") || report.cum_counters.contains_key(key.name),
+            "trace counter {} never reached the pulse snapshot",
+            key.name
+        );
+    }
+
+    // Per-(rank, phase) closed-span seconds: pulse online vs the insight
+    // reconstruction of the same trace. Same span pairs, different
+    // summation order, so compare within float re-association slack.
+    let analysis = Analysis::from_recorder(&trace);
+    let mut posthoc: BTreeMap<(usize, Phase), f64> = BTreeMap::new();
+    for s in &analysis.spans {
+        *posthoc.entry((s.rank, s.phase)).or_default() += s.duration();
+    }
+    assert!(!report.span_seconds.is_empty(), "no spans observed — vacuous cross-check");
+    assert_eq!(
+        report.span_seconds.keys().collect::<Vec<_>>(),
+        posthoc.keys().collect::<Vec<_>>(),
+        "online and post-hoc span keyspaces diverged"
+    );
+    for (key, &online) in &report.span_seconds {
+        let reference = posthoc[key];
+        assert!(
+            (online - reference).abs() <= 1e-9,
+            "span seconds for {key:?} diverged: online {online} vs insight {reference}"
+        );
+    }
+}

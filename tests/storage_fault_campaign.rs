@@ -42,12 +42,12 @@ fn domain() -> Slice {
 /// seed-parametric campaigns below, and every campaign assertion prints a
 /// one-command repro naming its seed.
 fn campaign_seed(default: u64) -> u64 {
-    std::env::var("FAULT_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+    drms_bench::seed::fault_seed_or(default)
 }
 
 /// The one-command repro printed by campaign assertions.
 fn repro_cmd(seed: u64) -> String {
-    format!("FAULT_SEED={seed} cargo test --test storage_fault_campaign -- --nocapture")
+    drms_bench::seed::test_repro("storage_fault_campaign", seed)
 }
 
 /// Checksum of the final state of an uninterrupted run (integer-valued
