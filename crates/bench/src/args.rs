@@ -16,11 +16,24 @@ pub struct Options {
     /// Directory to write a stable `BENCH_<name>.json` result into
     /// (`--json DIR`); `None` prints tables only.
     pub json: Option<PathBuf>,
+    /// Delta-chunk size in bytes for incremental checkpointing
+    /// (`--chunk-bytes N`); `0` follows the integrity chunk size.
+    pub chunk_bytes: u64,
+    /// Full-rewrite epoch for incremental checkpointing
+    /// (`--full-every N`): at most `N - 1` deltas between full rewrites.
+    pub full_every: u64,
 }
 
 impl Default for Options {
     fn default() -> Self {
-        Options { class: Class::A, runs: 10, pes: vec![8, 16], json: None }
+        Options {
+            class: Class::A,
+            runs: 10,
+            pes: vec![8, 16],
+            json: None,
+            chunk_bytes: 0,
+            full_every: 8,
+        }
     }
 }
 
@@ -61,6 +74,19 @@ impl Options {
                         .collect();
                 }
                 "--json" => opts.json = Some(PathBuf::from(value("--json"))),
+                "--chunk-bytes" => {
+                    let v = value("--chunk-bytes");
+                    opts.chunk_bytes =
+                        v.parse().ok().unwrap_or_else(|| usage(&format!("bad chunk size {v:?}")));
+                }
+                "--full-every" => {
+                    let v = value("--full-every");
+                    opts.full_every = v
+                        .parse()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| usage(&format!("bad full-rewrite epoch {v:?}")));
+                }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other:?}")),
             }
@@ -80,9 +106,12 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: <table-binary> [--class T|S|W|A] [--runs N] [--pes 8,16] [--json DIR]\n\
+         \x20                  [--chunk-bytes N] [--full-every N]\n\
          Class A is the paper's setting (64^3 grids, full-size segments);\n\
          smaller classes scale every byte-denominated parameter together,\n\
-         preserving the threshold crossings at a fraction of the wall time."
+         preserving the threshold crossings at a fraction of the wall time.\n\
+         --chunk-bytes / --full-every tune incremental checkpointing where\n\
+         a binary takes delta checkpoints (0 chunk bytes = integrity size)."
     );
     std::process::exit(2);
 }
@@ -110,5 +139,14 @@ mod tests {
         assert_eq!(o.runs, 3);
         assert_eq!(o.pes, vec![4, 8]);
         assert_eq!(o.json, Some(PathBuf::from("out")));
+        assert_eq!(o.chunk_bytes, 0);
+        assert_eq!(o.full_every, 8);
+    }
+
+    #[test]
+    fn delta_knobs() {
+        let o = parse(&["--chunk-bytes", "4096", "--full-every", "4"]);
+        assert_eq!(o.chunk_bytes, 4096);
+        assert_eq!(o.full_every, 4);
     }
 }

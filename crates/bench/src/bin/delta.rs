@@ -1,0 +1,231 @@
+//! Incremental-checkpointing bench: bytes written and restore cost of a
+//! delta chain versus full checkpoints, as a regression gate.
+//!
+//! ```text
+//! cargo run --release -p drms-bench --bin delta -- [--class T|S|W|A] \
+//!     [--chunk-bytes N] [--full-every N] [--fault-seed N] [--json DIR] \
+//!     [--baseline PATH] [--tolerance 0.05] [--bless]
+//! ```
+//!
+//! For each application of the solver suite (BT, LU, SP) the same
+//! moving-window workload is checkpointed twice — four full
+//! [`reconfig_checkpoint`](drms_core::Drms::reconfig_checkpoint)s, and a
+//! four-link delta chain — then restored on a different task count through
+//! both paths. The hard gates:
+//!
+//! * the delta chain writes at most **half** the array bytes of the full
+//!   campaign (the ISSUE's ≥2x reduction), per app;
+//! * the materialized delta stream is **bitwise identical** to the full
+//!   checkpoint's stream file, and both restore paths produce the same
+//!   checksum on the new task count;
+//! * after an orphan sweep every discoverable checkpoint still verifies;
+//! * the whole campaign is **deterministic**: a second run must reproduce
+//!   every byte count and simulated time exactly.
+//!
+//! With `--json DIR` the headline numbers land in `BENCH_delta.json`;
+//! `--baseline PATH` compares against a committed baseline within
+//! `--tolerance` (relative); `--bless` rewrites the baseline. The fault
+//! seed follows the repo-wide `FAULT_SEED` convention.
+
+use std::path::PathBuf;
+
+use drms_apps::{bt, lu, sp, AppSpec, Class};
+use drms_bench::args::Options;
+use drms_bench::delta::{run_campaign, DeltaCampaign, DeltaParams, CKPT_TASKS, RESTORE_TASKS};
+use drms_bench::gate::{baseline_gate, run_gated, Gate};
+use drms_bench::json::BenchResult;
+use drms_bench::table::{mb, render};
+
+const DEFAULT_SEED: u64 = 11;
+
+struct Opts {
+    bench: Options,
+    seed: u64,
+    baseline: Option<PathBuf>,
+    tolerance: f64,
+    bless: bool,
+}
+
+/// Splits the gate flags off and hands everything else to the shared
+/// [`Options`] parser, so sweep scripts can pass one flag set to every
+/// bench binary.
+fn parse_args() -> Opts {
+    let mut opts = Opts {
+        bench: Options::default(),
+        seed: drms_bench::seed::fault_seed_or(DEFAULT_SEED),
+        baseline: None,
+        tolerance: 0.05,
+        bless: false,
+    };
+    let mut rest = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("error: {flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--fault-seed" => {
+                let v = value("--fault-seed");
+                opts.seed = v.parse().unwrap_or_else(|_| {
+                    eprintln!("error: bad seed {v:?}");
+                    std::process::exit(2);
+                });
+            }
+            "--baseline" => opts.baseline = Some(PathBuf::from(value("--baseline"))),
+            "--tolerance" => {
+                let v = value("--tolerance");
+                opts.tolerance =
+                    v.parse().ok().filter(|t: &f64| t.is_finite() && *t >= 0.0).unwrap_or_else(
+                        || {
+                            eprintln!("error: bad tolerance {v:?}");
+                            std::process::exit(2);
+                        },
+                    );
+            }
+            "--bless" => opts.bless = true,
+            other => rest.push(other.to_string()),
+        }
+    }
+    opts.bench = Options::parse(rest.into_iter());
+    opts
+}
+
+fn repro(opts: &Opts) -> String {
+    format!("{} --class {}", drms_bench::seed::bin_repro("delta", opts.seed), opts.bench.class)
+}
+
+/// Chunk size actually used: small classes shrink the streams below the
+/// default 64 KiB integrity chunk, so they get a proportionally smaller
+/// default; an explicit `--chunk-bytes` always wins.
+fn effective_chunk(opts: &Opts) -> u64 {
+    if opts.bench.chunk_bytes != 0 {
+        return opts.bench.chunk_bytes;
+    }
+    match opts.bench.class {
+        Class::T | Class::S => 1024,
+        Class::W | Class::A => 0, // integrity chunk (stripe unit)
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let repro = repro(&opts);
+    run_gated("delta", &repro.clone(), move || body(&opts, &repro));
+}
+
+fn body(opts: &Opts, repro: &str) {
+    let class = opts.bench.class;
+    let params = DeltaParams {
+        chunk_bytes: effective_chunk(opts),
+        full_every: opts.bench.full_every,
+        seed: opts.seed,
+    };
+    let chunk = match params.chunk_bytes {
+        0 => "integrity (stripe unit)".to_string(),
+        b => format!("{b} B"),
+    };
+    println!("Delta bench — incremental vs full checkpointing, class {class}");
+    println!(
+        "checkpoint on {CKPT_TASKS} tasks, restore on {RESTORE_TASKS}; chunk {chunk}, full every {}\n",
+        params.full_every
+    );
+
+    let specs: Vec<AppSpec> = vec![bt(class), lu(class), sp(class)];
+    let mut gate = Gate::new("delta gate", repro);
+    let mut result = BenchResult::new("delta");
+    result.param("class", class);
+    result.param("chunk_bytes", params.chunk_bytes);
+    result.param("full_every", params.full_every);
+    result.param("seed", params.seed);
+
+    let mut rows = Vec::new();
+    for spec in &specs {
+        let c = run_campaign(spec, &params).expect("campaign run");
+        let c2 = run_campaign(spec, &params).expect("campaign rerun");
+        gate.check(
+            c == c2,
+            format!("{}: campaign is nondeterministic ({c:?} vs {c2:?})", spec.name),
+        );
+        checks(&mut gate, spec, &c);
+        rows.push(vec![
+            spec.name.to_string(),
+            format!("{:.2}", mb(c.full_bytes)),
+            format!("{:.2}", mb(c.delta_bytes)),
+            format!("{:.2}x", c.reduction()),
+            format!("{}", c.dedup_hits),
+            format!("{:.2}", mb(c.compressed_saved)),
+            format!("{:.3}", c.full_restore_s),
+            format!("{:.3}", c.delta_restore_s),
+            format!("{:.2}x", c.restore_overhead()),
+        ]);
+        let n = spec.name;
+        result.metric(&format!("{n}_full_mb"), mb(c.full_bytes));
+        result.metric(&format!("{n}_delta_mb"), mb(c.delta_bytes));
+        result.metric(&format!("{n}_reduction"), c.reduction());
+        result.metric(&format!("{n}_dedup_hits"), c.dedup_hits as f64);
+        result.metric(&format!("{n}_restore_full_s"), c.full_restore_s);
+        result.metric(&format!("{n}_restore_delta_s"), c.delta_restore_s);
+        result.metric(&format!("{n}_restore_overhead"), c.restore_overhead());
+    }
+
+    let header = vec![
+        "app",
+        "full MB",
+        "delta MB",
+        "reduction",
+        "dedup",
+        "saved MB",
+        "restore full s",
+        "restore delta s",
+        "overhead",
+    ];
+    println!("{}", render(&header, &rows));
+
+    if let Some(dir) = &opts.bench.json {
+        let path = result.write_to(dir).expect("write json result");
+        println!("wrote {}", path.display());
+    }
+    gate.finish();
+    if let Some(baseline) = &opts.baseline {
+        baseline_gate(&result, baseline, opts.tolerance, opts.bless, repro);
+    }
+}
+
+/// Per-app hard gates (beyond determinism and the baseline comparison).
+fn checks(gate: &mut Gate, spec: &AppSpec, c: &DeltaCampaign) {
+    let n = spec.name;
+    gate.check(
+        c.reduction() >= 2.0,
+        format!("{n}: bytes-written reduction {:.2}x < 2x", c.reduction()),
+    );
+    gate.check(
+        c.delta_state_bytes < c.full_state_bytes,
+        format!(
+            "{n}: delta state {} B not smaller than full state {} B",
+            c.delta_state_bytes, c.full_state_bytes
+        ),
+    );
+    gate.check(
+        c.streams_bitwise_equal,
+        format!("{n}: materialized delta stream differs from the full checkpoint stream"),
+    );
+    gate.check(
+        c.full_checksum == c.delta_checksum,
+        format!(
+            "{n}: restore checksums diverge (full {} vs delta {})",
+            c.full_checksum, c.delta_checksum
+        ),
+    );
+    gate.check(c.dedup_hits > 0, format!("{n}: constant forcing term produced no dedup hits"));
+    gate.check(
+        c.compressed_saved > 0,
+        format!("{n}: constant forcing term saved no compressed bytes"),
+    );
+    gate.check(
+        c.full_restore_s > 0.0 && c.delta_restore_s > 0.0,
+        format!("{n}: restore timings missing"),
+    );
+}

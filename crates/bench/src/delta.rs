@@ -1,0 +1,322 @@
+//! The incremental-checkpointing campaign shared by the `delta` gate
+//! binary and its unit tests: the same solver-suite workload checkpointed
+//! twice — once with full [`Drms::reconfig_checkpoint`]s, once as a delta
+//! chain — then restored on a *different* task count through both paths.
+//!
+//! The workload is the primary field `u` of each application plus its
+//! `forcing` term. `u` receives a moving window of updates covering a
+//! quarter of the z-extent per iteration (so roughly a quarter of each
+//! delta is dirty), while `forcing` is constant after setup — the
+//! Section 6 case incremental checkpointing exists for.
+
+use std::sync::Arc;
+
+use drms_apps::AppSpec;
+use drms_core::manifest::array_path;
+use drms_core::{
+    checkpoint_is_valid, find_checkpoints, read_manifest_collective, sweep_orphans, Drms,
+    EnableFlag, Start,
+};
+use drms_darray::DistArray;
+use drms_delta::{
+    delta_checkpoint, materialize_stream, restore_arrays_delta, resume, DeltaChain, DeltaConfig,
+};
+use drms_msg::{run_spmd, CostModel, Ctx, SpmdError};
+use drms_slices::{Order, Slice};
+
+use crate::experiment::experiment_fs;
+
+/// Checkpoint links per campaign (the moving window cycles through four
+/// zones, so every link after the first sees exactly one zone dirty).
+pub const NLINKS: i64 = 4;
+
+/// Tasks taking the checkpoints.
+pub const CKPT_TASKS: usize = 4;
+
+/// Tasks restoring them — deliberately different, and not a divisor
+/// relationship, so the restore leg also proves task-count independence.
+pub const RESTORE_TASKS: usize = 6;
+
+/// Inputs of one campaign.
+#[derive(Debug, Clone)]
+pub struct DeltaParams {
+    /// Chunk size in bytes; `0` follows the file system's integrity chunk.
+    pub chunk_bytes: u64,
+    /// Full-rewrite epoch.
+    pub full_every: u64,
+    /// Seed for the file systems (jitters simulated times, never data).
+    pub seed: u64,
+}
+
+/// Measurements from one app's full-vs-delta campaign. All byte totals are
+/// exact (data movement is real); times are simulated seconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaCampaign {
+    /// Array-stream bytes written by the full-checkpoint campaign.
+    pub full_bytes: u64,
+    /// Pack bytes written by the delta campaign for the same state.
+    pub delta_bytes: u64,
+    /// Everything under the full campaign's checkpoint prefixes.
+    pub full_state_bytes: u64,
+    /// Everything under the delta campaign's checkpoint prefixes.
+    pub delta_state_bytes: u64,
+    /// Dirty chunks re-stored across the chain.
+    pub dirty_chunks: u64,
+    /// Chunks carried forward by reference.
+    pub clean_chunks: u64,
+    /// Dirty chunks satisfied by content-hash dedup.
+    pub dedup_hits: u64,
+    /// Bytes saved by per-chunk compression.
+    pub compressed_saved: u64,
+    /// Chain depth at the final link.
+    pub chain_depth: u64,
+    /// Simulated array-restore time from the last full checkpoint.
+    pub full_restore_s: f64,
+    /// Simulated array-restore time from the last delta link.
+    pub delta_restore_s: f64,
+    /// Checksum of the state restored through the full path.
+    pub full_checksum: f64,
+    /// Checksum of the state restored through the delta path.
+    pub delta_checksum: f64,
+    /// Whether the last delta link's materialized `u` stream is bitwise
+    /// identical to the last full checkpoint's stream file.
+    pub streams_bitwise_equal: bool,
+}
+
+impl DeltaCampaign {
+    /// Bytes-written reduction factor of the delta campaign.
+    pub fn reduction(&self) -> f64 {
+        self.full_bytes as f64 / self.delta_bytes.max(1) as f64
+    }
+
+    /// Delta-restore time relative to full-restore time.
+    pub fn restore_overhead(&self) -> f64 {
+        self.delta_restore_s / self.full_restore_s
+    }
+}
+
+/// The moving update window: iteration `iter` touches the points whose
+/// z-coordinate falls in zone `(iter - 1) % 4` of four equal zones. The
+/// z axis is the slowest in the canonical `ColumnMajor` stream, so each
+/// window is one contiguous quarter of the stream.
+fn touched(grid: i64, p: &[i64], iter: i64) -> bool {
+    (p[3] - 1) / (grid / 4) == (iter - 1) % 4
+}
+
+/// Initial value of `u` at `p` (any deterministic non-constant field).
+fn u0(p: &[i64]) -> f64 {
+    (p[0] * 31 + p[1] * 7 + p[2] * 3 + p[3]) as f64 * 0.5
+}
+
+/// The constant forcing term.
+fn forcing0(p: &[i64]) -> f64 {
+    (p[0] % 2) as f64 * 0.125
+}
+
+fn fields(spec: &AppSpec, ctx: &Ctx) -> (DistArray<f64>, DistArray<f64>) {
+    let fu = spec.fields[0].clone();
+    let mut u =
+        DistArray::<f64>::new("u", Order::ColumnMajor, spec.dist(&fu, ctx.ntasks()), ctx.rank());
+    u.fill_assigned(u0);
+    let mut forcing = DistArray::<f64>::new(
+        "forcing",
+        Order::ColumnMajor,
+        spec.dist(&fu, ctx.ntasks()),
+        ctx.rank(),
+    );
+    forcing.fill_assigned(forcing0);
+    (u, forcing)
+}
+
+fn advance(grid: i64, u: &mut DistArray<f64>, iter: i64) {
+    let region: Slice = u.assigned().clone();
+    region.points(Order::ColumnMajor).for_each(|p| {
+        if touched(grid, p, iter) {
+            let v = u.get(p).unwrap();
+            u.set(p, v + 0.25).unwrap();
+        }
+    });
+}
+
+/// Runs the full-vs-delta campaign for one application. Deterministic per
+/// (`spec`, `params`): byte totals are exact and simulated times depend
+/// only on the seed.
+pub fn run_campaign(spec: &AppSpec, params: &DeltaParams) -> Result<DeltaCampaign, SpmdError> {
+    let grid = spec.grid() as i64;
+    assert!(grid % 4 == 0, "window needs four z-zones");
+    let cfg = spec.drms_config();
+    let dcfg = DeltaConfig {
+        chunk_bytes: params.chunk_bytes,
+        full_every: params.full_every,
+        compress: true,
+    };
+
+    // --- full campaign: one mandatory checkpoint per link ---------------
+    let fs_full = experiment_fs(spec.class, params.seed);
+    Drms::install_binary(&fs_full, &cfg);
+    let (spec_c, cfg_c, fs_c) = (spec.clone(), cfg.clone(), Arc::clone(&fs_full));
+    let full = run_spmd(CKPT_TASKS, CostModel::default(), move |ctx| {
+        let (mut drms, _) =
+            Drms::initialize(ctx, &fs_c, cfg_c.clone(), EnableFlag::new(), None).unwrap();
+        let (mut u, forcing) = fields(&spec_c, ctx);
+        let mut seg = drms_core::segment::DataSegment::new();
+        let mut bytes = 0u64;
+        for iter in 1..=NLINKS {
+            advance(grid, &mut u, iter);
+            seg.set_control("iter", iter);
+            let b = drms
+                .reconfig_checkpoint(ctx, &fs_c, &format!("full/f{iter}"), &seg, &[&u, &forcing])
+                .unwrap();
+            bytes += b.array_bytes;
+        }
+        bytes
+    })?;
+    let full_bytes = full[0];
+    let full_state_bytes = fs_full.total_bytes("full/");
+
+    // --- delta campaign: same state, one chain link per checkpoint ------
+    let fs_delta = experiment_fs(spec.class, params.seed);
+    Drms::install_binary(&fs_delta, &cfg);
+    let (spec_c, cfg_c, fs_c) = (spec.clone(), cfg.clone(), Arc::clone(&fs_delta));
+    let reports = run_spmd(CKPT_TASKS, CostModel::default(), move |ctx| {
+        let (mut drms, _) =
+            Drms::initialize(ctx, &fs_c, cfg_c.clone(), EnableFlag::new(), None).unwrap();
+        let (mut u, forcing) = fields(&spec_c, ctx);
+        let mut seg = drms_core::segment::DataSegment::new();
+        let mut chain = DeltaChain::new();
+        let mut out = Vec::new();
+        for iter in 1..=NLINKS {
+            advance(grid, &mut u, iter);
+            seg.set_control("iter", iter);
+            let r = delta_checkpoint(
+                &mut drms,
+                &mut chain,
+                &dcfg,
+                ctx,
+                &fs_c,
+                &format!("delta/d{iter}"),
+                &seg,
+                &[&u, &forcing],
+            )
+            .unwrap();
+            out.push(r);
+        }
+        out
+    })?;
+    // Chunk statistics live on the representative task (rank 0).
+    let reports = &reports[0];
+    let delta_bytes: u64 = reports.iter().map(|r| r.pack_bytes).sum();
+    let delta_state_bytes = fs_delta.total_bytes("delta/");
+
+    // The retention/orphan machinery must leave the chain restorable: the
+    // sweep reclaims nothing reachable from a committed manifest.
+    sweep_orphans(&fs_delta);
+    for (prefix, _) in find_checkpoints(&fs_delta, Some(&cfg.app)) {
+        assert!(checkpoint_is_valid(&fs_delta, &prefix), "sweep broke {prefix:?}");
+    }
+
+    // --- restore leg: both paths, on a different task count -------------
+    let last_full = format!("full/f{NLINKS}");
+    let last_delta = format!("delta/d{NLINKS}");
+
+    fs_full.clear_residency();
+    fs_full.reset_time();
+    let (spec_c, cfg_c, fs_c, pfx) =
+        (spec.clone(), cfg.clone(), Arc::clone(&fs_full), last_full.clone());
+    let full_restores = run_spmd(RESTORE_TASKS, CostModel::default(), move |ctx| {
+        let (drms, start) =
+            Drms::initialize(ctx, &fs_c, cfg_c.clone(), EnableFlag::new(), Some(&pfx)).unwrap();
+        let Start::Restarted(info) = start else { panic!("expected restart") };
+        let (mut u, mut forcing) = fields(&spec_c, ctx);
+        let t = drms
+            .restore_arrays(ctx, &fs_c, &pfx, &info.manifest, &mut [&mut u, &mut forcing])
+            .unwrap();
+        let sum = u.fold_assigned(0.0, |acc, _, v| acc + v)
+            + forcing.fold_assigned(0.0, |acc, _, v| acc + v);
+        (t, sum, info.segment.control("iter"))
+    })?;
+
+    fs_delta.clear_residency();
+    fs_delta.reset_time();
+    let (spec_c, cfg_c, fs_c, pfx) =
+        (spec.clone(), cfg.clone(), Arc::clone(&fs_delta), last_delta.clone());
+    let delta_restores = run_spmd(RESTORE_TASKS, CostModel::default(), move |ctx| {
+        let (drms, start) = resume(ctx, &fs_c, cfg_c.clone(), EnableFlag::new(), &pfx).unwrap();
+        let Start::Restarted(info) = start else { panic!("expected restart") };
+        let (mut u, mut forcing) = fields(&spec_c, ctx);
+        let t = restore_arrays_delta(
+            &drms,
+            ctx,
+            &fs_c,
+            &pfx,
+            &info.manifest,
+            &mut [&mut u, &mut forcing],
+        )
+        .unwrap();
+        let sum = u.fold_assigned(0.0, |acc, _, v| acc + v)
+            + forcing.fold_assigned(0.0, |acc, _, v| acc + v);
+        (t, sum, info.segment.control("iter"))
+    })?;
+
+    let (full_restore_s, full_checksum, full_iter) = full_restores[0];
+    let (delta_restore_s, delta_checksum, delta_iter) = delta_restores[0];
+    assert_eq!(full_iter, Some(NLINKS), "full segment lost the control state");
+    assert_eq!(delta_iter, Some(NLINKS), "delta segment lost the control state");
+
+    // Bitwise check of the canonical `u` stream: materializing the last
+    // delta link must reproduce the last full checkpoint's stream file.
+    let manifest = {
+        let fs_c = Arc::clone(&fs_delta);
+        let pfx = last_delta.clone();
+        run_spmd(1, CostModel::default(), move |ctx| {
+            read_manifest_collective(ctx, &fs_c, &pfx).unwrap()
+        })?
+        .remove(0)
+    };
+    let materialized = materialize_stream(&fs_delta, &last_delta, &manifest, "u").unwrap();
+    let full_stream = fs_full.peek(&array_path(&last_full, "u")).expect("full stream file");
+    let streams_bitwise_equal = materialized == full_stream;
+
+    Ok(DeltaCampaign {
+        full_bytes,
+        delta_bytes,
+        full_state_bytes,
+        delta_state_bytes,
+        dirty_chunks: reports.iter().map(|r| r.dirty_chunks).sum(),
+        clean_chunks: reports.iter().map(|r| r.clean_chunks).sum(),
+        dedup_hits: reports.iter().map(|r| r.dedup_hits).sum(),
+        compressed_saved: reports.iter().map(|r| r.compressed_saved).sum(),
+        chain_depth: reports.last().map(|r| r.chain_depth).unwrap_or(0),
+        full_restore_s,
+        delta_restore_s,
+        full_checksum,
+        delta_checksum,
+        streams_bitwise_equal,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drms_apps::{sp, Class};
+
+    #[test]
+    fn campaign_reduces_bytes_and_restores_bitwise() {
+        // Class T streams are tiny, so pick a chunk well under the window
+        // size; the defaults only make sense from class W up.
+        let params = DeltaParams { chunk_bytes: 1024, full_every: 8, seed: 5 };
+        let c = run_campaign(&sp(Class::T), &params).unwrap();
+        assert!(c.reduction() >= 2.0, "reduction {:.2} < 2x", c.reduction());
+        assert!(c.delta_state_bytes < c.full_state_bytes);
+        assert!(c.streams_bitwise_equal);
+        assert_eq!(c.full_checksum, c.delta_checksum);
+        assert_eq!(c.chain_depth, NLINKS as u64 - 1);
+        assert!(c.dedup_hits > 0, "constant forcing term produced no dedup");
+        assert!(c.compressed_saved > 0, "constant forcing term never compressed");
+        assert!(c.full_restore_s > 0.0 && c.delta_restore_s > 0.0);
+
+        // Determinism: the campaign is a pure function of spec and params.
+        let c2 = run_campaign(&sp(Class::T), &params).unwrap();
+        assert_eq!(c, c2);
+    }
+}

@@ -16,6 +16,7 @@
 #![deny(missing_docs)]
 
 pub mod args;
+pub mod delta;
 pub mod experiment;
 pub mod gate;
 pub mod json;

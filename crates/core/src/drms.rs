@@ -18,6 +18,7 @@ use crate::manifest::{
 use crate::report::OpBreakdown;
 use crate::segment::{DataSegment, RegionKind};
 use crate::{CoreError, IoMode, Result};
+use drms_darray::chunks;
 
 /// Static configuration of a DRMS application.
 #[derive(Debug, Clone)]
@@ -134,10 +135,19 @@ impl Drms {
             ));
         };
         let manifest = read_manifest_collective(ctx, fs, prefix)?;
-        if manifest.kind != CkptKind::Drms {
-            return Err(CoreError::ManifestMismatch(format!(
-                "{prefix:?} is a conventional SPMD checkpoint; use spmd::restart"
-            )));
+        match manifest.kind {
+            CkptKind::Drms => {}
+            CkptKind::Spmd => {
+                return Err(CoreError::ManifestMismatch(format!(
+                    "{prefix:?} is a conventional SPMD checkpoint; use spmd::restart"
+                )))
+            }
+            CkptKind::DrmsDelta => {
+                return Err(CoreError::ManifestMismatch(format!(
+                    "{prefix:?} is an incremental checkpoint; restore it through the \
+                     delta crate's resume, which materializes the chunk chain"
+                )))
+            }
         }
         if manifest.app != cfg.app {
             return Err(CoreError::ManifestMismatch(format!(
@@ -217,7 +227,7 @@ impl Drms {
         manifest: Manifest,
         segment_fetch: &mut dyn FnMut(&mut Ctx) -> Result<Vec<u8>>,
     ) -> Result<(Drms, Start)> {
-        if manifest.kind != CkptKind::Drms {
+        if manifest.kind == CkptKind::Spmd {
             return Err(CoreError::ManifestMismatch(
                 "external restart source holds a conventional SPMD checkpoint".to_string(),
             ));
@@ -365,6 +375,7 @@ impl Drms {
                     })
                     .collect(),
                 integrity: compute_integrity_staged(fs, prefix),
+                deltas: Vec::new(),
             };
             let bytes = manifest.encode();
             let smp = staged_manifest_path(prefix);
@@ -491,6 +502,7 @@ impl Drms {
                     })
                     .collect(),
                 integrity: compute_integrity_staged(fs, prefix),
+                deltas: Vec::new(),
             };
             let bytes = manifest.encode();
             let smp = staged_manifest_path(prefix);
@@ -633,10 +645,18 @@ pub fn compute_integrity(fs: &Piofs, prefix: &str) -> Vec<FileIntegrity> {
 }
 
 /// Whether the checkpoint under `prefix` verifies end-to-end: the manifest
-/// decodes (for v2 that includes its trailing self-CRC), every file the
+/// decodes (for v2+ that includes its trailing self-CRC), every file the
 /// checkpoint kind mandates exists, and every recorded integrity entry
 /// matches its file bitwise. A v1 manifest carries no integrity records and
-/// validates on existence alone. Control-plane operation (no clock).
+/// validates on existence alone.
+///
+/// For an incremental ([`CkptKind::DrmsDelta`]) checkpoint, the chunk
+/// tables are verified too: every chunk stored in a *prior* incarnation's
+/// pack must still be present there and decode to bytes matching the
+/// recorded content hash — a delta checkpoint whose referenced history was
+/// lost or rotted is not a valid restart source. Locally stored chunks are
+/// covered by this prefix's own integrity records. Control-plane operation
+/// (no clock).
 pub fn checkpoint_is_valid(fs: &Piofs, prefix: &str) -> bool {
     let Some(bytes) = fs.peek(&manifest_path(prefix)) else { return false };
     let Ok(m) = Manifest::decode(&bytes) else { return false };
@@ -645,13 +665,54 @@ pub fn checkpoint_is_valid(fs: &Piofs, prefix: &str) -> bool {
             .chain(m.arrays.iter().map(|a| array_path(prefix, &a.name)))
             .collect(),
         CkptKind::Spmd => (0..m.ntasks).map(|r| task_segment_path(prefix, r)).collect(),
+        CkptKind::DrmsDelta => std::iter::once(segment_path(prefix))
+            .chain(
+                m.deltas.iter().flat_map(|d| d.chunks.iter().map(|c| c.pack_path(prefix, &d.name))),
+            )
+            .collect(),
     };
     if required.iter().any(|p| !fs.exists(p)) {
+        return false;
+    }
+    if m.kind == CkptKind::DrmsDelta && !delta_chunks_verify(fs, prefix, &m) {
         return false;
     }
     m.integrity
         .iter()
         .all(|fi| fs.peek(&format!("{prefix}/{}", fi.name)).is_some_and(|b| fi.matches(&b)))
+}
+
+/// Verifies the referenced (non-local) chunks of a delta manifest against
+/// their recorded content hashes. The referenced incarnation's own
+/// manifest may be long gone, so this reads the pack bytes directly.
+fn delta_chunks_verify(fs: &Piofs, prefix: &str, m: &Manifest) -> bool {
+    let mut packs: std::collections::HashMap<String, Vec<u8>> = Default::default();
+    for d in &m.deltas {
+        for c in &d.chunks {
+            if matches!(c.source, crate::manifest::ChunkSource::Local) {
+                continue;
+            }
+            let path = c.pack_path(prefix, &d.name);
+            let bytes = match packs.entry(path.clone()) {
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::hash_map::Entry::Vacant(e) => match fs.peek(&path) {
+                    Some(b) => e.insert(b),
+                    None => return false,
+                },
+            };
+            let (start, end) = (c.offset as usize, c.offset as usize + c.stored_len as usize);
+            if end > bytes.len() {
+                return false;
+            }
+            let Some(raw) = chunks::decode_chunk(c.codec, &bytes[start..end]) else {
+                return false;
+            };
+            if raw.len() as u64 != c.len as u64 || chunks::fnv128(&raw) != c.hash {
+                return false;
+            }
+        }
+    }
+    true
 }
 
 /// Lists all complete checkpoints on the file system, newest SOP first,
@@ -695,25 +756,42 @@ pub fn delete_checkpoint(fs: &Piofs, prefix: &str) -> bool {
 
 /// Reclaims data files stranded by an interrupted [`delete_checkpoint`] or
 /// an interrupted two-phase commit: checkpoint-shaped files (`segment`,
-/// `task-{rank}`, `array-{name}`, and the staged `manifest.tmp`) whose
-/// prefix has no manifest. A prefix with a quarantined manifest
-/// (`manifest.quarantined`) is *not* an orphan — its data is deliberately
-/// preserved for diagnosis. Staging prefixes (`{prefix}.tmp`) never hold a
-/// file named exactly `manifest`, so crashed checkpoint attempts are always
-/// reclaimed here. Must not run concurrently with a checkpoint being
-/// written (data lands before the manifest does). Returns the swept
-/// prefixes. Control-plane operation (no clock).
+/// `task-{rank}`, `array-{name}`, `delta-{name}`, and the staged
+/// `manifest.tmp`) whose prefix has no manifest. A prefix with a
+/// quarantined manifest (`manifest.quarantined`) is *not* an orphan — its
+/// data is deliberately preserved for diagnosis. Staging prefixes
+/// (`{prefix}.tmp`) never hold a file named exactly `manifest`, so crashed
+/// checkpoint attempts are always reclaimed here.
+///
+/// Mark-and-sweep over the delta chunk graph: before deleting anything,
+/// every committed (or quarantined) manifest on the file system is decoded
+/// and the pack files its chunk tables reference are marked reachable.
+/// A marked pack survives even when its own prefix has lost its manifest
+/// (delta-aware retention uncommits old incarnations but leaves their
+/// packs for the chains that still reference them). Must not run
+/// concurrently with a checkpoint being written (data lands before the
+/// manifest does). Returns the prefixes files were reclaimed under.
+/// Control-plane operation (no clock).
 pub fn sweep_orphans(fs: &Piofs) -> Vec<String> {
     let mut prefixes: std::collections::BTreeMap<String, (bool, Vec<String>)> = Default::default();
+    let mut reachable: std::collections::BTreeSet<String> = Default::default();
     for info in fs.list("") {
         let Some((prefix, name)) = info.path.rsplit_once('/') else { continue };
         let entry = prefixes.entry(prefix.to_string()).or_default();
         if name == "manifest" || name == "manifest.quarantined" {
             entry.0 = true;
+            // Mark phase: packs referenced from any committed manifest
+            // must survive the sweep, wherever they live.
+            if let Some(bytes) = fs.peek(&info.path) {
+                if let Ok(m) = Manifest::decode(&bytes) {
+                    reachable.extend(m.referenced_packs());
+                }
+            }
         } else if name == "segment"
             || name == "manifest.tmp"
             || name.starts_with("task-")
             || name.starts_with("array-")
+            || name.starts_with("delta-")
         {
             entry.1.push(info.path.clone());
         }
@@ -723,16 +801,23 @@ pub fn sweep_orphans(fs: &Piofs) -> Vec<String> {
         if has_manifest || files.is_empty() {
             continue;
         }
+        let mut reclaimed = false;
         for f in &files {
+            if reachable.contains(f) {
+                continue;
+            }
             fs.delete(f);
+            reclaimed = true;
         }
-        swept.push(prefix);
+        if reclaimed {
+            swept.push(prefix);
+        }
     }
     swept
 }
 
 /// Retention policy: keeps the `keep` newest complete checkpoints of `app`
-/// and deletes the rest. Returns the deleted prefixes. The paper notes that
+/// and retires the rest. Returns the retired prefixes. The paper notes that
 /// applications maintain multiple checkpointed states concurrently via
 /// prefixes; long-running jobs need exactly this kind of garbage collection.
 ///
@@ -742,6 +827,14 @@ pub fn sweep_orphans(fs: &Piofs) -> Vec<String> {
 /// even when the corrupt newcomers push it past the retention window. When
 /// the newest checkpoint verifies, retention behaves classically (and
 /// `keep == 0` purges everything).
+///
+/// Delta-aware: a retired incarnation whose pack files are still referenced
+/// by a surviving manifest's chunk table is *uncommitted* rather than
+/// deleted — its manifest is removed (so it stops being a restart source
+/// and stops counting against retention) but its data files stay, and the
+/// next [`sweep_orphans`] pass reclaims exactly the files no surviving
+/// chain reaches. This is what keeps retention safe under content-addressed
+/// chunk sharing: nothing a retained manifest can reach is ever collected.
 pub fn retain_checkpoints(fs: &Piofs, app: &str, keep: usize) -> Vec<String> {
     let all = find_checkpoints(fs, Some(app));
     let protected = match all.iter().position(|(p, _)| checkpoint_is_valid(fs, p)) {
@@ -751,15 +844,40 @@ pub fn retain_checkpoints(fs: &Piofs, app: &str, keep: usize) -> Vec<String> {
         Some(i) if i > 0 => Some(all[i].0.clone()),
         _ => None,
     };
-    let mut deleted = Vec::new();
-    for (prefix, _) in all.into_iter().skip(keep) {
-        if Some(&prefix) == protected.as_ref() {
+    let victims: Vec<String> = all
+        .into_iter()
+        .skip(keep)
+        .map(|(prefix, _)| prefix)
+        .filter(|prefix| Some(prefix) != protected.as_ref())
+        .collect();
+    // Mark phase over every *surviving* manifest (this app's and others'—
+    // chains never cross apps, but playing safe costs nothing): packs under
+    // a victim's prefix that are still referenced force the uncommit path.
+    let mut referenced: std::collections::BTreeSet<String> = Default::default();
+    for info in fs.list("") {
+        let Some((prefix, name)) = info.path.rsplit_once('/') else { continue };
+        if (name != "manifest" && name != "manifest.quarantined")
+            || victims.iter().any(|v| v == prefix)
+        {
             continue;
         }
-        delete_checkpoint(fs, &prefix);
-        deleted.push(prefix);
+        if let Some(bytes) = fs.peek(&info.path) {
+            if let Ok(m) = Manifest::decode(&bytes) {
+                referenced.extend(m.referenced_packs());
+            }
+        }
     }
-    deleted
+    for prefix in &victims {
+        let dir = format!("{prefix}/");
+        if referenced.iter().any(|p| p.starts_with(&dir)) {
+            // Uncommit: drop the manifest (and any staging), keep the data.
+            fs.delete(&manifest_path(prefix));
+            crate::commit::abort_staged(fs, prefix);
+        } else {
+            delete_checkpoint(fs, prefix);
+        }
+    }
+    victims
 }
 
 /// Emits a closed rank-0 phase span over `[start, end]`. The phase totals in
@@ -786,12 +904,10 @@ pub(crate) fn record_bytes(ctx: &Ctx, segment_bytes: u64, array_bytes: u64) {
     rec.counter_add_at(ctx.now(), 0, names::ARRAY_BYTES, None, array_bytes);
 }
 
-/// Collective read + decode of a manifest.
-pub(crate) fn read_manifest_collective(
-    ctx: &mut Ctx,
-    fs: &Piofs,
-    prefix: &str,
-) -> Result<Manifest> {
+/// Collective read + decode of a manifest. Public so out-of-crate restart
+/// paths (the delta chain's resume) read manifests with the same pricing
+/// and error behavior as [`Drms::initialize`].
+pub fn read_manifest_collective(ctx: &mut Ctx, fs: &Piofs, prefix: &str) -> Result<Manifest> {
     let path = manifest_path(prefix);
     if !fs.exists(&path) {
         return Err(CoreError::NoCheckpoint(prefix.to_string()));

@@ -51,7 +51,8 @@ mod inject;
 
 pub use drms::{
     checkpoint_is_valid, compute_integrity, delete_checkpoint, find_checkpoints, integrity_chunk,
-    retain_checkpoints, sweep_orphans, Drms, DrmsConfig, EnableFlag, RestartInfo, Start,
+    read_manifest_collective, retain_checkpoints, sweep_orphans, Drms, DrmsConfig, EnableFlag,
+    RestartInfo, Start,
 };
 pub use error::CoreError;
 pub use inject::crash_point;

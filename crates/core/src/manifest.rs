@@ -13,14 +13,16 @@
 //! of every array stream, so mismatched restarts fail loudly instead of
 //! reading garbage.
 
+use drms_darray::chunks::{ChunkParams, Codec};
 use drms_slices::{Order, Range, Slice};
 
 use crate::wire::{crc32, split_trailing_crc, Reader, WireError, Writer};
 
 const MAGIC: [u8; 4] = *b"DMFT";
 /// Current manifest version. v1 had no integrity section and no trailing
-/// self-CRC; `decode` still accepts it (with `integrity` empty).
-const VERSION: u32 = 2;
+/// self-CRC; v2 added integrity records and the trailing self-CRC; v3 adds
+/// the per-array delta chunk tables. `decode` still accepts all of them.
+const VERSION: u32 = 3;
 
 /// Which checkpointing scheme produced the state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,6 +31,10 @@ pub enum CkptKind {
     Drms,
     /// Conventional SPMD checkpoint (one segment per task).
     Spmd,
+    /// Incremental DRMS checkpoint (one segment + per-array delta packs
+    /// whose chunk tables may reference prior incarnations' committed
+    /// packs by content hash).
+    DrmsDelta,
 }
 
 /// Identity of one array stream within a checkpoint.
@@ -65,13 +71,23 @@ pub struct FileIntegrity {
 
 impl FileIntegrity {
     /// Computes the integrity record for `bytes` at `chunk` granularity.
+    /// Chunk geometry is the shared [`ChunkParams`] definition, the same
+    /// one delta checkpointing cuts its content-hash chunks with — so an
+    /// integrity chunk and a delta chunk of the same size are the same
+    /// byte range.
     pub fn compute(name: &str, bytes: &[u8], chunk: u64) -> FileIntegrity {
-        let chunk = chunk.max(1);
-        let crcs = bytes.chunks(chunk as usize).map(crc32).collect();
+        let params = ChunkParams::new(chunk);
+        let len = bytes.len() as u64;
+        let crcs = (0..params.count(len))
+            .map(|i| {
+                let (s, e) = params.range(len, i);
+                crc32(&bytes[s as usize..e as usize])
+            })
+            .collect();
         FileIntegrity {
             name: name.to_string(),
-            len: bytes.len() as u64,
-            chunk,
+            len,
+            chunk: params.chunk_bytes(),
             crcs,
             whole: crc32(bytes),
         }
@@ -79,8 +95,7 @@ impl FileIntegrity {
 
     /// Byte range `[start, end)` of chunk `i` within the file.
     pub fn chunk_range(&self, i: usize) -> (u64, u64) {
-        let start = i as u64 * self.chunk;
-        (start, (start + self.chunk).min(self.len))
+        ChunkParams::new(self.chunk).range(self.len, i)
     }
 
     /// Indices of chunks whose CRC does not match `bytes`. A length
@@ -107,6 +122,73 @@ impl FileIntegrity {
     }
 }
 
+/// Where a delta chunk's stored bytes live.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChunkSource {
+    /// In this checkpoint's own pack file for the array.
+    Local,
+    /// In the committed pack file `delta-{array}` of a prior incarnation
+    /// under `prefix`. The record is self-contained — offset, stored
+    /// length, and codec all describe the referenced pack — so restore and
+    /// garbage collection never need the referenced manifest.
+    Ref {
+        /// Checkpoint prefix holding the pack.
+        prefix: String,
+        /// Array whose pack file stores the chunk.
+        array: String,
+    },
+}
+
+/// One chunk of an array's distribution-independent stream, as stored by
+/// an incremental checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkRecord {
+    /// 128-bit FNV-1a content hash of the raw chunk bytes.
+    pub hash: u128,
+    /// Raw (uncompressed) chunk length in bytes.
+    pub len: u32,
+    /// Stored length in the pack file (differs from `len` when
+    /// compressed).
+    pub stored_len: u32,
+    /// Storage codec of the pack bytes.
+    pub codec: Codec,
+    /// Byte offset of the stored bytes within the pack file.
+    pub offset: u64,
+    /// Which pack file stores the bytes.
+    pub source: ChunkSource,
+}
+
+impl ChunkRecord {
+    /// Path of the pack file storing this chunk, given the checkpoint's
+    /// own `prefix` and the array's `name`.
+    pub fn pack_path(&self, prefix: &str, array: &str) -> String {
+        match &self.source {
+            ChunkSource::Local => delta_path(prefix, array),
+            ChunkSource::Ref { prefix, array } => delta_path(prefix, array),
+        }
+    }
+}
+
+/// The delta chunk table of one array stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayDelta {
+    /// Array name (matches an [`ArrayEntry`]).
+    pub name: String,
+    /// Chunk size in bytes (shared [`ChunkParams`] geometry).
+    pub chunk_bytes: u64,
+    /// Total stream length in bytes.
+    pub stream_len: u64,
+    /// Per-chunk records, in stream order, covering the stream exactly.
+    pub chunks: Vec<ChunkRecord>,
+}
+
+impl ArrayDelta {
+    /// The chunk geometry of this table.
+    pub fn params(&self) -> ChunkParams {
+        ChunkParams::new(self.chunk_bytes)
+    }
+}
+
 /// The checkpoint manifest.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Manifest {
@@ -123,6 +205,9 @@ pub struct Manifest {
     /// Integrity records for the checkpoint's data files (v2+; empty when
     /// decoded from a v1 manifest).
     pub integrity: Vec<FileIntegrity>,
+    /// Delta chunk tables, one per array, for [`CkptKind::DrmsDelta`]
+    /// checkpoints (v3+; empty otherwise).
+    pub deltas: Vec<ArrayDelta>,
 }
 
 /// Path of the manifest file under `prefix`.
@@ -143,6 +228,12 @@ pub fn task_segment_path(prefix: &str, rank: usize) -> String {
 /// Path of the stream for array `name` under `prefix`.
 pub fn array_path(prefix: &str, name: &str) -> String {
     format!("{prefix}/array-{name}")
+}
+
+/// Path of the delta pack file for array `name` under `prefix`: the
+/// concatenation of the chunks an incremental checkpoint stored locally.
+pub fn delta_path(prefix: &str, name: &str) -> String {
+    format!("{prefix}/delta-{name}")
 }
 
 fn write_range(w: &mut Writer, r: &Range) {
@@ -213,6 +304,7 @@ impl Manifest {
         w.u8(match self.kind {
             CkptKind::Drms => 0,
             CkptKind::Spmd => 1,
+            CkptKind::DrmsDelta => 2,
         });
         w.u64(self.ntasks as u64);
         w.u64(self.sop);
@@ -237,18 +329,41 @@ impl Manifest {
             }
             w.u32(fi.whole);
         }
+        w.u32(self.deltas.len() as u32);
+        for d in &self.deltas {
+            w.string(&d.name);
+            w.u64(d.chunk_bytes);
+            w.u64(d.stream_len);
+            w.u32(d.chunks.len() as u32);
+            for c in &d.chunks {
+                w.u64((c.hash >> 64) as u64);
+                w.u64(c.hash as u64);
+                w.u32(c.len);
+                w.u32(c.stored_len);
+                w.u8(c.codec.tag());
+                w.u64(c.offset);
+                match &c.source {
+                    ChunkSource::Local => w.u8(0),
+                    ChunkSource::Ref { prefix, array } => {
+                        w.u8(1);
+                        w.string(prefix);
+                        w.string(array);
+                    }
+                }
+            }
+        }
         // The manifest is the root of trust for the whole checkpoint, so it
         // carries its own digest: a trailing CRC over everything above.
         w.finish_with_crc()
     }
 
-    /// Decodes a manifest. Accepts the current version and v1 (pre-integrity,
-    /// no trailing CRC) for backward compatibility.
+    /// Decodes a manifest. Accepts the current version, v2 (pre-delta),
+    /// and v1 (pre-integrity, no trailing CRC) for backward compatibility.
     pub fn decode(bytes: &[u8]) -> Result<Manifest, WireError> {
         let (_, version) = Reader::with_header(bytes, MAGIC)?;
         let body = match version {
             1 => bytes,
-            VERSION => split_trailing_crc(bytes, "manifest")?,
+            2 | VERSION => split_trailing_crc(bytes, "manifest")?,
             v => return Err(WireError::BadVersion(v)),
         };
         let (mut r, _) = Reader::with_header(body, MAGIC)?;
@@ -256,6 +371,7 @@ impl Manifest {
         let kind = match r.u8()? {
             0 => CkptKind::Drms,
             1 => CkptKind::Spmd,
+            2 => CkptKind::DrmsDelta,
             _ => return Err(WireError::Truncated { what: "checkpoint kind" }),
         };
         let ntasks = r.u64()? as usize;
@@ -290,7 +406,34 @@ impl Manifest {
                 integrity.push(FileIntegrity { name, len, chunk, crcs, whole });
             }
         }
-        Ok(Manifest { app, kind, ntasks, sop, arrays, integrity })
+        let mut deltas = Vec::new();
+        if version >= 3 {
+            let n = r.u32()? as usize;
+            deltas.reserve(n);
+            for _ in 0..n {
+                let name = r.string()?;
+                let chunk_bytes = r.u64()?;
+                let stream_len = r.u64()?;
+                let nchunks = r.u32()? as usize;
+                let mut chunks = Vec::with_capacity(nchunks);
+                for _ in 0..nchunks {
+                    let hash = ((r.u64()? as u128) << 64) | r.u64()? as u128;
+                    let len = r.u32()?;
+                    let stored_len = r.u32()?;
+                    let codec = Codec::from_tag(r.u8()?)
+                        .ok_or(WireError::Truncated { what: "chunk codec tag" })?;
+                    let offset = r.u64()?;
+                    let source = match r.u8()? {
+                        0 => ChunkSource::Local,
+                        1 => ChunkSource::Ref { prefix: r.string()?, array: r.string()? },
+                        _ => return Err(WireError::Truncated { what: "chunk source tag" }),
+                    };
+                    chunks.push(ChunkRecord { hash, len, stored_len, codec, offset, source });
+                }
+                deltas.push(ArrayDelta { name, chunk_bytes, stream_len, chunks });
+            }
+        }
+        Ok(Manifest { app, kind, ntasks, sop, arrays, integrity, deltas })
     }
 
     /// Looks up the integrity record for a file (name relative to the
@@ -302,6 +445,27 @@ impl Manifest {
     /// Looks up an array entry by name.
     pub fn array(&self, name: &str) -> Option<&ArrayEntry> {
         self.arrays.iter().find(|a| a.name == name)
+    }
+
+    /// Looks up the delta chunk table for an array.
+    pub fn delta(&self, name: &str) -> Option<&ArrayDelta> {
+        self.deltas.iter().find(|d| d.name == name)
+    }
+
+    /// Every pack file path this manifest's chunk tables reference in
+    /// *other* checkpoints — the mark set of the garbage collector's
+    /// mark-and-sweep over the chunk hash graph. Locally stored chunks are
+    /// under this manifest's own prefix and need no marking.
+    pub fn referenced_packs(&self) -> std::collections::BTreeSet<String> {
+        let mut out = std::collections::BTreeSet::new();
+        for d in &self.deltas {
+            for c in &d.chunks {
+                if let ChunkSource::Ref { prefix, array } = &c.source {
+                    out.insert(delta_path(prefix, array));
+                }
+            }
+        }
+        out
     }
 }
 
@@ -333,7 +497,37 @@ mod tests {
                 },
             ],
             integrity: vec![FileIntegrity::compute("segment", b"some segment bytes", 4)],
+            deltas: Vec::new(),
         }
+    }
+
+    fn sample_delta() -> Manifest {
+        let mut m = sample();
+        m.kind = CkptKind::DrmsDelta;
+        m.deltas = vec![ArrayDelta {
+            name: "u".into(),
+            chunk_bytes: 4096,
+            stream_len: 6000,
+            chunks: vec![
+                ChunkRecord {
+                    hash: 0xdead_beef_dead_beef_0123_4567_89ab_cdef,
+                    len: 4096,
+                    stored_len: 200,
+                    codec: Codec::Rle,
+                    offset: 0,
+                    source: ChunkSource::Local,
+                },
+                ChunkRecord {
+                    hash: 42,
+                    len: 1904,
+                    stored_len: 1904,
+                    codec: Codec::Raw,
+                    offset: 512,
+                    source: ChunkSource::Ref { prefix: "ck/7".into(), array: "u".into() },
+                },
+            ],
+        }];
+        m
     }
 
     #[test]
@@ -354,12 +548,31 @@ mod tests {
     }
 
     #[test]
+    fn delta_roundtrip_and_marks() {
+        let m = sample_delta();
+        let d = Manifest::decode(&m.encode()).unwrap();
+        assert_eq!(d, m);
+        assert_eq!(d.kind, CkptKind::DrmsDelta);
+        let table = d.delta("u").unwrap();
+        assert_eq!(table.params().chunk_bytes(), 4096);
+        assert_eq!(table.chunks[0].pack_path("ck/9", "u"), "ck/9/delta-u");
+        assert_eq!(table.chunks[1].pack_path("ck/9", "u"), "ck/7/delta-u");
+        assert_eq!(
+            d.referenced_packs().into_iter().collect::<Vec<_>>(),
+            vec!["ck/7/delta-u".to_string()]
+        );
+        assert!(d.delta("nope").is_none());
+    }
+
+    #[test]
     fn paths_are_disjoint_per_prefix() {
         assert_eq!(manifest_path("ck/1"), "ck/1/manifest");
         assert_eq!(segment_path("ck/1"), "ck/1/segment");
         assert_eq!(task_segment_path("ck/1", 3), "ck/1/task-3");
         assert_eq!(array_path("ck/1", "u"), "ck/1/array-u");
+        assert_eq!(delta_path("ck/1", "u"), "ck/1/delta-u");
         assert_ne!(array_path("a", "u"), array_path("b", "u"));
+        assert_ne!(delta_path("ck/1", "u"), array_path("ck/1", "u"));
     }
 
     #[test]
@@ -386,6 +599,7 @@ mod tests {
         w.u8(match m.kind {
             CkptKind::Drms => 0,
             CkptKind::Spmd => 1,
+            CkptKind::DrmsDelta => 2,
         });
         w.u64(m.ntasks as u64);
         w.u64(m.sop);
@@ -409,6 +623,56 @@ mod tests {
         let d = Manifest::decode(&bytes).unwrap();
         m.integrity.clear();
         assert_eq!(d, m);
+    }
+
+    /// Encodes `m` the way version 2 did: integrity section and trailing
+    /// CRC, but no delta tables.
+    fn encode_v2(m: &Manifest) -> Vec<u8> {
+        let mut w = Writer::with_header(MAGIC, 2);
+        w.string(&m.app);
+        w.u8(match m.kind {
+            CkptKind::Drms => 0,
+            CkptKind::Spmd => 1,
+            CkptKind::DrmsDelta => 2,
+        });
+        w.u64(m.ntasks as u64);
+        w.u64(m.sop);
+        w.u32(m.arrays.len() as u32);
+        for a in &m.arrays {
+            w.string(&a.name);
+            w.u8(a.elem_code);
+            w.u8(match a.order {
+                Order::ColumnMajor => 0,
+                Order::RowMajor => 1,
+            });
+            write_slice(&mut w, &a.domain);
+        }
+        w.u32(m.integrity.len() as u32);
+        for fi in &m.integrity {
+            w.string(&fi.name);
+            w.u64(fi.len);
+            w.u64(fi.chunk);
+            w.u32(fi.crcs.len() as u32);
+            for &c in &fi.crcs {
+                w.u32(c);
+            }
+            w.u32(fi.whole);
+        }
+        w.finish_with_crc()
+    }
+
+    #[test]
+    fn v2_manifest_still_decodes() {
+        let m = sample();
+        let bytes = encode_v2(&m);
+        let d = Manifest::decode(&bytes).unwrap();
+        assert_eq!(d, m);
+        // v2 carries its trailing self-CRC: flips are still detected.
+        for i in [8usize, 20, bytes.len() - 1] {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x10;
+            assert!(Manifest::decode(&bad).is_err(), "flip at {i} went undetected");
+        }
     }
 
     #[test]

@@ -56,6 +56,7 @@ pub fn checkpoint(
             sop,
             arrays: Vec::new(),
             integrity: crate::drms::compute_integrity(fs, prefix),
+            deltas: Vec::new(),
         };
         let bytes = manifest.encode();
         // Stage, then publish by rename: the manifest appears atomically,

@@ -23,6 +23,7 @@
 #![deny(missing_docs)]
 
 pub mod assign;
+pub mod chunks;
 pub mod shadow;
 pub mod stream;
 

@@ -225,7 +225,11 @@ pub struct StreamPiece {
 /// Byte-range fetch callback for [`read_section_via`]: called as
 /// `fetch(ctx, offset, len)` and must return exactly `len` bytes of the
 /// stream starting at byte `offset`, pricing its own data movement against
-/// the calling task's clock.
+/// the calling task's clock. The callback is invoked **collectively**:
+/// every rank of the region calls it exactly once per wave, with `len == 0`
+/// on ranks that hold no piece that wave (they must return an empty
+/// buffer). That lets fetchers built on collective file-system phases line
+/// their participants up, which keeps simulated pricing deterministic.
 pub type PieceFetch<'a> =
     dyn FnMut(&mut Ctx, u64, u64) -> std::result::Result<Vec<u8>, String> + 'a;
 
@@ -327,29 +331,33 @@ pub fn read_section_via<T: Element>(
         let mut aux: DistArray<T> =
             DistArray::new(array.name(), array.order(), canonical, ctx.rank());
 
-        if let Some(j) = plan.piece_for(wave, ctx.rank()) {
-            if plan.pieces[j].size() > 0 {
-                let offset = (plan.offsets[j] * T::SIZE) as u64;
-                let len = (plan.pieces[j].size() * T::SIZE) as u64;
-                let bytes = fetch(ctx, offset, len).map_err(DarrayError::Io)?;
-                if bytes.len() as u64 != len {
-                    return Err(DarrayError::Io(format!(
-                        "stream fetch at {offset} returned {} bytes, wanted {len}",
-                        bytes.len()
-                    )));
-                }
-                if traced {
-                    ctx.recorder().counter_add_at(
-                        ctx.now(),
-                        ctx.rank(),
-                        names::BYTES_STREAMED,
-                        Some(array.name()),
-                        len,
-                    );
-                }
-                let vals = decode::<T>(&bytes);
-                aux.local_mut().copy_from_slice(&vals);
+        let (offset, len) = match plan.piece_for(wave, ctx.rank()) {
+            Some(j) if plan.pieces[j].size() > 0 => {
+                ((plan.offsets[j] * T::SIZE) as u64, (plan.pieces[j].size() * T::SIZE) as u64)
             }
+            _ => (0, 0),
+        };
+        // Every rank fetches every wave (see [`PieceFetch`]) so collective
+        // fetchers stay aligned; idle ranks ask for zero bytes.
+        let bytes = fetch(ctx, offset, len).map_err(DarrayError::Io)?;
+        if bytes.len() as u64 != len {
+            return Err(DarrayError::Io(format!(
+                "stream fetch at {offset} returned {} bytes, wanted {len}",
+                bytes.len()
+            )));
+        }
+        if len > 0 {
+            if traced {
+                ctx.recorder().counter_add_at(
+                    ctx.now(),
+                    ctx.rank(),
+                    names::BYTES_STREAMED,
+                    Some(array.name()),
+                    len,
+                );
+            }
+            let vals = decode::<T>(&bytes);
+            aux.local_mut().copy_from_slice(&vals);
         }
         assign(ctx, array, &aux)?;
         if traced {

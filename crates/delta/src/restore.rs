@@ -1,0 +1,260 @@
+//! Restart from a committed delta chain: bitwise materialization of each
+//! array's canonical stream out of the chunk graph.
+
+use drms_core::chaos::CrashPoint;
+use drms_core::crash_point;
+use drms_core::manifest::{segment_path, ArrayDelta, CkptKind, Manifest};
+use drms_core::{
+    read_manifest_collective, CheckpointArray, CoreError, Drms, DrmsConfig, EnableFlag, Result,
+    Start,
+};
+use drms_darray::chunks::{decode_chunk, fnv128, ChunkParams};
+use drms_msg::Ctx;
+use drms_obs::{names, Phase};
+use drms_piofs::{Piofs, ReadAccess, ReadReq};
+
+/// `drms_initialize` for a delta chain: reads the committed v3 manifest at
+/// `prefix`, verifies and loads the shared data segment, and returns the
+/// run-time handle plus the restart info — exactly like
+/// [`Drms::initialize`], which refuses delta manifests and points here.
+/// Restoring the arrays themselves is [`restore_arrays_delta`].
+pub fn resume(
+    ctx: &mut Ctx,
+    fs: &Piofs,
+    cfg: DrmsConfig,
+    enable: EnableFlag,
+    prefix: &str,
+) -> Result<(Drms, Start)> {
+    let manifest = read_manifest_collective(ctx, fs, prefix)?;
+    if manifest.kind != CkptKind::DrmsDelta {
+        return Err(CoreError::ManifestMismatch(format!(
+            "{prefix:?} is not an incremental checkpoint; use Drms::initialize"
+        )));
+    }
+    let verify_against = manifest.clone();
+    let seg_path = segment_path(prefix);
+    let mut fetch = move |ctx: &mut Ctx| -> Result<Vec<u8>> {
+        let len = fs.size(&seg_path)?;
+        let mut got = fs.collective_read(
+            ctx,
+            vec![ReadReq {
+                path: seg_path.clone(),
+                offset: 0,
+                len,
+                access: ReadAccess::Sequential,
+            }],
+        )?;
+        let bytes = got.pop().expect("one request");
+        if let Some(fi) = verify_against.file_integrity("segment") {
+            if !fi.matches(&bytes) {
+                return Err(CoreError::Integrity(format!(
+                    "segment of {} fails checksum verification",
+                    verify_against.app
+                )));
+            }
+        }
+        Ok(bytes)
+    };
+    Drms::initialize_external(ctx, fs, cfg, enable, manifest, &mut fetch)
+}
+
+/// Loads every array from a committed delta chain, after the application
+/// has (re-)created them under the current distributions (any task count —
+/// the chunked stream is the same distribution-independent representation
+/// full checkpoints use, so restore is reconfigurable). Each fetched range
+/// is assembled chunk by chunk: the covering pack reads run as collective
+/// phases (priced deterministically across the region), each chunk is
+/// decompressed, and its content hash is verified before a single byte
+/// reaches the array. Returns the array-phase time.
+pub fn restore_arrays_delta(
+    drms: &Drms,
+    ctx: &mut Ctx,
+    fs: &Piofs,
+    prefix: &str,
+    manifest: &Manifest,
+    arrays: &mut [&mut dyn CheckpointArray],
+) -> Result<f64> {
+    ctx.barrier();
+    let t0 = ctx.now();
+    let io = drms.cfg().io.resolve(ctx.ntasks());
+    let mut restored: u64 = 0;
+    for a in arrays.iter_mut() {
+        let entry = manifest.array(a.array_name()).ok_or_else(|| {
+            CoreError::ManifestMismatch(format!("checkpoint has no array {:?}", a.array_name()))
+        })?;
+        if entry.elem_code != a.elem_code() {
+            return Err(CoreError::ManifestMismatch(format!(
+                "array {:?}: element code {} in checkpoint, {} in program",
+                a.array_name(),
+                entry.elem_code,
+                a.elem_code()
+            )));
+        }
+        if &entry.domain != a.domain() {
+            return Err(CoreError::ManifestMismatch(format!(
+                "array {:?}: domain {} in checkpoint, {} in program",
+                a.array_name(),
+                entry.domain,
+                a.domain()
+            )));
+        }
+        let d = manifest.delta(a.array_name()).ok_or_else(|| {
+            CoreError::ManifestMismatch(format!(
+                "delta checkpoint has no chunk table for array {:?}",
+                a.array_name()
+            ))
+        })?;
+        if d.stream_len != a.stream_bytes() {
+            return Err(CoreError::ManifestMismatch(format!(
+                "array {:?}: stream is {} bytes in checkpoint, {} in program",
+                a.array_name(),
+                d.stream_len,
+                a.stream_bytes()
+            )));
+        }
+        let params = d.params();
+        let mut fetch = |ctx: &mut Ctx, off: u64, len: u64| {
+            fetch_stream_range(ctx, fs, prefix, d, params, off, len).map_err(|e| e.to_string())
+        };
+        a.read_stream_via(ctx, io, &mut fetch)?;
+        restored += d.stream_len;
+    }
+    ctx.barrier();
+    crash_point(ctx, CrashPoint::RestartAfterArrays, false)?;
+    let t1 = ctx.now();
+    if ctx.rank() == 0 && ctx.recorder().enabled() {
+        let rec = ctx.recorder();
+        rec.span_start(t0, 0, Phase::Arrays, "restore_arrays_delta");
+        rec.span_end(t1, 0, Phase::Arrays, "restore_arrays_delta");
+        rec.counter_add_at(t1, 0, names::ARRAY_BYTES, None, restored);
+    }
+    Ok(t1 - t0)
+}
+
+/// Assembles `[off, off + len)` of an array's canonical stream from its
+/// chunk table. All covering chunks are read in **one collective phase**
+/// ([`Piofs::collective_read`]): the fetch callback is invoked on every
+/// rank of every wave (see [`drms_darray::stream::PieceFetch`]), so the
+/// phase's pricing orders the whole region's requests deterministically —
+/// per-rank independent reads would price in thread arrival order and make
+/// restore times nondeterministic. Each chunk is then decoded and
+/// hash-verified before a byte reaches the caller.
+fn fetch_stream_range(
+    ctx: &mut Ctx,
+    fs: &Piofs,
+    prefix: &str,
+    d: &ArrayDelta,
+    params: ChunkParams,
+    off: u64,
+    len: u64,
+) -> Result<Vec<u8>> {
+    if off + len > d.stream_len {
+        return Err(CoreError::Integrity(format!(
+            "array {:?}: fetch {off}+{len} past stream length {}",
+            d.name, d.stream_len
+        )));
+    }
+    let mut idxs = Vec::new();
+    let mut reqs = Vec::new();
+    if len > 0 {
+        let first = params.index_of(off);
+        let last = params.index_of(off + len - 1);
+        for i in first..=last {
+            let c = d.chunks.get(i).ok_or_else(|| {
+                CoreError::Integrity(format!(
+                    "array {:?}: chunk table is missing chunk {i}",
+                    d.name
+                ))
+            })?;
+            idxs.push(i);
+            reqs.push(ReadReq {
+                path: c.pack_path(prefix, &d.name),
+                offset: c.offset,
+                len: c.stored_len as u64,
+                access: ReadAccess::Strided,
+            });
+        }
+    }
+    // Idle ranks participate with an empty request list.
+    let got = fs.collective_read(ctx, reqs)?;
+    let mut out = Vec::with_capacity(len as usize);
+    for (stored, i) in got.iter().zip(idxs) {
+        let c = &d.chunks[i];
+        let raw = decode_and_verify(c, stored, &d.name, i)?;
+        let (s, _) = params.range(d.stream_len, i);
+        let lo = (off.max(s) - s) as usize;
+        let hi = ((off + len).min(s + raw.len() as u64) - s) as usize;
+        out.extend_from_slice(&raw[lo..hi]);
+    }
+    if out.len() as u64 != len {
+        return Err(CoreError::Integrity(format!(
+            "array {:?}: assembled {} bytes for a {len}-byte fetch",
+            d.name,
+            out.len()
+        )));
+    }
+    Ok(out)
+}
+
+/// Materializes an array's full canonical stream out of a committed delta
+/// chain, bitwise. Control-plane operation (unpriced `peek`s, no clock) —
+/// this is the tooling/verification path; restarts go through
+/// [`restore_arrays_delta`], which prices its reads.
+pub fn materialize_stream(
+    fs: &Piofs,
+    prefix: &str,
+    manifest: &Manifest,
+    array: &str,
+) -> Result<Vec<u8>> {
+    let d = manifest.delta(array).ok_or_else(|| {
+        CoreError::ManifestMismatch(format!("delta checkpoint has no chunk table for {array:?}"))
+    })?;
+    let mut packs: std::collections::HashMap<String, Vec<u8>> = Default::default();
+    let mut out = Vec::with_capacity(d.stream_len as usize);
+    for (i, c) in d.chunks.iter().enumerate() {
+        let path = c.pack_path(prefix, &d.name);
+        let bytes = match packs.entry(path.clone()) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let b = fs.peek(&path).ok_or_else(|| {
+                    CoreError::Integrity(format!("pack {path} of array {array:?} is unreadable"))
+                })?;
+                e.insert(b)
+            }
+        };
+        let (start, end) = (c.offset as usize, (c.offset + c.stored_len as u64) as usize);
+        if end > bytes.len() {
+            return Err(CoreError::Integrity(format!(
+                "chunk {i} of array {array:?} is out of bounds in pack {path}"
+            )));
+        }
+        let raw = decode_and_verify(c, &bytes[start..end], array, i)?;
+        out.extend_from_slice(&raw);
+    }
+    if out.len() as u64 != d.stream_len {
+        return Err(CoreError::Integrity(format!(
+            "array {array:?}: materialized {} bytes, stream is {}",
+            out.len(),
+            d.stream_len
+        )));
+    }
+    Ok(out)
+}
+
+/// Decodes one stored chunk and verifies its length and content hash.
+fn decode_and_verify(
+    c: &drms_core::manifest::ChunkRecord,
+    stored: &[u8],
+    array: &str,
+    i: usize,
+) -> Result<Vec<u8>> {
+    let raw = decode_chunk(c.codec, stored).ok_or_else(|| {
+        CoreError::Integrity(format!("chunk {i} of array {array:?} fails to decode"))
+    })?;
+    if raw.len() != c.len as usize || fnv128(&raw) != c.hash {
+        return Err(CoreError::Integrity(format!(
+            "chunk {i} of array {array:?} fails its content hash"
+        )));
+    }
+    Ok(raw)
+}

@@ -128,6 +128,12 @@ pub fn restore_arrays_from_tier(
         total += a.stream_bytes();
         let file = array_file(a.array_name());
         let mut fetch = |ctx: &mut Ctx, off: u64, len: u64| {
+            if len == 0 {
+                // Collective convention: ranks without a piece this wave
+                // still call, asking for nothing (tier reads price locally,
+                // so there is no phase to line up with).
+                return Ok(Vec::new());
+            }
             let f = tier.fetch(prefix, &file, off, len).map_err(|e| e.to_string())?;
             price_fetch(ctx, &f.sources);
             if ctx.recorder().enabled() {

@@ -219,6 +219,7 @@ pub fn store_checkpoint(
                 })
                 .collect(),
             integrity: Vec::new(),
+            deltas: Vec::new(),
         };
         let mut file_lens = vec![(SEGMENT_FILE.to_string(), seg_len)];
         for a in arrays {

@@ -443,6 +443,7 @@ mod tests {
             sop,
             arrays: Vec::new(),
             integrity: Vec::new(),
+            deltas: Vec::new(),
         }
         .encode()
     }

@@ -116,6 +116,10 @@ pub struct RuleThresholds {
     /// Replica-health floor: alert when the memory tier's minimum
     /// surviving replica count drops strictly below this.
     pub min_replicas: f64,
+    /// Delta-collapse ceiling: alert when an incremental checkpoint's
+    /// dirty-chunk ratio exceeds this (deltas no longer save anything and
+    /// the application should fall back to full checkpoints).
+    pub delta_dirty_ceiling: f64,
 }
 
 impl Default for RuleThresholds {
@@ -126,12 +130,14 @@ impl Default for RuleThresholds {
             straggler_factor: 2.0,
             straggler_min_ranks: 4,
             min_replicas: 1.0,
+            delta_dirty_ceiling: 0.9,
         }
     }
 }
 
-/// The five built-in rules: checkpoint-stall SLO breach, retry storm,
-/// straggler skew, parity-degraded writes, and memory-tier replica loss.
+/// The six built-in rules: checkpoint-stall SLO breach, retry storm,
+/// straggler skew, parity-degraded writes, memory-tier replica loss, and
+/// delta-ratio collapse.
 pub fn builtin_rules(th: &RuleThresholds) -> Vec<PulseRule> {
     use drms_obs::names;
     vec![
@@ -168,6 +174,15 @@ pub fn builtin_rules(th: &RuleThresholds) -> Vec<PulseRule> {
                 name: names::MEMTIER_REPLICAS,
                 index: 0,
                 below: th.min_replicas,
+            },
+            min_windows: 1,
+        },
+        PulseRule {
+            name: names::ALERT_DELTA_COLLAPSE,
+            predicate: Predicate::GaugeAbove {
+                name: names::DELTA_DIRTY_RATIO,
+                index: 0,
+                above: th.delta_dirty_ceiling,
             },
             min_windows: 1,
         },

@@ -7,9 +7,7 @@
 //!   load profile, the alert count equals the number of below→above
 //!   transitions, never one per breaching window.
 
-use std::sync::Arc;
-
-use drms_obs::{names, Phase, Recorder};
+use drms_obs::{names, Phase};
 use drms_pulse::{window_bounds, window_of, Predicate, Pulse, PulseConfig, PulseRule};
 use proptest::prelude::*;
 

@@ -65,6 +65,14 @@ fn required_files(prefix: &str, m: &Manifest) -> Vec<String> {
             .chain(m.arrays.iter().map(|a| array_path(prefix, &a.name)))
             .collect(),
         CkptKind::Spmd => (0..m.ntasks).map(|r| task_segment_path(prefix, r)).collect(),
+        // Incremental checkpoints mandate the segment plus every pack file
+        // their chunk tables point into — including packs of prior
+        // incarnations (a delta chain with missing history cannot restore).
+        CkptKind::DrmsDelta => std::iter::once(segment_path(prefix))
+            .chain(
+                m.deltas.iter().flat_map(|d| d.chunks.iter().map(|c| c.pack_path(prefix, &d.name))),
+            )
+            .collect(),
     }
 }
 

@@ -14,6 +14,9 @@
 //!   parallel array-section streaming;
 //! * [`core`] — the DRMS programming model: data segments, reconfigurable
 //!   checkpoint/restart, and the conventional SPMD checkpointing baseline;
+//! * [`delta`] — incremental checkpointing: dirty-chunk tracking,
+//!   content-hash dedup against prior incarnations, optional per-chunk
+//!   compression, and bitwise chain materialization at restart;
 //! * [`resil`] — storage resilience: checkpoint verification, scrub and
 //!   parity repair, seeded storage-fault campaigns, restart fallback;
 //! * [`memtier`] — the diskless checkpoint tier: in-memory replication of
@@ -29,6 +32,7 @@ pub use drms_apps as apps;
 pub use drms_chaos as chaos;
 pub use drms_core as core;
 pub use drms_darray as darray;
+pub use drms_delta as delta;
 pub use drms_memtier as memtier;
 pub use drms_msg as msg;
 pub use drms_obs as obs;

@@ -13,8 +13,9 @@ use std::sync::Arc;
 
 use drms::chaos::{ChaosCtl, CrashPoint, FaultPlan, MsgFaults, PiofsFaults, TornWrite};
 use drms::core::segment::DataSegment;
-use drms::core::{CoreError, Drms, DrmsConfig, Start};
+use drms::core::{CoreError, Drms, DrmsConfig, EnableFlag, Start};
 use drms::darray::{DistArray, Distribution};
+use drms::delta::{delta_checkpoint, DeltaChain, DeltaConfig};
 use drms::memtier::{
     restore_arrays_from_tier, resume_from_tier, spill_checkpoint, store_checkpoint, store_feasible,
     MemTier, RestartTier,
@@ -495,6 +496,53 @@ fn every_metric_name_is_emitted_by_some_instrumentation_site() {
         assert!(
             report.alerts.iter().any(|a| a.rule == names::ALERT_RETRY_STORM),
             "retry storm never fired; fired: {:?}",
+            report.alerts
+        );
+        covered.extend(emitted(&trace));
+    }
+
+    // Scenario 7 — incremental checkpointing: a two-link delta chain whose
+    // second link dirties every chunk (the collapse case), traced live
+    // through a pulse fan-out so the delta-ratio-collapse rule fires.
+    // Covers the delta counters/gauges and the collapse alert name.
+    {
+        let trace = Arc::new(TraceRecorder::default());
+        let pulse = Pulse::new(PulseConfig {
+            ntasks: 2,
+            window: 0.002,
+            rules: builtin_rules(&RuleThresholds::default()),
+            ..PulseConfig::default()
+        });
+        pulse.set_sink(trace.clone() as Arc<dyn Recorder>);
+        let fan: Arc<dyn Recorder> = Arc::new(FanoutRecorder::new(vec![
+            trace.clone() as Arc<dyn Recorder>,
+            pulse.recorder(),
+        ]));
+        let fs = Piofs::new(PiofsConfig::test_tiny(4), 7);
+        let ctl = ChaosCtl::new(FaultPlan::seeded(1));
+        run_spmd_chaos(2, CostModel::default(), fan, ctl, |ctx| {
+            let (mut drms, _) =
+                Drms::initialize(ctx, &fs, DrmsConfig::new(APP), EnableFlag::new(), None).unwrap();
+            let dom = Slice::boxed(&[(1, 2048)]);
+            let dist = Distribution::block_auto(&dom, ctx.ntasks(), 1).unwrap();
+            let mut u = DistArray::<f64>::new("u", Order::ColumnMajor, dist, ctx.rank());
+            u.fill_assigned(|p| (p[0] * 11) as f64);
+            let mut chain = DeltaChain::new();
+            let dc = DeltaConfig { chunk_bytes: 1024, full_every: 8, compress: true };
+            let seg = DataSegment::new();
+            delta_checkpoint(&mut drms, &mut chain, &dc, ctx, &fs, "ck/dn1", &seg, &[&u]).unwrap();
+            let region = u.assigned().clone();
+            region.points(Order::ColumnMajor).for_each(|p| {
+                let v = u.get(p).unwrap();
+                u.set(p, v + 1.0).unwrap();
+            });
+            delta_checkpoint(&mut drms, &mut chain, &dc, ctx, &fs, "ck/dn2", &seg, &[&u]).unwrap();
+        })
+        .unwrap();
+        let report = pulse.finish();
+        assert!(
+            report.alerts.iter().any(|a| a.rule == names::ALERT_DELTA_COLLAPSE),
+            "delta-collapse rule never fired; fired: {:?}",
             report.alerts
         );
         covered.extend(emitted(&trace));
