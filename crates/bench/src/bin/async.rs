@@ -1,0 +1,230 @@
+//! Asynchronous-checkpoint bench: checkpoint stall of the overlapped
+//! pipeline versus blocking checkpoints at the same interval, as a
+//! regression gate.
+//!
+//! ```text
+//! cargo run --release -p drms-bench --bin async -- [--class T|S|W|A] \
+//!     [--fault-seed N] [--json DIR] [--baseline PATH] \
+//!     [--tolerance 0.05] [--bless]
+//! ```
+//!
+//! For each application of the solver suite (BT, LU, SP) the same
+//! calibrated workload runs three ways — no checkpoints, blocking
+//! checkpoints, async checkpoints — at the same interval. The hard gates:
+//!
+//! * the async pipeline cuts the checkpoint stall by at least **3x**
+//!   versus blocking at the same interval, per app;
+//! * the last async commit's stream file is **bitwise identical** to the
+//!   blocking checkpoint of the same state, and both restore to the same
+//!   checksum on a different task count;
+//! * the flusher timeline is well-formed (FIFO, no overlap);
+//! * the whole campaign is **deterministic** per seed: a second run must
+//!   reproduce every time and byte count exactly.
+//!
+//! With `--json DIR` the headline numbers land in `BENCH_async.json` and
+//! the per-flight flusher timeline in `TIMELINE_async.txt` (the CI trace
+//! artifact). `--baseline PATH` compares against a committed baseline
+//! within `--tolerance` (relative); `--bless` rewrites the baseline. The
+//! fault seed follows the repo-wide `FAULT_SEED` convention.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use drms_apps::{bt, lu, sp, AppSpec};
+use drms_bench::args::Options;
+use drms_bench::asyncck::{run_campaign, AsyncCampaign, AsyncParams, CKPT_TASKS, RESTORE_TASKS};
+use drms_bench::gate::{baseline_gate, run_gated, Gate};
+use drms_bench::json::BenchResult;
+use drms_bench::table::render;
+
+const DEFAULT_SEED: u64 = 11;
+
+struct Opts {
+    bench: Options,
+    seed: u64,
+    baseline: Option<PathBuf>,
+    tolerance: f64,
+    bless: bool,
+}
+
+/// Splits the gate flags off and hands everything else to the shared
+/// [`Options`] parser, so sweep scripts can pass one flag set to every
+/// bench binary.
+fn parse_args() -> Opts {
+    let mut opts = Opts {
+        bench: Options::default(),
+        seed: drms_bench::seed::fault_seed_or(DEFAULT_SEED),
+        baseline: None,
+        tolerance: 0.05,
+        bless: false,
+    };
+    let mut rest = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("error: {flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--fault-seed" => {
+                let v = value("--fault-seed");
+                opts.seed = v.parse().unwrap_or_else(|_| {
+                    eprintln!("error: bad seed {v:?}");
+                    std::process::exit(2);
+                });
+            }
+            "--baseline" => opts.baseline = Some(PathBuf::from(value("--baseline"))),
+            "--tolerance" => {
+                let v = value("--tolerance");
+                opts.tolerance =
+                    v.parse().ok().filter(|t: &f64| t.is_finite() && *t >= 0.0).unwrap_or_else(
+                        || {
+                            eprintln!("error: bad tolerance {v:?}");
+                            std::process::exit(2);
+                        },
+                    );
+            }
+            "--bless" => opts.bless = true,
+            other => rest.push(other.to_string()),
+        }
+    }
+    opts.bench = Options::parse(rest.into_iter());
+    opts
+}
+
+fn repro(opts: &Opts) -> String {
+    format!("{} --class {}", drms_bench::seed::bin_repro("async", opts.seed), opts.bench.class)
+}
+
+fn main() {
+    let opts = parse_args();
+    let repro = repro(&opts);
+    run_gated("async", &repro.clone(), move || body(&opts, &repro));
+}
+
+fn body(opts: &Opts, repro: &str) {
+    let class = opts.bench.class;
+    let params = AsyncParams { seed: opts.seed, ..AsyncParams::default() };
+    println!("Async bench — overlapped vs blocking checkpointing, class {class}");
+    println!(
+        "checkpoint on {CKPT_TASKS} tasks, restore on {RESTORE_TASKS}; budget {}, \
+         compute/interval {:.1}x the blocking checkpoint\n",
+        params.budget, params.compute_factor
+    );
+
+    let specs: Vec<AppSpec> = vec![bt(class), lu(class), sp(class)];
+    let mut gate = Gate::new("async gate", repro);
+    let mut result = BenchResult::new("async");
+    result.param("class", class);
+    result.param("budget", params.budget);
+    result.param("compute_factor", params.compute_factor);
+    result.param("seed", params.seed);
+
+    let mut rows = Vec::new();
+    let mut timeline = String::new();
+    for spec in &specs {
+        let c = run_campaign(spec, &params).expect("campaign run");
+        let c2 = run_campaign(spec, &params).expect("campaign rerun");
+        gate.check(
+            c == c2,
+            format!("{}: campaign is nondeterministic ({c:?} vs {c2:?})", spec.name),
+        );
+        checks(&mut gate, spec, &c);
+        rows.push(vec![
+            spec.name.to_string(),
+            format!("{:.4}", c.t_io),
+            format!("{:.3}", c.wall_none),
+            format!("{:.3}", c.wall_blocking),
+            format!("{:.3}", c.wall_async),
+            format!("{:.4}", c.stall_blocking()),
+            format!("{:.4}", c.stall_async()),
+            format!("{:.1}x", c.stall_reduction()),
+            format!("{:.1}%", 100.0 * c.overlap_fraction()),
+        ]);
+        let n = spec.name;
+        result.metric(&format!("{n}_t_io_s"), c.t_io);
+        result.metric(&format!("{n}_wall_none_s"), c.wall_none);
+        result.metric(&format!("{n}_wall_blocking_s"), c.wall_blocking);
+        result.metric(&format!("{n}_wall_async_s"), c.wall_async);
+        result.metric(&format!("{n}_stall_blocking_s"), c.stall_blocking());
+        result.metric(&format!("{n}_stall_async_s"), c.stall_async());
+        result.metric(&format!("{n}_stall_reduction"), c.stall_reduction());
+        result.metric(&format!("{n}_overlap_fraction"), c.overlap_fraction());
+        append_timeline(&mut timeline, spec, &c);
+    }
+
+    let header = vec![
+        "app",
+        "t_io s",
+        "floor s",
+        "blocking s",
+        "async s",
+        "stall blk s",
+        "stall async s",
+        "reduction",
+        "overlap",
+    ];
+    println!("{}", render(&header, &rows));
+
+    if let Some(dir) = &opts.bench.json {
+        let path = result.write_to(dir).expect("write json result");
+        println!("wrote {}", path.display());
+        let tpath = dir.join("TIMELINE_async.txt");
+        std::fs::write(&tpath, &timeline).expect("write flush timeline");
+        println!("wrote {}", tpath.display());
+    }
+    gate.finish();
+    if let Some(baseline) = &opts.baseline {
+        baseline_gate(&result, baseline, opts.tolerance, opts.bless, repro);
+    }
+}
+
+/// One flush-timeline block per app: prefix, SOP, and the arm/start/
+/// finish virtual timestamps of every flight, in arming order.
+fn append_timeline(out: &mut String, spec: &AppSpec, c: &AsyncCampaign) {
+    writeln!(out, "# {} — flusher timeline (virtual seconds)", spec.name).unwrap();
+    writeln!(out, "# prefix sop t_snap start finish bytes").unwrap();
+    for f in &c.flights {
+        writeln!(
+            out,
+            "{} {} {:.6} {:.6} {:.6} {}",
+            f.prefix, f.sop, f.t_snap, f.start, f.finish, f.bytes
+        )
+        .unwrap();
+    }
+    out.push('\n');
+}
+
+/// Per-app hard gates (beyond determinism and the baseline comparison).
+fn checks(gate: &mut Gate, spec: &AppSpec, c: &AsyncCampaign) {
+    let n = spec.name;
+    gate.check(
+        c.stall_reduction() >= 3.0,
+        format!(
+            "{n}: stall reduction {:.2}x < 3x (blocking {:.4}s vs async {:.4}s)",
+            c.stall_reduction(),
+            c.stall_blocking(),
+            c.stall_async()
+        ),
+    );
+    gate.check(
+        c.streams_bitwise_equal,
+        format!("{n}: async commit's stream differs from the blocking checkpoint"),
+    );
+    gate.check(
+        c.blocking_checksum == c.async_checksum,
+        format!(
+            "{n}: restore checksums diverge (blocking {} vs async {})",
+            c.blocking_checksum, c.async_checksum
+        ),
+    );
+    gate.check(
+        c.stall_blocking() > 0.0 && c.stall_async() > 0.0,
+        format!("{n}: stall measurements missing"),
+    );
+    let fifo = c.flights.windows(2).all(|w| w[1].start >= w[0].finish)
+        && c.flights.iter().all(|f| f.start >= f.t_snap && f.finish > f.start);
+    gate.check(fifo, format!("{n}: flusher timeline malformed: {:?}", c.flights));
+}

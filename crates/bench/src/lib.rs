@@ -16,6 +16,7 @@
 #![deny(missing_docs)]
 
 pub mod args;
+pub mod asyncck;
 pub mod delta;
 pub mod experiment;
 pub mod gate;

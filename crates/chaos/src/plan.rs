@@ -56,6 +56,42 @@ crash_points! {
     RestartAfterSegment = "restart_after_segment";
     /// Restart: every array restored, region dies before resuming compute.
     RestartAfterArrays = "restart_after_arrays";
+    /// Async pipeline: snapshot captured and handed to the background
+    /// flusher, nothing staged on storage yet.
+    FlushArmed = "flush_armed";
+    /// Async flush: data segment staged under the `.tmp` prefix, arrays
+    /// not yet written.
+    FlushAfterSegment = "flush_after_segment";
+    /// Async flush: one array's snapshot stream staged (arm an occurrence
+    /// to pick which).
+    FlushAfterArray = "flush_after_array";
+    /// Async flush: all data and the manifest staged, nothing published.
+    FlushStagedManifest = "flush_staged_manifest";
+    /// Async flush: data files renamed into the final prefix, manifest
+    /// rename (the commit point) not yet executed.
+    FlushMidPublish = "flush_mid_publish";
+    /// Async flush: manifest renamed into place — the overlapped
+    /// checkpoint is committed, but the region dies before the flusher
+    /// retires the snapshot.
+    FlushCommitted = "flush_committed";
+}
+
+impl CrashPoint {
+    /// Whether this point lives inside the asynchronous background flush
+    /// (consulted only by `drms-async`'s overlapped checkpoints). Blocking
+    /// checkpoint/restart sweeps skip these — an armed flush-side point can
+    /// never fire on a path that takes no overlapped checkpoints.
+    pub fn is_flush_side(&self) -> bool {
+        matches!(
+            self,
+            CrashPoint::FlushArmed
+                | CrashPoint::FlushAfterSegment
+                | CrashPoint::FlushAfterArray
+                | CrashPoint::FlushStagedManifest
+                | CrashPoint::FlushMidPublish
+                | CrashPoint::FlushCommitted
+        )
+    }
 }
 
 impl std::fmt::Display for CrashPoint {

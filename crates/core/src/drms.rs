@@ -883,8 +883,9 @@ pub fn retain_checkpoints(fs: &Piofs, app: &str, keep: usize) -> Vec<String> {
 /// Emits a closed rank-0 phase span over `[start, end]`. The phase totals in
 /// the trace summary are built from exactly these spans, with the same
 /// timestamps that build the returned [`OpBreakdown`] — so the two can never
-/// disagree.
-pub(crate) fn phase_span(ctx: &Ctx, phase: Phase, name: &str, start: f64, end: f64) {
+/// disagree. Public so out-of-crate checkpoint writers (the delta and async
+/// pipelines) report phases under the same convention.
+pub fn phase_span(ctx: &Ctx, phase: Phase, name: &str, start: f64, end: f64) {
     if ctx.rank() != 0 || !ctx.recorder().enabled() {
         return;
     }
@@ -895,7 +896,7 @@ pub(crate) fn phase_span(ctx: &Ctx, phase: Phase, name: &str, start: f64, end: f
 
 /// Records the byte totals of one checkpoint/restart operation (rank 0 only,
 /// mirroring the synchronized-maximum convention of [`OpBreakdown`]).
-pub(crate) fn record_bytes(ctx: &Ctx, segment_bytes: u64, array_bytes: u64) {
+pub fn record_bytes(ctx: &Ctx, segment_bytes: u64, array_bytes: u64) {
     if ctx.rank() != 0 || !ctx.recorder().enabled() {
         return;
     }

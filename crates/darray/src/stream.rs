@@ -222,6 +222,20 @@ pub struct StreamPiece {
     pub data: Vec<u8>,
 }
 
+/// Assembles a task's stream pieces into contiguous stream bytes: sorted
+/// by offset and concatenated. When one task holds every piece of a stream
+/// (serial gathering, `io_tasks == 1`) the result is bitwise identical to
+/// the file [`write_section`] would have produced.
+pub fn assemble_pieces(mut pieces: Vec<StreamPiece>) -> Vec<u8> {
+    pieces.sort_by_key(|p| p.offset);
+    let total: usize = pieces.iter().map(|p| p.data.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    for p in &pieces {
+        out.extend_from_slice(&p.data);
+    }
+    out
+}
+
 /// Byte-range fetch callback for [`read_section_via`]: called as
 /// `fetch(ctx, offset, len)` and must return exactly `len` bytes of the
 /// stream starting at byte `offset`, pricing its own data movement against

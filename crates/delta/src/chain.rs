@@ -75,8 +75,8 @@ impl ChunkLoc {
 }
 
 /// Per-chunk staging statistics of one array.
-#[derive(Debug, Clone, Copy, Default)]
-pub(crate) struct StageStats {
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageStats {
     /// Chunks whose content changed since the last committed checkpoint
     /// (escalated references count here too — they must be re-stored).
     pub dirty: u64,
@@ -92,7 +92,8 @@ pub(crate) struct StageStats {
 }
 
 impl StageStats {
-    pub(crate) fn add(&mut self, o: StageStats) {
+    /// Accumulates another array's staging statistics into this total.
+    pub fn add(&mut self, o: StageStats) {
         self.dirty += o.dirty;
         self.clean += o.clean;
         self.dedup += o.dedup;
@@ -255,7 +256,7 @@ impl DeltaChain {
     /// not reference prior incarnations, that is the point of the epoch
     /// bound); otherwise encoded and appended to the pack.
     #[allow(clippy::too_many_arguments)]
-    pub(crate) fn stage_array(
+    pub fn stage_array(
         &mut self,
         fs: &Piofs,
         own_prefix: &str,

@@ -10,7 +10,8 @@ use drms_core::manifest::{
 };
 use drms_core::report::OpBreakdown;
 use drms_core::segment::DataSegment;
-use drms_core::{CheckpointArray, CoreError, Drms, Result};
+use drms_core::{phase_span, CheckpointArray, CoreError, Drms, Result};
+use drms_darray::stream::assemble_pieces;
 use drms_msg::Ctx;
 use drms_obs::{names, Phase};
 use drms_piofs::Piofs;
@@ -149,10 +150,9 @@ fn run(
     let mut stats = StageStats::default();
     let mut deltas: Vec<ArrayDelta> = Vec::new();
     for a in arrays {
-        let mut pieces = a.stream_pieces(ctx, 1)?;
+        let pieces = a.stream_pieces(ctx, 1)?;
         if ctx.rank() == 0 {
-            pieces.sort_by_key(|p| p.offset);
-            let stream: Vec<u8> = pieces.iter().flat_map(|p| p.data.iter().copied()).collect();
+            let stream = assemble_pieces(pieces);
             let (table, pack, s) =
                 chain.stage_array(fs, prefix, a.array_name(), &stream, params, full, cfg.compress);
             let pack_path = delta_path(&staging, a.array_name());
@@ -247,15 +247,4 @@ fn run(
         compressed_saved: stats.saved,
         chain_depth: 0, // filled in after commit
     })
-}
-
-/// Emits a closed rank-0 phase span over `[start, end]` (same convention
-/// as the core checkpoint paths, so summaries line up).
-fn phase_span(ctx: &Ctx, phase: Phase, name: &str, start: f64, end: f64) {
-    if ctx.rank() != 0 || !ctx.recorder().enabled() {
-        return;
-    }
-    let rec = ctx.recorder();
-    rec.span_start(start, 0, phase, name);
-    rec.span_end(end, 0, phase, name);
 }

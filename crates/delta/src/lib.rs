@@ -46,6 +46,6 @@ mod chain;
 mod checkpoint;
 mod restore;
 
-pub use chain::{DeltaChain, DeltaConfig};
+pub use chain::{DeltaChain, DeltaConfig, StageStats};
 pub use checkpoint::{delta_checkpoint, DeltaReport};
 pub use restore::{materialize_stream, restore_arrays_delta, resume};

@@ -41,8 +41,8 @@ pub use error::MemTierError;
 pub use restart::{choose_restart_tiered, RestartTier, TieredRestartPlan};
 pub use restore::{restore_arrays_from_tier, resume_from_tier};
 pub use store::{
-    array_file, spill_checkpoint, store_checkpoint, store_feasible, SpillReport, StoreReport,
-    SEGMENT_FILE,
+    array_file, spill_checkpoint, spill_to_staging, store_captured, store_checkpoint,
+    store_feasible, CapturedPiece, SpillReport, StoreReport, SEGMENT_FILE,
 };
 pub use tier::{Fetched, MemTier, DEFAULT_PIECE_BYTES};
 

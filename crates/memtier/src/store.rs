@@ -63,6 +63,23 @@ pub fn array_file(name: &str) -> String {
     format!("array-{name}")
 }
 
+/// One pre-captured stream piece handed to [`store_captured`]: the tier
+/// file it belongs to, its stream offset, its bytes and their CRC. The
+/// asynchronous checkpoint pipeline captures these at the SOP (pricing the
+/// copy there) and replicates them into the tier from its background
+/// flusher.
+#[derive(Debug, Clone)]
+pub struct CapturedPiece {
+    /// Tier stream file ([`SEGMENT_FILE`] or [`array_file`]).
+    pub file: String,
+    /// Byte offset within the stream.
+    pub offset: u64,
+    /// The piece's bytes (shared — the tier never duplicates per holder).
+    pub data: Arc<Vec<u8>>,
+    /// CRC32 of `data`.
+    pub crc: u32,
+}
+
 /// Whether a store into `tier` can satisfy its replication factor on the
 /// calling region's node set. A pure function of the region topology every
 /// task shares — no communication — so jobs can agree to degrade to a
@@ -249,6 +266,155 @@ pub fn store_checkpoint(
         return Err(MemTierError::Incomplete(err));
     }
     Ok(StoreReport { seconds: t1 - t0, sop, bytes, replica_bytes, pieces })
+}
+
+/// Replicates **pre-captured** pieces into the tier and seals the entry
+/// (collective): the capture itself — gathering canonical streams and
+/// pricing the copy — already happened at the caller's snapshot point, so
+/// this function only moves bytes: owner copies land on each piece's node,
+/// `tier.replicas()` additional copies scatter over the interconnect in one
+/// priced `alltoallv`, and rank 0 seals under the supplied manifest. This
+/// is the tier half of the asynchronous flush pipeline; a blocking
+/// [`store_checkpoint`] captures and replicates in one call instead.
+///
+/// Every task passes its own `local` pieces; `app`, `sop`, `manifest` and
+/// `file_lens` are meaningful on rank 0 only. Errors identically on every
+/// task when replication is not feasible or sealing fails.
+#[allow(clippy::too_many_arguments)]
+pub fn store_captured(
+    ctx: &mut Ctx,
+    tier: &MemTier,
+    prefix: &str,
+    app: &str,
+    sop: u64,
+    manifest: Vec<u8>,
+    file_lens: &[(String, u64)],
+    local: Vec<CapturedPiece>,
+) -> Result<StoreReport> {
+    let (rank_of_node, node_set) = node_map(ctx);
+    if !placement::replication_feasible(node_set.len(), tier.replicas()) {
+        return Err(MemTierError::ReplicationUnsatisfiable {
+            replicas: tier.replicas(),
+            nodes: node_set.len(),
+        });
+    }
+    ctx.barrier();
+    let t0 = ctx.now();
+    if ctx.rank() == 0 {
+        tier.begin(prefix);
+    }
+    ctx.barrier();
+
+    let my_node = ctx.node();
+    let my_bytes: u64 = local.iter().map(|p| p.data.len() as u64).sum();
+    for p in &local {
+        tier.insert_piece(prefix, &p.file, p.offset, &p.data, p.crc, my_node)?;
+    }
+
+    // Replication scatter, identical placement law to `store_checkpoint`:
+    // keyed on (file, offset) so the rotation spreads load across pieces.
+    let mut outgoing: Vec<Vec<u8>> = vec![Vec::new(); ctx.ntasks()];
+    let mut my_replica_bytes = 0u64;
+    for p in &local {
+        let key = u64::from(crc32(p.file.as_bytes())).wrapping_add(p.offset);
+        for node in placement::replica_nodes(my_node, &node_set, tier.replicas(), key)? {
+            let dst = rank_of_node[&node];
+            let mut w = Writer::new();
+            w.string(&p.file);
+            w.u64(p.offset);
+            w.u32(p.crc);
+            w.blob(&p.data);
+            outgoing[dst].extend(w.finish());
+            my_replica_bytes += p.data.len() as u64;
+        }
+    }
+    let incoming = ctx.alltoallv(outgoing);
+    for src in 0..ctx.ntasks() {
+        if src == ctx.rank() {
+            continue;
+        }
+        let buf = incoming.from(src).to_vec();
+        let mut r = Reader::new(&buf);
+        while r.remaining() > 0 {
+            let file = r.string().map_err(CoreError::from)?;
+            let off = r.u64().map_err(CoreError::from)?;
+            let crc = r.u32().map_err(CoreError::from)?;
+            let data = Arc::new(r.blob().map_err(CoreError::from)?);
+            tier.insert_piece(prefix, &file, off, &data, crc, my_node)?;
+        }
+    }
+
+    let (per_task, _) = ctx.exchange((my_bytes, my_replica_bytes, local.len() as u64));
+    let bytes: u64 = per_task.iter().map(|x| x.0).sum();
+    let replica_bytes: u64 = per_task.iter().map(|x| x.1).sum();
+    let pieces: u64 = per_task.iter().map(|x| x.2).sum();
+
+    ctx.barrier();
+    let seal_err: Option<String> = if ctx.rank() == 0 {
+        tier.seal(prefix, app, sop, manifest, file_lens).err().map(|e| e.to_string())
+    } else {
+        None
+    };
+    let (votes, t) = ctx.exchange(seal_err);
+    ctx.advance_to(t);
+    ctx.barrier();
+    let t1 = ctx.now();
+
+    if ctx.rank() == 0 && ctx.recorder().enabled() {
+        let rec = ctx.recorder();
+        rec.span_start(t0, 0, Phase::MemTier, "store");
+        rec.span_end(t1, 0, Phase::MemTier, "store");
+        rec.event(t1, 0, Phase::MemTier, &format!("MemTierStore {prefix}"));
+        rec.counter_add_at(t1, 0, names::MEMTIER_STORE_BYTES, None, bytes);
+        rec.counter_add_at(t1, 0, names::MEMTIER_REPLICA_BYTES, None, replica_bytes);
+        if let Some(r) = tier.min_replicas(prefix) {
+            rec.gauge_set_at(t1, 0, names::MEMTIER_REPLICAS, 0, r as f64);
+        }
+    }
+    if let Some(err) = votes[0].clone() {
+        return Err(MemTierError::Incomplete(err));
+    }
+    Ok(StoreReport { seconds: t1 - t0, sop, bytes, replica_bytes, pieces })
+}
+
+/// Writes every resident piece of a sealed tier entry into the **staged**
+/// PIOFS prefix (`{prefix}.tmp/...`) through the priced collective-write
+/// path, without touching manifests: the asynchronous flusher owns the
+/// two-phase publish tail (staged manifest → `publish_data` →
+/// `publish_manifest`), so a crash mid-spill leaves only staged debris for
+/// the orphan sweep. Each piece is written by the lowest rank on its first
+/// holder node, exactly like [`spill_checkpoint`]. Returns data bytes
+/// written across all tasks.
+pub fn spill_to_staging(ctx: &mut Ctx, fs: &Piofs, tier: &MemTier, prefix: &str) -> Result<u64> {
+    let staging = drms_core::commit::staging_prefix(prefix);
+    let pieces = tier.pieces_for_spill(prefix)?;
+    let (rank_of_node, _) = node_map(ctx);
+
+    if ctx.rank() == 0 {
+        let mut seen = BTreeSet::new();
+        for p in &pieces {
+            if seen.insert(p.file.clone()) {
+                fs.create(&format!("{staging}/{}", p.file));
+            }
+        }
+    }
+    ctx.barrier();
+
+    let my_reqs: Vec<WriteReq> = pieces
+        .iter()
+        .filter(|p| *rank_of_node.get(&p.primary).unwrap_or(&0) == ctx.rank())
+        .map(|p| WriteReq {
+            path: format!("{staging}/{}", p.file),
+            offset: p.offset,
+            data: (*p.data).clone(),
+        })
+        .collect();
+    let my_bytes: u64 = my_reqs.iter().map(|r| r.data.len() as u64).sum();
+    fs.collective_write(ctx, my_reqs);
+    ctx.barrier();
+
+    let (per_task, _) = ctx.exchange(my_bytes);
+    Ok(per_task.iter().sum())
 }
 
 /// Persists a sealed tier entry to PIOFS (collective): every resident piece

@@ -386,8 +386,10 @@ impl MemTier {
         Ok(())
     }
 
-    /// Marks an entry as spilled to PIOFS.
-    pub(crate) fn mark_spilled(&self, prefix: &str) {
+    /// Marks an entry as spilled to PIOFS. Public so the asynchronous
+    /// flush pipeline, which publishes the durable copy itself, can record
+    /// durability on the tier entry it drained.
+    pub fn mark_spilled(&self, prefix: &str) {
         if let Some(ck) = self.inner.lock().get_mut(prefix) {
             ck.spilled = true;
         }

@@ -216,6 +216,29 @@ impl Ctx {
         self.clock.advance_to(t);
     }
 
+    /// Runs `body` on a *detached timeline*: side effects (messages, file
+    /// writes, fault decisions) execute eagerly with normal virtual-time
+    /// pricing, but when the region finishes this task's clock is rewound
+    /// to where it started, and the measured duration is returned alongside
+    /// the result. This is how background work (an asynchronous checkpoint
+    /// flush) overlaps with subsequent compute in a simulation whose
+    /// clocks otherwise only move forward: the work happens now, the time
+    /// it took is accounted to a background timeline by the caller.
+    ///
+    /// The region is **collective**: if `body` performs barriers,
+    /// exchanges, or collective I/O, every task of the region must be
+    /// inside its own `run_detached` call at the same program point,
+    /// entering with reconciled clocks (barrier first), so the detached
+    /// timestamps agree across tasks and the measured duration is
+    /// identical on every rank.
+    pub fn run_detached<R>(&mut self, body: impl FnOnce(&mut Ctx) -> R) -> (R, f64) {
+        let saved = self.clock;
+        let out = body(self);
+        let d = (self.clock.now() - saved.now()).max(0.0);
+        self.clock = saved;
+        (out, d)
+    }
+
     // ------------------------------------------------------------------
     // Point-to-point
     // ------------------------------------------------------------------

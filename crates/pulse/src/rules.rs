@@ -120,6 +120,10 @@ pub struct RuleThresholds {
     /// dirty-chunk ratio exceeds this (deltas no longer save anything and
     /// the application should fall back to full checkpoints).
     pub delta_dirty_ceiling: f64,
+    /// Flush-lag budget: alert when the asynchronous pipeline accrues at
+    /// least this many microseconds of commit lag inside one window (the
+    /// background flusher has fallen behind the snapshot cadence).
+    pub flush_lag_budget_us: u64,
 }
 
 impl Default for RuleThresholds {
@@ -131,13 +135,14 @@ impl Default for RuleThresholds {
             straggler_min_ranks: 4,
             min_replicas: 1.0,
             delta_dirty_ceiling: 0.9,
+            flush_lag_budget_us: 5_000_000,
         }
     }
 }
 
-/// The six built-in rules: checkpoint-stall SLO breach, retry storm,
-/// straggler skew, parity-degraded writes, memory-tier replica loss, and
-/// delta-ratio collapse.
+/// The seven built-in rules: checkpoint-stall SLO breach, retry storm,
+/// straggler skew, parity-degraded writes, memory-tier replica loss,
+/// delta-ratio collapse, and asynchronous flush lag.
 pub fn builtin_rules(th: &RuleThresholds) -> Vec<PulseRule> {
     use drms_obs::names;
     vec![
@@ -183,6 +188,14 @@ pub fn builtin_rules(th: &RuleThresholds) -> Vec<PulseRule> {
                 name: names::DELTA_DIRTY_RATIO,
                 index: 0,
                 above: th.delta_dirty_ceiling,
+            },
+            min_windows: 1,
+        },
+        PulseRule {
+            name: names::ALERT_FLUSH_LAG,
+            predicate: Predicate::CountAbove {
+                metrics: vec![names::ASYNC_FLUSH_LAG_US],
+                at_least: th.flush_lag_budget_us,
             },
             min_windows: 1,
         },

@@ -21,6 +21,9 @@
 //!   parity repair, seeded storage-fault campaigns, restart fallback;
 //! * [`memtier`] — the diskless checkpoint tier: in-memory replication of
 //!   stream pieces across nodes, verified spill to PIOFS, tiered restart;
+//! * [`async_ckpt`] — the asynchronous checkpoint pipeline: COW snapshots
+//!   at the SOP, a deterministic background flusher with bounded
+//!   backpressure, and bitwise-identical committed checkpoints;
 //! * [`rtenv`] — the RC/TC/JSA run-time environment and failure recovery;
 //! * [`obs`] — the observability layer (recorders, phases, counters);
 //! * [`pulse`] — online telemetry: windowed streaming aggregation, a
@@ -29,6 +32,7 @@
 //! * [`apps`] — mini NAS-parallel-benchmark applications (BT, LU, SP).
 
 pub use drms_apps as apps;
+pub use drms_async as async_ckpt;
 pub use drms_chaos as chaos;
 pub use drms_core as core;
 pub use drms_darray as darray;

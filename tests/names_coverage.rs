@@ -11,6 +11,7 @@ use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use drms::async_ckpt::{AsyncCheckpointer, AsyncConfig};
 use drms::chaos::{ChaosCtl, CrashPoint, FaultPlan, MsgFaults, PiofsFaults, TornWrite};
 use drms::core::segment::DataSegment;
 use drms::core::{CoreError, Drms, DrmsConfig, EnableFlag, Start};
@@ -105,10 +106,22 @@ struct Fault {
     victims: Vec<usize>,
 }
 
+/// How the drift job takes its checkpoints: the blocking paths the
+/// original scenarios exercise, or overlapped through the asynchronous
+/// pipeline (COW snapshot at the SOP, background flush). The mode is a
+/// parameter rather than an assumption baked into the job body, so
+/// overlapped runs register their `async.*` names through the same
+/// scenario plumbing.
+#[derive(Clone, Copy, PartialEq)]
+enum CkptMode {
+    Blocking,
+    Overlapped,
+}
+
 /// Runs the drift job under the JSA with an optional memory tier and a
 /// fault schedule. The job checkpoints every third iteration and the final
 /// state must match an uninterrupted run bitwise.
-fn run_job(w: &World, tier: Option<Arc<MemTier>>, faults: Vec<Fault>) {
+fn run_job(w: &World, tier: Option<Arc<MemTier>>, faults: Vec<Fault>, mode: CkptMode) {
     let mut jsa = Jsa::new(
         Arc::clone(&w.rc),
         Arc::clone(&w.fs),
@@ -175,6 +188,7 @@ fn run_job(w: &World, tier: Option<Arc<MemTier>>, faults: Vec<Fault>) {
                 drms
             }
         };
+        let mut ck = AsyncCheckpointer::new(AsyncConfig { budget: 1 });
         for iter in start_iter..=NITER {
             if env.sop_killed(ctx) {
                 return JobOutcome::Killed;
@@ -187,8 +201,20 @@ fn run_job(w: &World, tier: Option<Arc<MemTier>>, faults: Vec<Fault>) {
             seg.set_control("iter", iter);
             if iter % CKPT_EVERY == 0 {
                 let prefix = format!("ck/drift/{iter}");
-                match &env.memtier {
-                    Some(tier) if store_feasible(ctx, tier) => {
+                match (mode, &env.memtier) {
+                    (CkptMode::Overlapped, _) => {
+                        ck.checkpoint(
+                            ctx,
+                            &env.fs,
+                            &mut drms,
+                            &prefix,
+                            &seg,
+                            &[&u],
+                            env.memtier.as_deref(),
+                        )
+                        .unwrap();
+                    }
+                    (CkptMode::Blocking, Some(tier)) if store_feasible(ctx, tier) => {
                         store_checkpoint(ctx, tier, &prefix, &mut drms, &seg, &[&u]).unwrap();
                         spill_checkpoint(ctx, &env.fs, tier, &prefix).unwrap();
                     }
@@ -213,6 +239,9 @@ fn run_job(w: &World, tier: Option<Arc<MemTier>>, faults: Vec<Fault>) {
                     }
                 }
             }
+        }
+        if mode == CkptMode::Overlapped {
+            ck.drain(ctx);
         }
         if env.sop_killed(ctx) {
             return JobOutcome::Killed;
@@ -325,7 +354,12 @@ fn every_metric_name_is_emitted_by_some_instrumentation_site() {
     // streaming, PIOFS, core, parity/reconstruction and job-retry names.
     {
         let w = build_world(11, true);
-        run_job(&w, None, vec![Fault { at: 4, server: Some(2), victims: vec![3] }]);
+        run_job(
+            &w,
+            None,
+            vec![Fault { at: 4, server: Some(2), victims: vec![3] }],
+            CkptMode::Blocking,
+        );
         covered.extend(emitted(&w.rec));
     }
 
@@ -334,7 +368,7 @@ fn every_metric_name_is_emitted_by_some_instrumentation_site() {
     // detection and parity repair.
     {
         let w = build_world(7, true);
-        run_job(&w, None, Vec::new());
+        run_job(&w, None, Vec::new(), CkptMode::Blocking);
         let hits = CorruptionCampaign::new(0xC0FFEE, 1).apply(&w.fs, "ck/drift/9");
         assert!(!hits.is_empty(), "campaign applied no corruption");
         let report = scrub_checkpoint(&w.fs, "ck/drift/9", &*w.rec, 0.0);
@@ -351,12 +385,17 @@ fn every_metric_name_is_emitted_by_some_instrumentation_site() {
     {
         let w = build_world(31, false);
         let tier = MemTier::new(1);
-        run_job(&w, Some(Arc::clone(&tier)), Vec::new());
+        run_job(&w, Some(Arc::clone(&tier)), Vec::new(), CkptMode::Blocking);
         covered.extend(emitted(&w.rec));
 
         assert!(w.fs.corrupt_range("ck/drift/9/array-u", 0, 16, 13) > 0);
         let w2 = reenter(&w);
-        run_job(&w2, Some(tier), vec![Fault { at: 10, server: None, victims: (0..=6).collect() }]);
+        run_job(
+            &w2,
+            Some(tier),
+            vec![Fault { at: 10, server: None, victims: (0..=6).collect() }],
+            CkptMode::Blocking,
+        );
         covered.extend(emitted(&w2.rec));
     }
 
@@ -448,6 +487,7 @@ fn every_metric_name_is_emitted_by_some_instrumentation_site() {
             &w,
             Some(MemTier::new(1)),
             vec![Fault { at: 4, server: Some(2), victims: vec![3] }],
+            CkptMode::Blocking,
         );
         let report = pulse.finish();
         for alert in [
@@ -546,6 +586,73 @@ fn every_metric_name_is_emitted_by_some_instrumentation_site() {
             report.alerts
         );
         covered.extend(emitted(&trace));
+    }
+
+    // Scenario 8 — asynchronous pipeline: the fault-free drift run
+    // overlapped through the async checkpointer under a one-microsecond
+    // flush-lag budget, so the flush-lag rule fires on the first settled
+    // window holding a commit. Covers the snapshot/flush counters, the
+    // in-flight and overlap gauges, and the flush-lag alert; a budget-1
+    // back-to-back pair plus a flush-side chaos crash then cover the
+    // backpressure and abort names.
+    {
+        let thresholds = RuleThresholds { flush_lag_budget_us: 1, ..RuleThresholds::default() };
+        let trace = Arc::new(TraceRecorder::default());
+        let pulse = Pulse::new(PulseConfig {
+            ntasks: NPROCS,
+            window: 0.002,
+            rules: builtin_rules(&thresholds),
+            ..PulseConfig::default()
+        });
+        pulse.set_sink(trace.clone() as Arc<dyn Recorder>);
+        let fan: Arc<dyn Recorder> = Arc::new(FanoutRecorder::new(vec![
+            trace.clone() as Arc<dyn Recorder>,
+            pulse.recorder(),
+        ]));
+        let w = build_pulse_world(23, false, trace.clone(), fan);
+        run_job(&w, None, Vec::new(), CkptMode::Overlapped);
+        let report = pulse.finish();
+        assert!(
+            report.alerts.iter().any(|a| a.rule == names::ALERT_FLUSH_LAG),
+            "flush-lag rule never fired; fired: {:?}",
+            report.alerts
+        );
+        covered.extend(emitted(&trace));
+
+        let rec = Arc::new(TraceRecorder::default());
+        let fs = Piofs::new(PiofsConfig::test_tiny(2), 23);
+        fs.set_recorder(rec.clone() as Arc<dyn Recorder>);
+        // The first flush consults FlushAfterSegment once and commits; the
+        // second consult arms the crash, so checkpoint 2 stalls on the
+        // budget-1 pipeline (backpressure names) and then aborts its flush
+        // (abort name).
+        let ctl = ChaosCtl::new(FaultPlan {
+            crash: Some((CrashPoint::FlushAfterSegment, 2)),
+            ..FaultPlan::seeded(23)
+        });
+        run_spmd_chaos(2, CostModel::default(), rec.clone(), ctl, |ctx| {
+            let (mut drms, _) =
+                Drms::initialize(ctx, &fs, DrmsConfig::new(APP), EnableFlag::new(), None).unwrap();
+            let dom = Slice::boxed(&[(1, 2048)]);
+            let dist = Distribution::block_auto(&dom, ctx.ntasks(), 1).unwrap();
+            let mut u = DistArray::<f64>::new("u", Order::ColumnMajor, dist, ctx.rank());
+            u.fill_assigned(|p| (p[0] * 7) as f64);
+            let seg = DataSegment::new();
+            let mut ck = AsyncCheckpointer::new(AsyncConfig { budget: 1 });
+            ck.checkpoint(ctx, &fs, &mut drms, "ck/a1", &seg, &[&u], None).unwrap();
+            match ck.checkpoint(ctx, &fs, &mut drms, "ck/a2", &seg, &[&u], None) {
+                Err(e) if e.is_interrupted() => {}
+                other => panic!("armed flush crash never fired: {other:?}"),
+            }
+        })
+        .unwrap();
+        let names_seen = emitted(&rec);
+        for name in
+            [names::ASYNC_BACKPRESSURE_STALLS, names::ASYNC_STALL_US, names::ASYNC_FLUSH_ABORTS]
+        {
+            assert!(names_seen.contains(name), "budget-1 crash pair never emitted {name}");
+        }
+        covered.extend(names_seen);
     }
 
     let missing: Vec<&str> = names::ALL.iter().copied().filter(|n| !covered.contains(n)).collect();

@@ -18,11 +18,13 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use drms::async_ckpt::{AsyncCheckpointer, AsyncConfig};
 use drms::core::segment::DataSegment;
 use drms::core::{Drms, DrmsConfig, Start};
 use drms::darray::{DistArray, Distribution};
 use drms::memtier::{spill_checkpoint, store_checkpoint, store_feasible, MemTier};
 use drms::msg::CostModel;
+use drms::obs::names;
 use drms::obs::{FanoutRecorder, Phase, Recorder, TraceRecorder};
 use drms::piofs::{Piofs, PiofsConfig};
 use drms::pulse::{builtin_rules, Pulse, PulseConfig, RuleThresholds};
@@ -144,4 +146,106 @@ fn online_totals_match_the_post_hoc_trace_and_insight() {
             "span seconds for {key:?} diverged: online {online} vs insight {reference}"
         );
     }
+}
+
+/// Flush-lag accounting agrees across all three observability layers for
+/// an asynchronous-pipeline run: the live pulse total, the post-hoc trace
+/// registry (exactly), and the insight reconstruction of the
+/// `Phase::Async` flush spans (up to per-flush microsecond rounding). A
+/// one-microsecond lag budget makes the built-in `pulse.alert.flush_lag`
+/// rule fire on the first settled window holding a flush.
+#[test]
+fn async_flush_lag_agrees_across_online_trace_and_insight() {
+    let trace = Arc::new(TraceRecorder::default());
+    let pulse = Pulse::new(PulseConfig {
+        ntasks: NPROCS,
+        window: 0.002,
+        rules: builtin_rules(&RuleThresholds {
+            flush_lag_budget_us: 1,
+            ..RuleThresholds::default()
+        }),
+        ..PulseConfig::default()
+    });
+    let fan: Arc<dyn Recorder> =
+        Arc::new(FanoutRecorder::new(vec![trace.clone() as Arc<dyn Recorder>, pulse.recorder()]));
+    let log = EventLog::with_recorder(fan.clone());
+    let rc = Arc::new(ResourceCoordinator::new(NPROCS, log.clone()));
+    let fs = Piofs::new(PiofsConfig::test_tiny(NPROCS), 3);
+    fs.set_recorder(fan);
+    Drms::install_binary(&fs, &DrmsConfig::new(APP));
+    let jsa =
+        Jsa::new(Arc::clone(&rc), Arc::clone(&fs), log, CostModel::default(), JsaPolicy::default());
+
+    let job = JobSpec::new(APP, (1, NPROCS), move |ctx, env| {
+        let dist = Distribution::block_auto(&domain(), ctx.ntasks(), 1).unwrap();
+        let mut u = DistArray::<f64>::new("u", Order::ColumnMajor, dist, ctx.rank());
+        let mut seg = DataSegment::new();
+        let (mut drms, start) = Drms::initialize(
+            ctx,
+            &env.fs,
+            DrmsConfig::new(APP),
+            env.enable.clone(),
+            env.restart_from.as_deref(),
+        )
+        .unwrap();
+        assert!(matches!(start, Start::Fresh));
+        u.fill_assigned(|p| (p[0] * 13 + p[1] * 3) as f64);
+        let mut ck = AsyncCheckpointer::new(AsyncConfig { budget: 2 });
+        for iter in 1..=NITER {
+            let region = u.assigned().clone();
+            region.points(Order::ColumnMajor).for_each(|p| {
+                let v = u.get(p).unwrap();
+                u.set(p, v + 1.5).unwrap();
+            });
+            seg.set_control("iter", iter);
+            if iter % CKPT_EVERY == 0 {
+                let prefix = format!("ck/pulsecheck/{iter}");
+                ck.checkpoint(ctx, &env.fs, &mut drms, &prefix, &seg, &[&u], None).unwrap();
+            }
+        }
+        ck.drain(ctx);
+        JobOutcome::Completed
+    });
+
+    let summary = jsa.run_job(&job);
+    assert!(summary.completed, "fault-free async run did not complete: {summary:?}");
+    pulse.set_sink(trace.clone() as Arc<dyn Recorder>);
+    let report = pulse.finish();
+    assert_eq!(report.dropped, 0, "bounded rings dropped samples");
+
+    // Layer 1 vs layer 2: live pulse total equals the trace registry,
+    // exactly (same u64 increments, different accumulators).
+    let online = *report
+        .cum_counters
+        .get(names::ASYNC_FLUSH_LAG_US)
+        .expect("async run emitted no flush lag");
+    let metrics = trace.metrics();
+    assert_eq!(online, metrics.counter_total(names::ASYNC_FLUSH_LAG_US));
+    let flushes = metrics.counter_total(names::ASYNC_FLUSHES);
+    assert_eq!(flushes, (NITER / CKPT_EVERY) as u64);
+
+    // Layer 3: insight's reconstruction of the flush spans covers the same
+    // lag windows. Each flush contributed `round(lag_us)` to the counter
+    // and the raw float to its span, so the totals agree to half a
+    // microsecond per flush.
+    let analysis = Analysis::from_recorder(&trace);
+    let span_lag_us: f64 = analysis
+        .spans
+        .iter()
+        .filter(|s| s.phase == Phase::Async && s.name == "flush")
+        .map(|s| s.duration())
+        .sum::<f64>()
+        * 1e6;
+    assert!(span_lag_us > 0.0, "no flush spans reconstructed — vacuous cross-check");
+    assert!(
+        (online as f64 - span_lag_us).abs() <= 0.5 * flushes as f64 + 1.0,
+        "flush lag diverged: counter {online}us vs insight spans {span_lag_us}us"
+    );
+
+    // The one-microsecond budget makes the built-in rule fire.
+    assert!(
+        report.alerts.iter().any(|a| a.rule == names::ALERT_FLUSH_LAG),
+        "flush-lag alert never fired: {:?}",
+        report.alerts
+    );
 }
