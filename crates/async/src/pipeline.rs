@@ -242,13 +242,13 @@ impl AsyncCheckpointer {
         let stalled = self.await_slot(ctx);
         drms.advance_sop();
         ctx.barrier();
-        crash_point(ctx, CrashPoint::CkptEnter, false)?;
+        crash_point(ctx, fs, CrashPoint::CkptEnter, false)?;
         let t_sop = ctx.now();
 
         let snap = Snapshot::capture(ctx, drms, base_segment, arrays)?;
         ctx.barrier();
         let t_snap = ctx.now();
-        crash_point(ctx, CrashPoint::FlushArmed, false)?;
+        crash_point(ctx, fs, CrashPoint::FlushArmed, false)?;
 
         let prefix_owned = prefix.to_string();
         let (flushed, d) = ctx.run_detached(|ctx| flush_full(ctx, fs, tier, &prefix_owned, &snap));
@@ -292,7 +292,7 @@ impl AsyncCheckpointer {
         drms.advance_sop();
         let full = chain.begin(dcfg);
         ctx.barrier();
-        if let Err(e) = crash_point(ctx, CrashPoint::CkptEnter, false) {
+        if let Err(e) = crash_point(ctx, fs, CrashPoint::CkptEnter, false) {
             chain.abort();
             return Err(e.into());
         }
@@ -309,7 +309,7 @@ impl AsyncCheckpointer {
         ctx.barrier();
         let t_snap = ctx.now();
         emit_delta_obs(ctx, prefix, &plan, t_sop, t_snap, full);
-        if let Err(e) = crash_point(ctx, CrashPoint::FlushArmed, false) {
+        if let Err(e) = crash_point(ctx, fs, CrashPoint::FlushArmed, false) {
             chain.abort();
             return Err(e.into());
         }
@@ -413,10 +413,10 @@ fn flush_full(
         let file_lens = snap.file_lens();
         let pieces = snap.tier_pieces(tier.piece_bytes());
         store_captured(ctx, tier, prefix, &snap.app, snap.sop, manifest, &file_lens, pieces)?;
-        crash_point(ctx, CrashPoint::FlushAfterSegment, true)?;
+        crash_point(ctx, fs, CrashPoint::FlushAfterSegment, true)?;
         spill_to_staging(ctx, fs, tier, prefix)?;
         ctx.barrier();
-        crash_point(ctx, CrashPoint::FlushAfterArray, true)?;
+        crash_point(ctx, fs, CrashPoint::FlushAfterArray, true)?;
     } else {
         if ctx.rank() == 0 {
             let seg = snap.segment.as_ref().expect("rank 0 captured the segment");
@@ -425,7 +425,7 @@ fn flush_full(
             fs.write_at(ctx, &path, 0, seg);
         }
         ctx.barrier();
-        crash_point(ctx, CrashPoint::FlushAfterSegment, true)?;
+        crash_point(ctx, fs, CrashPoint::FlushAfterSegment, true)?;
         for a in &snap.arrays {
             let path = array_path(&staging, &a.name);
             if ctx.rank() == 0 {
@@ -438,34 +438,38 @@ fn flush_full(
                 .map(|p| WriteReq { path: path.clone(), offset: p.offset, data: p.data.clone() })
                 .collect();
             fs.collective_write(ctx, reqs);
-            crash_point(ctx, CrashPoint::FlushAfterArray, true)?;
+            crash_point(ctx, fs, CrashPoint::FlushAfterArray, true)?;
         }
         ctx.barrier();
     }
 
+    drms_core::stage_flight_rings(ctx, fs, &staging);
     if ctx.rank() == 0 {
         let manifest = snap.manifest(compute_integrity_staged(fs, prefix));
         let smp = staged_manifest_path(prefix);
         fs.create(&smp);
         fs.write_at(ctx, &smp, 0, &manifest.encode());
     }
-    crash_point(ctx, CrashPoint::FlushStagedManifest, true)?;
+    crash_point(ctx, fs, CrashPoint::FlushStagedManifest, true)?;
     if ctx.rank() == 0 {
         publish_data(fs, prefix);
     }
-    crash_point(ctx, CrashPoint::FlushMidPublish, true)?;
+    crash_point(ctx, fs, CrashPoint::FlushMidPublish, true)?;
     if ctx.rank() == 0 {
         let committed = publish_manifest(fs, prefix);
         debug_assert!(committed, "staged manifest must exist at the commit point");
         if ctx.recorder().enabled() {
             ctx.recorder().counter_add_at(ctx.now(), 0, names::COMMITS, None, 1);
         }
+        if ctx.recorder().flight_enabled() {
+            ctx.recorder().event(ctx.now(), 0, Phase::Manifest, &format!("commit:{prefix}"));
+        }
         if let Some(tier) = tier {
             tier.mark_spilled(prefix);
         }
     }
     ctx.barrier();
-    crash_point(ctx, CrashPoint::FlushCommitted, false)?;
+    crash_point(ctx, fs, CrashPoint::FlushCommitted, false)?;
     Ok(snap.total_bytes)
 }
 
@@ -591,7 +595,7 @@ fn flush_delta(ctx: &mut Ctx, fs: &Piofs, prefix: &str, plan: &DeltaPlan) -> Res
         fs.write_at(ctx, &path, 0, seg);
     }
     ctx.barrier();
-    crash_point(ctx, CrashPoint::FlushAfterSegment, true)?;
+    crash_point(ctx, fs, CrashPoint::FlushAfterSegment, true)?;
     for i in 0..plan.entries.len() {
         if ctx.rank() == 0 {
             let (name, pack) = &plan.packs[i];
@@ -601,9 +605,10 @@ fn flush_delta(ctx: &mut Ctx, fs: &Piofs, prefix: &str, plan: &DeltaPlan) -> Res
                 fs.write_at(ctx, &path, 0, pack);
             }
         }
-        crash_point(ctx, CrashPoint::FlushAfterArray, true)?;
+        crash_point(ctx, fs, CrashPoint::FlushAfterArray, true)?;
     }
     ctx.barrier();
+    drms_core::stage_flight_rings(ctx, fs, &staging);
     if ctx.rank() == 0 {
         let manifest = Manifest {
             app: plan.app.clone(),
@@ -618,19 +623,22 @@ fn flush_delta(ctx: &mut Ctx, fs: &Piofs, prefix: &str, plan: &DeltaPlan) -> Res
         fs.create(&smp);
         fs.write_at(ctx, &smp, 0, &manifest.encode());
     }
-    crash_point(ctx, CrashPoint::FlushStagedManifest, true)?;
+    crash_point(ctx, fs, CrashPoint::FlushStagedManifest, true)?;
     if ctx.rank() == 0 {
         publish_data(fs, prefix);
     }
-    crash_point(ctx, CrashPoint::FlushMidPublish, true)?;
+    crash_point(ctx, fs, CrashPoint::FlushMidPublish, true)?;
     if ctx.rank() == 0 {
         let committed = publish_manifest(fs, prefix);
         debug_assert!(committed, "staged manifest must exist at the commit point");
         if ctx.recorder().enabled() {
             ctx.recorder().counter_add_at(ctx.now(), 0, names::COMMITS, None, 1);
         }
+        if ctx.recorder().flight_enabled() {
+            ctx.recorder().event(ctx.now(), 0, Phase::Manifest, &format!("commit:{prefix}"));
+        }
     }
     ctx.barrier();
-    crash_point(ctx, CrashPoint::FlushCommitted, false)?;
+    crash_point(ctx, fs, CrashPoint::FlushCommitted, false)?;
     Ok(plan.stats.pack_bytes)
 }

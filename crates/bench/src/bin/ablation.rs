@@ -38,6 +38,7 @@ fn body(opts: &Options) {
     let spec = bt(opts.class);
     let field = &spec.fields[0];
     let pes = 16usize;
+    result.stamp_header(drms_bench::seed::fault_seed_or(0), pes);
     println!(
         "Ablations on streaming one BT field ({:.1} MB) out of {} tasks, class {}\n",
         spec.domain(field.components).size() as f64 * 8.0 / 1e6,

@@ -121,6 +121,7 @@ fn body(opts: &Opts, repro: &str) {
     result.param("budget", params.budget);
     result.param("compute_factor", params.compute_factor);
     result.param("seed", params.seed);
+    result.stamp_header(params.seed, CKPT_TASKS);
 
     let mut rows = Vec::new();
     let mut timeline = String::new();

@@ -140,6 +140,7 @@ fn body(opts: &Opts, repro: &str) {
     result.param("chunk_bytes", params.chunk_bytes);
     result.param("full_every", params.full_every);
     result.param("seed", params.seed);
+    result.stamp_header(params.seed, CKPT_TASKS);
 
     let mut rows = Vec::new();
     for spec in &specs {

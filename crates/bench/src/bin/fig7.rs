@@ -74,6 +74,10 @@ fn body(opts: &Options) {
     let mut result = BenchResult::new("fig7");
     result.param("class", opts.class);
     result.param("runs", opts.runs);
+    result.stamp_header(
+        drms_bench::seed::fault_seed_or(0),
+        opts.pes.iter().copied().max().unwrap_or(0),
+    );
     println!("partition,bar,segment_s,arrays_s,other_s,total_s");
     for (pes, group) in &bars {
         for b in group {

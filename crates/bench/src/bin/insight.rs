@@ -190,6 +190,7 @@ fn main() {
         result.param("class", opts.class);
         result.param("pes", opts.pes);
         result.param("seed", SEED);
+        result.stamp_header(SEED, opts.pes);
 
         for spec in [bt(opts.class), lu(opts.class), sp(opts.class)] {
             for (op, analysis) in trace_app(&spec, opts.pes) {

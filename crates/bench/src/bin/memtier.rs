@@ -256,6 +256,7 @@ fn body(opts: &Opts) {
     result.param("class", opts.class);
     result.param("pes", opts.pes);
     result.param("seed", opts.seed);
+    result.stamp_header(opts.seed, opts.pes);
 
     let mut counts = vec![(opts.pes / 2).max(1), opts.pes];
     counts.dedup();

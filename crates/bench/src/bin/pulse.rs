@@ -351,6 +351,7 @@ fn main() {
         result.param("seed", opts.seed);
         result.param("niter", NITER);
         result.param("nprocs", NPROCS);
+        result.stamp_header(opts.seed, NPROCS);
 
         // Run 1 — pulse off.
         let off = run_campaign(opts.seed, None);

@@ -196,6 +196,7 @@ fn body(opts: &Opts) {
     result.param("class", opts.class);
     result.param("pes", opts.pes);
     result.param("seed", opts.seed);
+    result.stamp_header(opts.seed, opts.pes);
 
     for spec in [bt(opts.class), lu(opts.class), sp(opts.class)] {
         let clean = run_cycle(&spec, opts, false, None);

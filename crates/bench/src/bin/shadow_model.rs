@@ -49,6 +49,7 @@ fn main() {
 fn body(json: Option<&std::path::Path>) {
     println!("Section 6 — ratio of grid points saved: local view / global view\n");
     let mut result = BenchResult::new("shadow_model");
+    result.stamp_header(drms_bench::seed::fault_seed_or(0), 0);
 
     // The paper's CFD setting: n = 32, gamma = 2, d = 3.
     let r = shadow::shadow_ratio(32.0, 2.0, 3);

@@ -97,6 +97,7 @@ fn body(json: Option<&std::path::Path>) {
     let mut total = 0usize;
     let mut drms = 0usize;
     let mut result = BenchResult::new("table1");
+    result.stamp_header(drms_bench::seed::fault_seed_or(0), 0);
     for (name, src) in SOURCES {
         let t = code_lines(src);
         let d = drms_lines(src);

@@ -33,6 +33,7 @@ fn body(opts: &Options) {
     println!("class {}\n", opts.class);
     let mut result = BenchResult::new("table3");
     result.param("class", opts.class);
+    result.stamp_header(drms_bench::seed::fault_seed_or(0), 16);
 
     let header = vec![
         "app",

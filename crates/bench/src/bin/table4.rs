@@ -34,6 +34,7 @@ fn body(opts: &Options) {
     println!("class {} | paper values are class A\n", opts.class);
     let mut result = BenchResult::new("table4");
     result.param("class", opts.class);
+    result.stamp_header(drms_bench::seed::fault_seed_or(0), 4);
 
     let header = vec!["app", "component", "measured", "paper (class A)", "delta"];
     let mut rows = Vec::new();

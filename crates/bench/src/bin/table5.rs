@@ -107,6 +107,10 @@ fn body(opts: &Options) {
     result.param("class", opts.class);
     result.param("runs", opts.runs);
     result.param("pes", opts.pes.iter().map(|p| p.to_string()).collect::<Vec<_>>().join(","));
+    result.stamp_header(
+        drms_bench::seed::fault_seed_or(0),
+        opts.pes.iter().copied().max().unwrap_or(0),
+    );
 
     for spec in &specs {
         for &pes in &opts.pes {

@@ -94,6 +94,7 @@ fn body(opts: &TraceOpts) {
     result.param("class", opts.class);
     result.param("pes", opts.pes);
     result.param("seed", SEED);
+    result.stamp_header(SEED, opts.pes);
     for spec in [bt(opts.class), lu(opts.class), sp(opts.class)] {
         trace_app(&spec, opts.pes, &opts.out, &mut result);
     }

@@ -19,6 +19,10 @@ use std::path::{Path, PathBuf};
 pub struct BenchResult {
     /// Bench name (`BENCH_<name>.json`).
     pub bench: String,
+    /// Run metadata (fault seed, bench binary, task count, ...): embedded
+    /// so a result file is self-describing and reproducible without the
+    /// command line that produced it. Compared exactly, like params.
+    pub header: Vec<(String, String)>,
     /// Invocation parameters (class, PEs, seed, ...), as strings.
     pub params: Vec<(String, String)>,
     /// Named metrics. Values must be finite.
@@ -28,7 +32,30 @@ pub struct BenchResult {
 impl BenchResult {
     /// Creates an empty result for `bench`.
     pub fn new(bench: &str) -> BenchResult {
-        BenchResult { bench: bench.to_owned(), params: Vec::new(), metrics: Vec::new() }
+        BenchResult {
+            bench: bench.to_owned(),
+            header: Vec::new(),
+            params: Vec::new(),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Records (or overwrites) a header metadata field.
+    pub fn header_field(&mut self, key: &str, value: impl ToString) {
+        let value = value.to_string();
+        match self.header.iter_mut().find(|(k, _)| k == key) {
+            Some((_, v)) => *v = value,
+            None => self.header.push((key.to_owned(), value)),
+        }
+    }
+
+    /// Stamps the standard run-metadata header every bench embeds: the
+    /// fault seed the run derived its randomness from, the bench binary
+    /// name, and the task count.
+    pub fn stamp_header(&mut self, fault_seed: u64, ntasks: usize) {
+        self.header_field("bench_bin", self.bench.clone());
+        self.header_field("fault_seed", fault_seed);
+        self.header_field("ntasks", ntasks);
     }
 
     /// Records (or overwrites) an invocation parameter.
@@ -63,6 +90,8 @@ impl BenchResult {
     /// Stable JSON: sorted keys, one entry per line, shortest-roundtrip
     /// floats. Byte-identical for identical results.
     pub fn to_json(&self) -> String {
+        let mut header = self.header.clone();
+        header.sort();
         let mut params = self.params.clone();
         params.sort();
         let mut metrics = self.metrics.clone();
@@ -71,6 +100,14 @@ impl BenchResult {
         let mut out = String::new();
         out.push_str("{\n");
         writeln!(out, "  \"bench\": {},", quote(&self.bench)).unwrap();
+        if !header.is_empty() {
+            out.push_str("  \"header\": {");
+            for (i, (k, v)) in header.iter().enumerate() {
+                let sep = if i + 1 < header.len() { "," } else { "" };
+                write!(out, "\n    {}: {}{sep}", quote(k), quote(v)).unwrap();
+            }
+            out.push_str("\n  },\n");
+        }
         out.push_str("  \"params\": {");
         for (i, (k, v)) in params.iter().enumerate() {
             let sep = if i + 1 < params.len() { "," } else { "" };
@@ -107,6 +144,16 @@ impl BenchResult {
             p.expect(b':')?;
             match key.as_str() {
                 "bench" => result.bench = p.string()?,
+                "header" => {
+                    p.expect(b'{')?;
+                    while !p.try_consume(b'}') {
+                        let k = p.string()?;
+                        p.expect(b':')?;
+                        let v = p.string()?;
+                        result.header.push((k, v));
+                        p.try_consume(b',');
+                    }
+                }
                 "params" => {
                     p.expect(b'{')?;
                     while !p.try_consume(b'}') {
@@ -265,6 +312,20 @@ pub fn compare(current: &BenchResult, baseline: &BenchResult, tol: f64) -> Vec<S
             Some(_) => {}
         }
     }
+    // Header fields are compared baseline-side only, like params: a
+    // baseline blessed before headers existed keeps passing, and a
+    // current run must reproduce whatever metadata the baseline pinned.
+    let mut header = baseline.header.clone();
+    header.sort();
+    for (k, v) in &header {
+        match current.header.iter().find(|(ck, _)| ck == k) {
+            None => failures.push(format!("header field {k:?} missing (baseline {v:?})")),
+            Some((_, cv)) if cv != v => {
+                failures.push(format!("header field {k:?} = {cv:?} differs from baseline {v:?}"))
+            }
+            Some(_) => {}
+        }
+    }
     let mut metrics = baseline.metrics.clone();
     metrics.sort_by(|a, b| a.0.cmp(&b.0));
     for (k, base) in &metrics {
@@ -321,6 +382,29 @@ mod tests {
         reordered.param("pes", 4);
         reordered.param("class", "S");
         assert_eq!(reordered.to_json(), text);
+    }
+
+    #[test]
+    fn header_round_trips_sorted_and_gates_exactly() {
+        let mut r = sample();
+        r.stamp_header(0xC0FFEE, 8);
+        let text = r.to_json();
+        // Sorted keys, before "params".
+        let h = text.find("\"header\"").unwrap();
+        assert!(h < text.find("\"params\"").unwrap());
+        assert!(text.find("\"bench_bin\"").unwrap() < text.find("\"fault_seed\"").unwrap());
+        let parsed = BenchResult::parse(&text).unwrap();
+        assert_eq!(parsed.to_json(), text);
+        assert_eq!(
+            parsed.header.iter().find(|(k, _)| k == "fault_seed").map(|(_, v)| v.as_str()),
+            Some("12648430")
+        );
+        // Exact comparison: a differing seed fails the gate, a baseline
+        // without headers still passes against a stamped current.
+        let mut drift = r.clone();
+        drift.header_field("fault_seed", 1);
+        assert!(compare(&drift, &r, 0.05).iter().any(|f| f.contains("fault_seed")));
+        assert!(compare(&r, &sample(), 0.05).is_empty());
     }
 
     #[test]

@@ -1,0 +1,188 @@
+//! The bounded per-rank flight ring.
+
+use std::collections::VecDeque;
+
+use drms_obs::TraceEvent;
+
+/// Bounded event buffer for one rank. Events are stamped with a per-rank
+/// monotone capture sequence number as they arrive; when the ring is full
+/// the oldest event is evicted first. Seals are *snapshots* (the ring is
+/// not drained), so every seal carries the rank's full surviving recent
+/// history and the newest recovered seal alone suffices to reconstruct it;
+/// the capture sequence numbers let overlapping seals deduplicate exactly.
+#[derive(Debug)]
+pub struct FlightRing {
+    buf: VecDeque<(u64, TraceEvent)>,
+    capacity: usize,
+    /// Next capture sequence number (== events captured so far).
+    next_seq: u64,
+    /// Events evicted oldest-first over the ring's lifetime.
+    evicted: u64,
+    /// Capture high-water mark covered by the last seal: events with
+    /// `seq >= sealed_hwm` have never been included in any seal.
+    sealed_hwm: u64,
+    /// Seals taken from this ring so far.
+    seal_seq: u64,
+    /// `next_seq` at the previous seal (for per-seal capture deltas).
+    last_seal_captured: u64,
+    /// `evicted` at the previous seal (for per-seal eviction deltas).
+    last_seal_evicted: u64,
+}
+
+/// Bookkeeping deltas returned by [`FlightRing::mark_sealed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SealStats {
+    /// Sequence number of the seal just taken (0-based).
+    pub seal_seq: u64,
+    /// Events captured since the previous seal.
+    pub captured_delta: u64,
+    /// Events evicted since the previous seal.
+    pub evicted_delta: u64,
+    /// Cumulative evictions over the ring's lifetime.
+    pub evicted_total: u64,
+}
+
+impl FlightRing {
+    /// An empty ring holding at most `capacity` events (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> FlightRing {
+        FlightRing {
+            buf: VecDeque::new(),
+            capacity: capacity.max(1),
+            next_seq: 0,
+            evicted: 0,
+            sealed_hwm: 0,
+            seal_seq: 0,
+            last_seal_captured: 0,
+            last_seal_evicted: 0,
+        }
+    }
+
+    /// Captures one event, evicting the oldest if the ring is full.
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.evicted += 1;
+        }
+        self.buf.push_back((self.next_seq, ev));
+        self.next_seq += 1;
+    }
+
+    /// Buffered events, oldest first, each with its capture sequence number.
+    pub fn contents(&self) -> impl Iterator<Item = &(u64, TraceEvent)> {
+        self.buf.iter()
+    }
+
+    /// Events currently buffered.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events captured over the ring's lifetime.
+    pub fn captured(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Events evicted oldest-first over the ring's lifetime.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Events captured after the last seal — the count that dies with the
+    /// process if it is killed right now.
+    pub fn unsealed(&self) -> u64 {
+        self.next_seq - self.sealed_hwm
+    }
+
+    /// Records that a seal snapshot of the current contents was just taken,
+    /// returning the seal's sequence number and the capture/eviction deltas
+    /// since the previous seal. Call after encoding [`FlightRing::contents`].
+    pub fn mark_sealed(&mut self) -> SealStats {
+        let stats = SealStats {
+            seal_seq: self.seal_seq,
+            captured_delta: self.next_seq - self.last_seal_captured,
+            evicted_delta: self.evicted - self.last_seal_evicted,
+            evicted_total: self.evicted,
+        };
+        self.seal_seq += 1;
+        self.sealed_hwm = self.next_seq;
+        self.last_seal_captured = self.next_seq;
+        self.last_seal_evicted = self.evicted;
+        stats
+    }
+
+    /// Resets the ring for a new incarnation (a restarted process begins
+    /// with empty memory and fresh sequence counters).
+    pub fn reset(&mut self) {
+        *self = FlightRing::new(self.capacity);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drms_obs::{EventKind, Phase};
+
+    fn ev(t: f64, name: &str) -> TraceEvent {
+        TraceEvent {
+            t,
+            rank: 0,
+            phase: Phase::Arrays,
+            name: name.to_string(),
+            kind: EventKind::Instant,
+            corr: None,
+        }
+    }
+
+    #[test]
+    fn evicts_oldest_first_at_capacity() {
+        let mut r = FlightRing::new(3);
+        for i in 0..5 {
+            r.push(ev(i as f64, &format!("e{i}")));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.captured(), 5);
+        assert_eq!(r.evicted(), 2);
+        let seqs: Vec<u64> = r.contents().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn seal_deltas_and_unsealed_tracking() {
+        let mut r = FlightRing::new(8);
+        r.push(ev(0.0, "a"));
+        r.push(ev(1.0, "b"));
+        let s0 = r.mark_sealed();
+        assert_eq!((s0.seal_seq, s0.captured_delta, s0.evicted_delta), (0, 2, 0));
+        assert_eq!(r.unsealed(), 0);
+        r.push(ev(2.0, "c"));
+        assert_eq!(r.unsealed(), 1);
+        let s1 = r.mark_sealed();
+        assert_eq!((s1.seal_seq, s1.captured_delta), (1, 1));
+        // Snapshot semantics: contents survive the seal.
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn reset_clears_everything_but_keeps_capacity() {
+        let mut r = FlightRing::new(2);
+        r.push(ev(0.0, "a"));
+        r.push(ev(1.0, "b"));
+        r.push(ev(2.0, "c"));
+        r.mark_sealed();
+        r.reset();
+        assert!(r.is_empty());
+        assert_eq!(r.captured(), 0);
+        assert_eq!(r.evicted(), 0);
+        assert_eq!(r.capacity(), 2);
+    }
+}

@@ -1,0 +1,174 @@
+//! Property tests for the flight recorder: the ring's memory bound and
+//! oldest-first eviction discipline under arbitrary push sequences, the
+//! seal bookkeeping telescoping exactly, the wire format round-tripping,
+//! and overlapping-seal deduplication in the archive. (The stitcher's
+//! ordering invariant lives in the insight crate's property tests.)
+
+use drms_blackbox::{decode_seal, encode_seal, FlightRing, SealArchive, SealHeader};
+use drms_obs::{EventKind, Phase, TraceEvent};
+use proptest::prelude::*;
+
+fn ev(t: f64, rank: usize, name: &str) -> TraceEvent {
+    TraceEvent {
+        t,
+        rank,
+        phase: Phase::Arrays,
+        name: name.to_string(),
+        kind: EventKind::Instant,
+        corr: None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The ring never holds more than `capacity` events no matter how many
+    /// are pushed, and its lifetime counters tile exactly: every captured
+    /// event is either still buffered or was evicted.
+    #[test]
+    fn ring_memory_is_bounded(capacity in 1usize..64, pushes in 0usize..256) {
+        let mut ring = FlightRing::new(capacity);
+        for i in 0..pushes {
+            ring.push(ev(i as f64, 0, "e"));
+            prop_assert!(ring.len() <= capacity);
+        }
+        prop_assert_eq!(ring.len(), pushes.min(capacity));
+        prop_assert_eq!(ring.captured(), pushes as u64);
+        prop_assert_eq!(ring.evicted(), pushes.saturating_sub(capacity) as u64);
+        prop_assert_eq!(ring.len() as u64 + ring.evicted(), ring.captured());
+    }
+
+    /// Eviction is strictly oldest-first: the survivors are exactly the
+    /// highest capture sequence numbers, still in capture order.
+    #[test]
+    fn ring_evicts_oldest_first(capacity in 1usize..32, pushes in 0usize..128) {
+        let mut ring = FlightRing::new(capacity);
+        for i in 0..pushes {
+            ring.push(ev(i as f64, 0, "e"));
+        }
+        let seqs: Vec<u64> = ring.contents().map(|(s, _)| *s).collect();
+        let survivors = pushes.min(capacity);
+        let expect: Vec<u64> = ((pushes - survivors) as u64..pushes as u64).collect();
+        prop_assert_eq!(seqs, expect);
+    }
+
+    /// Seal bookkeeping telescopes: over any interleaving of pushes and
+    /// seals, the per-seal capture/eviction deltas sum back to the ring's
+    /// lifetime totals, and what was never sealed is exactly the tail the
+    /// process would lose if killed now.
+    #[test]
+    fn seal_stats_telescope(
+        capacity in 1usize..16,
+        ops in proptest::collection::vec(0u8..2, 0..64),
+    ) {
+        let mut ring = FlightRing::new(capacity);
+        let (mut captured, mut evicted, mut t) = (0u64, 0u64, 0.0f64);
+        let mut seals = 0u64;
+        for (i, op) in ops.iter().enumerate() {
+            if *op == 1 {
+                ring.push(ev(i as f64, 0, "e"));
+                t = i as f64;
+            } else {
+                let stats = ring.mark_sealed();
+                prop_assert_eq!(stats.seal_seq, seals);
+                seals += 1;
+                captured += stats.captured_delta;
+                evicted += stats.evicted_delta;
+                prop_assert_eq!(stats.evicted_total, ring.evicted());
+                prop_assert_eq!(ring.unsealed(), 0);
+            }
+        }
+        prop_assert_eq!(captured + ring.unsealed(), ring.captured());
+        prop_assert_eq!(evicted + (ring.evicted() - evicted), ring.evicted());
+        let _ = t;
+    }
+
+    /// A seal survives the wire format bit-exactly: header fields, event
+    /// order, capture sequence numbers, and every timestamp.
+    #[test]
+    fn wire_roundtrip_is_exact(
+        incarnation in 0u64..8,
+        rank in 0usize..16,
+        seal_seq in 0u64..8,
+        t_us in 0u64..1_000_000_000,
+        times_us in proptest::collection::vec(0u64..1_000_000_000, 0..32),
+    ) {
+        // Microsecond grid mapped through an inexact scale, so the
+        // timestamps carry full mantissas and bit-equality is a real test.
+        let t = t_us as f64 * 1e-6;
+        let events: Vec<(u64, TraceEvent)> = times_us
+            .iter()
+            .enumerate()
+            .map(|(i, &us)| (i as u64, ev(us as f64 * 1e-6, rank, &format!("n{i}"))))
+            .collect();
+        let header = SealHeader {
+            incarnation,
+            rank,
+            seal_seq,
+            t,
+            reason: "sop".to_string(),
+            evicted_total: 3,
+        };
+        let bytes = encode_seal(&header, events.iter(), events.len());
+        let dec = decode_seal(&bytes).unwrap();
+        prop_assert_eq!(dec.header.incarnation, incarnation);
+        prop_assert_eq!(dec.header.rank, rank);
+        prop_assert_eq!(dec.header.seal_seq, seal_seq);
+        prop_assert_eq!(dec.header.t.to_bits(), t.to_bits());
+        prop_assert_eq!(dec.events, events);
+    }
+
+    /// Overlapping snapshot seals deduplicate exactly in the archive: no
+    /// matter where the seal points fall, the recovered stream is every
+    /// surviving event once, in capture order.
+    #[test]
+    fn archive_dedups_overlapping_seals(
+        capacity in 2usize..24,
+        pushes in 1usize..96,
+        cuts in proptest::collection::vec(0usize..96, 1..6),
+    ) {
+        let mut ring = FlightRing::new(capacity);
+        let mut archive = SealArchive::new();
+        let mut cuts = cuts;
+        cuts.sort_unstable();
+        let mut next_cut = 0;
+        let seal = |ring: &mut FlightRing, archive: &mut SealArchive, t: f64| {
+            let stats = ring.mark_sealed();
+            let header = SealHeader {
+                incarnation: 0,
+                rank: 0,
+                seal_seq: stats.seal_seq,
+                t,
+                reason: "sop".to_string(),
+                evicted_total: stats.evicted_total,
+            };
+            let n = ring.len();
+            let bytes = encode_seal(&header, ring.contents(), n);
+            assert!(archive.ingest(&bytes).unwrap());
+        };
+        // Oracle: a seal taken right after push `i` snapshots the window
+        // of the `capacity` newest captures. Events falling between two
+        // seals' windows were evicted unsealed and are gone for good, so
+        // the recovered stream is the union of the windows — once each,
+        // in capture order — not necessarily contiguous.
+        let mut windows: Vec<(usize, usize)> = Vec::new();
+        for i in 0..pushes {
+            ring.push(ev(i as f64, 0, &format!("n{i}")));
+            while next_cut < cuts.len() && cuts[next_cut] <= i {
+                seal(&mut ring, &mut archive, i as f64);
+                windows.push(((i + 1).saturating_sub(capacity), i + 1));
+                next_cut += 1;
+            }
+        }
+        // Final seal so the tail is always recoverable.
+        seal(&mut ring, &mut archive, pushes as f64);
+        windows.push((pushes.saturating_sub(capacity), pushes));
+        let recovered = archive.events_for(0);
+        let expect: Vec<String> = (0..pushes)
+            .filter(|&i| windows.iter().any(|&(lo, hi)| i >= lo && i < hi))
+            .map(|i| format!("n{i}"))
+            .collect();
+        let got: Vec<String> = recovered.iter().map(|e| e.name.clone()).collect();
+        prop_assert_eq!(got, expect);
+    }
+}

@@ -4,7 +4,7 @@ use std::sync::Arc;
 use drms_chaos::CrashPoint;
 use drms_msg::Ctx;
 use drms_obs::{names, Phase};
-use drms_piofs::{Piofs, ReadAccess, ReadReq};
+use drms_piofs::{Piofs, ReadAccess, ReadReq, WriteReq};
 
 use crate::commit::{
     compute_integrity_staged, publish_data, publish_manifest, staged_manifest_path, staging_prefix,
@@ -168,7 +168,7 @@ impl Drms {
             )?;
         }
         ctx.barrier();
-        crash_point(ctx, CrashPoint::RestartAfterInit, false)?;
+        crash_point(ctx, fs, CrashPoint::RestartAfterInit, false)?;
         let t1 = ctx.now();
 
         // Each task loads the single saved data segment.
@@ -191,7 +191,7 @@ impl Drms {
         }
         let segment = DataSegment::decode(&seg_bytes)?;
         ctx.barrier();
-        crash_point(ctx, CrashPoint::RestartAfterSegment, false)?;
+        crash_point(ctx, fs, CrashPoint::RestartAfterSegment, false)?;
         let t2 = ctx.now();
         phase_span(ctx, Phase::Init, "load_text", t0, t1);
         phase_span(ctx, Phase::Segment, "load_segment", t1, t2);
@@ -328,7 +328,7 @@ impl Drms {
     ) -> Result<OpBreakdown> {
         self.sop += 1;
         ctx.barrier();
-        crash_point(ctx, CrashPoint::CkptEnter, false)?;
+        crash_point(ctx, fs, CrashPoint::CkptEnter, false)?;
         let t0 = ctx.now();
 
         // Phase 1: one task's data segment, staged.
@@ -345,17 +345,18 @@ impl Drms {
             fs.write_at(ctx, &seg_path, 0, &bytes);
         }
         ctx.barrier();
-        crash_point(ctx, CrashPoint::CkptAfterSegment, true)?;
+        crash_point(ctx, fs, CrashPoint::CkptAfterSegment, true)?;
         let t1 = ctx.now();
 
         // Phase 2: every distributed array, streamed in sequence, staged.
         let io = self.cfg.io.resolve(ctx.ntasks());
         for a in arrays {
             a.write_stream(ctx, fs, &array_path(&staging, a.array_name()), io)?;
-            crash_point(ctx, CrashPoint::CkptAfterArray, true)?;
+            crash_point(ctx, fs, CrashPoint::CkptAfterArray, true)?;
         }
         ctx.barrier();
         let t2 = ctx.now();
+        stage_flight_rings(ctx, fs, &staging);
 
         // Manifest, staged as `manifest.tmp`: decodable and complete, but
         // deliberately invisible to checkpoint discovery until published.
@@ -386,24 +387,30 @@ impl Drms {
         // (renames are control-plane), and the crash-point vote is itself
         // a synchronization when a controller is armed — so a chaos-free
         // checkpoint pays exactly the one barrier it always did.
-        crash_point(ctx, CrashPoint::CkptStagedManifest, true)?;
+        crash_point(ctx, fs, CrashPoint::CkptStagedManifest, true)?;
 
         // Publish: move data into place (uncommitting any previous
         // checkpoint at this prefix), then atomically rename the manifest.
         if ctx.rank() == 0 {
             publish_data(fs, prefix);
         }
-        crash_point(ctx, CrashPoint::CkptMidPublish, true)?;
+        crash_point(ctx, fs, CrashPoint::CkptMidPublish, true)?;
         if ctx.rank() == 0 {
             let committed = publish_manifest(fs, prefix);
             debug_assert!(committed, "staged manifest must exist at the commit point");
             if ctx.recorder().enabled() {
                 ctx.recorder().counter_add_at(ctx.now(), 0, names::COMMITS, None, 1);
             }
+            if ctx.recorder().flight_enabled() {
+                // Durable-progress marker for the flight recorder: the
+                // stitched timeline attributes everything after the last
+                // `commit:` of a killed incarnation as lost work.
+                ctx.recorder().event(ctx.now(), 0, Phase::Manifest, &format!("commit:{prefix}"));
+            }
         }
         ctx.barrier();
         let t3 = ctx.now();
-        crash_point(ctx, CrashPoint::CkptCommitted, false)?;
+        crash_point(ctx, fs, CrashPoint::CkptCommitted, false)?;
 
         for &a in arrays {
             self.saved_versions
@@ -457,7 +464,7 @@ impl Drms {
 
         self.sop += 1;
         ctx.barrier();
-        crash_point(ctx, CrashPoint::CkptEnter, false)?;
+        crash_point(ctx, fs, CrashPoint::CkptEnter, false)?;
         let t0 = ctx.now();
         let staging = staging_prefix(prefix);
         let seg_path = segment_path(&staging);
@@ -472,16 +479,17 @@ impl Drms {
             fs.write_at(ctx, &seg_path, 0, &bytes);
         }
         ctx.barrier();
-        crash_point(ctx, CrashPoint::CkptAfterSegment, true)?;
+        crash_point(ctx, fs, CrashPoint::CkptAfterSegment, true)?;
         let t1 = ctx.now();
 
         let io = self.cfg.io.resolve(ctx.ntasks());
         for a in &to_write {
             a.write_stream(ctx, fs, &array_path(&staging, a.array_name()), io)?;
-            crash_point(ctx, CrashPoint::CkptAfterArray, true)?;
+            crash_point(ctx, fs, CrashPoint::CkptAfterArray, true)?;
         }
         ctx.barrier();
         let t2 = ctx.now();
+        stage_flight_rings(ctx, fs, &staging);
 
         if ctx.rank() == 0 {
             // Manifest still lists every array (skipped ones are current on
@@ -513,22 +521,28 @@ impl Drms {
         // (renames are control-plane), and the crash-point vote is itself
         // a synchronization when a controller is armed — so a chaos-free
         // checkpoint pays exactly the one barrier it always did.
-        crash_point(ctx, CrashPoint::CkptStagedManifest, true)?;
+        crash_point(ctx, fs, CrashPoint::CkptStagedManifest, true)?;
 
         if ctx.rank() == 0 {
             publish_data(fs, prefix);
         }
-        crash_point(ctx, CrashPoint::CkptMidPublish, true)?;
+        crash_point(ctx, fs, CrashPoint::CkptMidPublish, true)?;
         if ctx.rank() == 0 {
             let committed = publish_manifest(fs, prefix);
             debug_assert!(committed, "staged manifest must exist at the commit point");
             if ctx.recorder().enabled() {
                 ctx.recorder().counter_add_at(ctx.now(), 0, names::COMMITS, None, 1);
             }
+            if ctx.recorder().flight_enabled() {
+                // Durable-progress marker for the flight recorder: the
+                // stitched timeline attributes everything after the last
+                // `commit:` of a killed incarnation as lost work.
+                ctx.recorder().event(ctx.now(), 0, Phase::Manifest, &format!("commit:{prefix}"));
+            }
         }
         ctx.barrier();
         let t3 = ctx.now();
-        crash_point(ctx, CrashPoint::CkptCommitted, false)?;
+        crash_point(ctx, fs, CrashPoint::CkptCommitted, false)?;
 
         for &a in arrays {
             self.saved_versions
@@ -607,7 +621,7 @@ impl Drms {
             a.read_stream(ctx, fs, &array_path(prefix, a.array_name()), io)?;
         }
         ctx.barrier();
-        crash_point(ctx, CrashPoint::RestartAfterArrays, false)?;
+        crash_point(ctx, fs, CrashPoint::RestartAfterArrays, false)?;
         let t1 = ctx.now();
         phase_span(ctx, Phase::Arrays, "restore_arrays", t0, t1);
         record_bytes(ctx, 0, arrays.iter().map(|a| a.stream_bytes()).sum());
@@ -792,6 +806,7 @@ pub fn sweep_orphans(fs: &Piofs) -> Vec<String> {
             || name.starts_with("task-")
             || name.starts_with("array-")
             || name.starts_with("delta-")
+            || name.starts_with("blackbox-")
         {
             entry.1.push(info.path.clone());
         }
@@ -903,6 +918,50 @@ pub fn record_bytes(ctx: &Ctx, segment_bytes: u64, array_bytes: u64) {
     let rec = ctx.recorder();
     rec.counter_add_at(ctx.now(), 0, names::SEGMENT_BYTES, None, segment_bytes);
     rec.counter_add_at(ctx.now(), 0, names::ARRAY_BYTES, None, array_bytes);
+}
+
+/// Stages a sealed snapshot of every rank's flight ring alongside the
+/// checkpoint data, so the ring rides the same two-phase commit as the
+/// arrays: staged under `{prefix}.tmp/blackbox-r{rank}`, covered by the
+/// staged integrity records, and published (or abandoned) with the rest.
+///
+/// Seals are snapshots, not drains — overlapping seals from consecutive
+/// SOPs and crash salvages dedup exactly at recovery by per-event capture
+/// sequence numbers, so only the *newest* recovered seal per rank matters
+/// and retention deleting older checkpoints loses nothing.
+///
+/// The rings land through one *collective* write — every rank contributes
+/// its own seal to a single deterministically-priced phase. Concurrent
+/// single-client writes would be admitted to the simulated servers in
+/// host lock-acquisition order, smearing per-rank completion times across
+/// runs; the collective phase prices the whole request set at once, so
+/// the flight recorder's own staging never perturbs the determinism it
+/// exists to witness. The phase's descriptor exchange doubles as the
+/// barrier rank 0 needs before computing staged integrity.
+///
+/// Strict no-op unless a flight recorder is attached
+/// ([`Recorder::flight_enabled`]), so runs without one stay
+/// bit-identical. `flight_enabled` is uniform across ranks (it is a
+/// property of the shared recorder), so the conditional collective is
+/// consistent. Public so the delta and async checkpoint writers stage
+/// rings under the same convention.
+pub fn stage_flight_rings(ctx: &mut Ctx, fs: &Piofs, staging: &str) {
+    let rec = ctx.recorder();
+    if !rec.flight_enabled() {
+        return;
+    }
+    let (t, r) = (ctx.now(), ctx.rank());
+    let mut reqs = Vec::new();
+    if let Some(seal) = rec.flight_seal(t, r, "sop") {
+        let path = format!("{staging}/{}", drms_blackbox::ring_file_name(r));
+        let rec = ctx.recorder();
+        rec.counter_add_at(t, r, names::BLACKBOX_SEALS, None, 1);
+        rec.counter_add_at(t, r, names::BLACKBOX_SEAL_BYTES, None, seal.bytes.len() as u64);
+        rec.counter_add_at(t, r, names::BLACKBOX_EVENTS_CAPTURED, None, seal.events);
+        rec.counter_add_at(t, r, names::BLACKBOX_EVENTS_EVICTED, None, seal.evicted);
+        reqs.push(WriteReq { path, offset: 0, data: seal.bytes });
+    }
+    fs.collective_write(ctx, reqs);
 }
 
 /// Collective read + decode of a manifest. Public so out-of-crate restart

@@ -12,6 +12,7 @@
 use drms_chaos::CrashPoint;
 use drms_msg::Ctx;
 use drms_obs::{names, Phase};
+use drms_piofs::Piofs;
 
 use crate::{CoreError, Result};
 
@@ -23,7 +24,16 @@ use crate::{CoreError, Result};
 /// `aborts_commit` marks points where a staged-but-uncommitted checkpoint
 /// is abandoned, counted separately (as [`names::COMMIT_ABORTS`]) from
 /// crashes that interrupt nothing in flight.
-pub fn crash_point(ctx: &mut Ctx, point: CrashPoint, aborts_commit: bool) -> Result<()> {
+///
+/// When a flight recorder is attached, every rank salvages one last seal
+/// of its ring to `fs` before dying (see [`salvage_flight_ring`]), so the
+/// post-crash restart can recover the incarnation's final moments.
+pub fn crash_point(
+    ctx: &mut Ctx,
+    fs: &Piofs,
+    point: CrashPoint,
+    aborts_commit: bool,
+) -> Result<()> {
     let Some(chaos) = ctx.chaos() else { return Ok(()) };
     let mine = ctx.rank() == 0 && chaos.should_crash(point);
     let (votes, _) = ctx.exchange(mine);
@@ -38,5 +48,28 @@ pub fn crash_point(ctx: &mut Ctx, point: CrashPoint, aborts_commit: bool) -> Res
         }
         rec.event(ctx.now(), 0, Phase::Control, &format!("crash:{point}"));
     }
+    salvage_flight_ring(ctx, fs, point.as_str());
     Err(CoreError::Interrupted(point.as_str().to_string()))
+}
+
+/// The dying region's last words: seals a snapshot of the calling rank's
+/// flight ring and dumps it straight into the salvage area. The dump is a
+/// control-plane `preload` — a process that is about to die does not get
+/// to price orderly collective I/O, it scribbles what it can — and the
+/// file is keyed by the seal's unique tag, so salvages from different
+/// incarnations and crash points never collide. No-op without a flight
+/// recorder.
+fn salvage_flight_ring(ctx: &Ctx, fs: &Piofs, reason: &str) {
+    let rec = ctx.recorder();
+    if !rec.flight_enabled() {
+        return;
+    }
+    let Some(seal) = rec.flight_seal(ctx.now(), ctx.rank(), reason) else { return };
+    fs.preload(&format!("{}/{}", drms_blackbox::SALVAGE_DIR, seal.tag), seal.bytes.clone());
+    let (t, r) = (ctx.now(), ctx.rank());
+    rec.counter_add_at(t, r, names::BLACKBOX_SALVAGES, None, 1);
+    rec.counter_add_at(t, r, names::BLACKBOX_SEALS, None, 1);
+    rec.counter_add_at(t, r, names::BLACKBOX_SEAL_BYTES, None, seal.bytes.len() as u64);
+    rec.counter_add_at(t, r, names::BLACKBOX_EVENTS_CAPTURED, None, seal.events);
+    rec.counter_add_at(t, r, names::BLACKBOX_EVENTS_EVICTED, None, seal.evicted);
 }

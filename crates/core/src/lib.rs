@@ -51,8 +51,8 @@ mod inject;
 
 pub use drms::{
     checkpoint_is_valid, compute_integrity, delete_checkpoint, find_checkpoints, integrity_chunk,
-    phase_span, read_manifest_collective, record_bytes, retain_checkpoints, sweep_orphans, Drms,
-    DrmsConfig, EnableFlag, RestartInfo, Start,
+    phase_span, read_manifest_collective, record_bytes, retain_checkpoints, stage_flight_rings,
+    sweep_orphans, Drms, DrmsConfig, EnableFlag, RestartInfo, Start,
 };
 pub use error::CoreError;
 pub use inject::crash_point;

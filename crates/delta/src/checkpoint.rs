@@ -124,7 +124,7 @@ fn run(
     drms.advance_sop();
     let full = chain.begin(cfg);
     ctx.barrier();
-    crash_point(ctx, CrashPoint::CkptEnter, false)?;
+    crash_point(ctx, fs, CrashPoint::CkptEnter, false)?;
     let t0 = ctx.now();
 
     // Phase 1: the shared data segment, staged, without the local-sections
@@ -137,7 +137,7 @@ fn run(
         fs.write_at(ctx, &seg_path, 0, &bytes);
     }
     ctx.barrier();
-    crash_point(ctx, CrashPoint::CkptAfterSegment, true)?;
+    crash_point(ctx, fs, CrashPoint::CkptAfterSegment, true)?;
     let t1 = ctx.now();
 
     // Phase 2: gather each array's canonical stream to rank 0, chunk,
@@ -163,7 +163,7 @@ fn run(
             stats.add(s);
             deltas.push(table);
         }
-        crash_point(ctx, CrashPoint::CkptAfterArray, true)?;
+        crash_point(ctx, fs, CrashPoint::CkptAfterArray, true)?;
     }
     if traced && ctx.rank() == 0 {
         let rec = ctx.recorder();
@@ -180,6 +180,7 @@ fn run(
     }
     ctx.barrier();
     let t2 = ctx.now();
+    drms_core::stage_flight_rings(ctx, fs, &staging);
 
     // Manifest v3, staged as `manifest.tmp`, then the two-phase publish.
     if ctx.rank() == 0 {
@@ -205,22 +206,25 @@ fn run(
         fs.create(&smp);
         fs.write_at(ctx, &smp, 0, &bytes);
     }
-    crash_point(ctx, CrashPoint::CkptStagedManifest, true)?;
+    crash_point(ctx, fs, CrashPoint::CkptStagedManifest, true)?;
 
     if ctx.rank() == 0 {
         publish_data(fs, prefix);
     }
-    crash_point(ctx, CrashPoint::CkptMidPublish, true)?;
+    crash_point(ctx, fs, CrashPoint::CkptMidPublish, true)?;
     if ctx.rank() == 0 {
         let committed = publish_manifest(fs, prefix);
         debug_assert!(committed, "staged manifest must exist at the commit point");
         if ctx.recorder().enabled() {
             ctx.recorder().counter_add_at(ctx.now(), 0, names::COMMITS, None, 1);
         }
+        if ctx.recorder().flight_enabled() {
+            ctx.recorder().event(ctx.now(), 0, Phase::Manifest, &format!("commit:{prefix}"));
+        }
     }
     ctx.barrier();
     let t3 = ctx.now();
-    crash_point(ctx, CrashPoint::CkptCommitted, false)?;
+    crash_point(ctx, fs, CrashPoint::CkptCommitted, false)?;
 
     let breakdown = OpBreakdown {
         init: 0.0,

@@ -120,7 +120,7 @@ pub fn restore_arrays_delta(
         restored += d.stream_len;
     }
     ctx.barrier();
-    crash_point(ctx, CrashPoint::RestartAfterArrays, false)?;
+    crash_point(ctx, fs, CrashPoint::RestartAfterArrays, false)?;
     let t1 = ctx.now();
     if ctx.rank() == 0 && ctx.recorder().enabled() {
         let rec = ctx.recorder();

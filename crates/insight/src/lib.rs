@@ -24,8 +24,10 @@
 #![warn(missing_docs)]
 
 pub mod critical;
+pub mod recovery;
 pub mod servers;
 pub mod spans;
+pub mod stitch;
 pub mod straggler;
 
 use std::fmt::Write as _;
@@ -33,8 +35,10 @@ use std::fmt::Write as _;
 use drms_obs::{EventKind, MsgRecord, Phase, TraceEvent, TraceRecorder};
 
 pub use critical::{CriticalPath, Segment};
+pub use recovery::{IncarnationCost, RecoveryReport};
 pub use servers::{ServerReport, ServerRow};
 pub use spans::Span;
+pub use stitch::{stitch, IncarnationInput, StitchOptions, StitchSegment, StitchedTimeline};
 pub use straggler::StragglerRow;
 
 /// A cross-task causal edge: one point-to-point message, resolved to the

@@ -1,0 +1,306 @@
+//! Recovery-cost attribution over a stitched timeline.
+//!
+//! Answers "where did the wall clock of this faulty run go?" with an
+//! *exact tiling*: every stitched second lands in exactly one of five
+//! buckets — detection latency, restore, re-computation, useful work, or
+//! lost work — so the buckets sum to the stitched wall clock to the last
+//! bit (useful work is the residual of the other four inside each
+//! incarnation's extent, and the boundary quantities are differences of
+//! the same event timestamps, so nothing is double-billed).
+//!
+//! Bucket boundaries, per incarnation `k` over `[start_k, end_k]`:
+//!
+//! * **detect** — the gap billed before `start_k` (restarts only);
+//! * **restore** — `start_k` to the last close of a restore span
+//!   ([`drms_blackbox::RESTORE_SPAN_NAMES`]), restarted incarnations only;
+//! * **recompute** — restore end to the first `commit:` marker: work
+//!   re-done because it post-dated the checkpoint the restart used. A
+//!   restarted incarnation that never commits is all re-computation (if it
+//!   completed) or all lost (if it was killed again);
+//! * **lost** — last `commit:` marker to `end_k`, killed incarnations
+//!   only: work that died uncommitted;
+//! * **useful** — everything else.
+
+use std::fmt::Write as _;
+
+use drms_blackbox::{COMMIT_EVENT_PREFIX, RESTORE_SPAN_NAMES};
+use drms_obs::EventKind;
+
+use crate::stitch::StitchedTimeline;
+
+/// One incarnation's share of the five buckets, in stitched seconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncarnationCost {
+    /// Incarnation number.
+    pub incarnation: u64,
+    /// Detection latency billed before this incarnation started.
+    pub detect: f64,
+    /// Restore window (checkpoint read + redistribution).
+    pub restore: f64,
+    /// Re-computation to regain the pre-crash frontier.
+    pub recompute: f64,
+    /// Productive, committed-or-final work.
+    pub useful: f64,
+    /// Uncommitted work a kill destroyed.
+    pub lost: f64,
+    /// Commits observed inside the incarnation's extent.
+    pub commits: usize,
+    /// Per-rank lost tails `(rank, seconds)` for killed incarnations: how
+    /// far past the last commit each rank's recovered history reaches.
+    pub rank_lost: Vec<(usize, f64)>,
+}
+
+impl IncarnationCost {
+    /// The incarnation's extent duration (all buckets except `detect`).
+    pub fn duration(&self) -> f64 {
+        self.restore + self.recompute + self.useful + self.lost
+    }
+}
+
+/// The full attribution: per-incarnation rows plus totals that tile the
+/// stitched wall clock exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// One row per incarnation, in order.
+    pub rows: Vec<IncarnationCost>,
+    /// Stitched end-to-end wall clock the rows tile.
+    pub wall: f64,
+}
+
+impl RecoveryReport {
+    /// Computes the attribution from a stitched timeline.
+    pub fn from_timeline(tl: &StitchedTimeline) -> RecoveryReport {
+        let mut rows = Vec::with_capacity(tl.segments.len());
+        for seg in &tl.segments {
+            let events: Vec<_> =
+                tl.events.iter().filter(|e| e.t >= seg.start && e.t <= seg.end).collect();
+            let restore_end = if seg.restarted {
+                events
+                    .iter()
+                    .filter(|e| {
+                        e.kind == EventKind::End && RESTORE_SPAN_NAMES.contains(&e.name.as_str())
+                    })
+                    .map(|e| e.t)
+                    .fold(seg.start, f64::max)
+            } else {
+                seg.start
+            };
+            let commits: Vec<f64> = events
+                .iter()
+                .filter(|e| e.kind == EventKind::Instant && e.name.starts_with(COMMIT_EVENT_PREFIX))
+                .map(|e| e.t)
+                .collect();
+            let restore = restore_end - seg.start;
+            // Only a restarted incarnation re-computes: its pre-commit work
+            // repeats ground the checkpoint had already covered. A fresh
+            // incarnation's pre-commit work is ordinary useful progress.
+            let (recompute, lost_from) = if seg.restarted {
+                match commits.first() {
+                    Some(&first) => {
+                        ((first - restore_end).max(0.0), *commits.last().expect("nonempty"))
+                    }
+                    // No commit: a killed incarnation's whole tail is lost;
+                    // a surviving one re-computed to its horizon.
+                    None if seg.killed => (0.0, restore_end),
+                    None => (seg.end - restore_end, seg.end),
+                }
+            } else {
+                (0.0, commits.last().copied().unwrap_or(seg.start))
+            };
+            let lost = if seg.killed { (seg.end - lost_from).max(0.0) } else { 0.0 };
+            let duration = seg.end - seg.start;
+            let useful = duration - restore - recompute - lost;
+            let mut rank_lost: Vec<(usize, f64)> = Vec::new();
+            if seg.killed {
+                let mut by_rank: std::collections::BTreeMap<usize, f64> = Default::default();
+                for e in &events {
+                    let t = by_rank.entry(e.rank).or_insert(seg.start);
+                    *t = t.max(e.t);
+                }
+                rank_lost =
+                    by_rank.into_iter().map(|(r, t)| (r, (t - lost_from).max(0.0))).collect();
+            }
+            rows.push(IncarnationCost {
+                incarnation: seg.incarnation,
+                detect: seg.detect,
+                restore,
+                recompute,
+                useful,
+                lost,
+                commits: commits.len(),
+                rank_lost,
+            });
+        }
+        RecoveryReport { rows, wall: tl.wall() }
+    }
+
+    /// Sum of one bucket across incarnations.
+    fn total(&self, f: impl Fn(&IncarnationCost) -> f64) -> f64 {
+        self.rows.iter().map(f).sum()
+    }
+
+    /// Total recovery cost: everything except useful work.
+    pub fn recovery_cost(&self) -> f64 {
+        self.total(|r| r.detect + r.restore + r.recompute + r.lost)
+    }
+
+    /// Recovery cost as a fraction of the stitched wall clock (0 when the
+    /// timeline is empty) — the offline, exactly-tiled counterpart of the
+    /// live `blackbox.recovery_ratio` gauge.
+    pub fn recovery_fraction(&self) -> f64 {
+        if self.wall <= 0.0 {
+            0.0
+        } else {
+            self.recovery_cost() / self.wall
+        }
+    }
+
+    /// Largest absolute tiling error: how far the five buckets are from
+    /// summing to the wall clock. Zero up to floating-point association
+    /// (the quantities are differences of shared timestamps).
+    pub fn tiling_error(&self) -> f64 {
+        let sum = self.total(|r| r.detect + r.duration());
+        (sum - self.wall).abs()
+    }
+
+    /// Deterministic plain-text table of the attribution.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "recovery-cost attribution ({} incarnations)", self.rows.len());
+        let _ = writeln!(
+            out,
+            "{:>4} {:>12} {:>12} {:>12} {:>12} {:>12} {:>8}",
+            "inc", "detect", "restore", "recompute", "useful", "lost", "commits"
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:>4} {:>12.6} {:>12.6} {:>12.6} {:>12.6} {:>12.6} {:>8}",
+                r.incarnation, r.detect, r.restore, r.recompute, r.useful, r.lost, r.commits
+            );
+            for (rank, lost) in &r.rank_lost {
+                if *lost > 0.0 {
+                    let _ = writeln!(out, "       rank {rank}: {lost:.6}s past last commit");
+                }
+            }
+        }
+        let _ = writeln!(
+            out,
+            "totals detect={:.6} restore={:.6} recompute={:.6} useful={:.6} lost={:.6}",
+            self.total(|r| r.detect),
+            self.total(|r| r.restore),
+            self.total(|r| r.recompute),
+            self.total(|r| r.useful),
+            self.total(|r| r.lost),
+        );
+        let _ = writeln!(
+            out,
+            "wall={:.6} recovery_cost={:.6} recovery_fraction={:.6}",
+            self.wall,
+            self.recovery_cost(),
+            self.recovery_fraction()
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stitch::{stitch, IncarnationInput, StitchOptions};
+    use drms_obs::{Phase, TraceEvent};
+
+    fn ev(t: f64, rank: usize, name: &str, kind: EventKind) -> TraceEvent {
+        TraceEvent { t, rank, phase: Phase::Arrays, name: name.to_string(), kind, corr: None }
+    }
+
+    fn timeline() -> StitchedTimeline {
+        // Incarnation 0: commits at 4 and 6, killed at horizon 10.
+        // Incarnation 1 (restarted): restore ends 3, commit 5, horizon 8.
+        let inputs = vec![
+            IncarnationInput {
+                incarnation: 0,
+                events: vec![
+                    ev(0.5, 0, "warmup", EventKind::Instant),
+                    ev(4.0, 0, "commit:ck/a", EventKind::Instant),
+                    ev(6.0, 0, "commit:ck/b", EventKind::Instant),
+                    ev(9.0, 1, "late-work", EventKind::Instant),
+                    ev(10.0, 0, "crash:ckpt_mid_publish", EventKind::Instant),
+                ],
+                killed: true,
+                restarted: false,
+            },
+            IncarnationInput {
+                incarnation: 1,
+                events: vec![
+                    ev(3.0, 0, "restore_arrays", EventKind::End),
+                    ev(5.0, 0, "commit:ck/c", EventKind::Instant),
+                    ev(8.0, 0, "done", EventKind::Instant),
+                ],
+                killed: false,
+                restarted: true,
+            },
+        ];
+        stitch(&inputs, &StitchOptions { detection_latency: 2.0 })
+    }
+
+    #[test]
+    fn buckets_tile_the_wall_clock_exactly() {
+        let tl = timeline();
+        let rep = RecoveryReport::from_timeline(&tl);
+        assert_eq!(rep.wall, 20.0);
+        assert_eq!(rep.tiling_error(), 0.0);
+        // Inc 0: useful 6 (start→last commit), lost 4 (6→10).
+        assert_eq!(rep.rows[0].useful, 6.0);
+        assert_eq!(rep.rows[0].lost, 4.0);
+        assert_eq!(rep.rows[0].detect, 0.0);
+        // Inc 1: detect 2, restore 3, recompute 2 (3→5), useful 3 (5→8).
+        assert_eq!(rep.rows[1].detect, 2.0);
+        assert_eq!(rep.rows[1].restore, 3.0);
+        assert_eq!(rep.rows[1].recompute, 2.0);
+        assert_eq!(rep.rows[1].useful, 3.0);
+        // cost = 4 + 2 + 3 + 2 = 11 of 20.
+        assert!((rep.recovery_fraction() - 11.0 / 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_lost_tails_attribute_per_rank() {
+        let rep = RecoveryReport::from_timeline(&timeline());
+        let tails = &rep.rows[0].rank_lost;
+        // Rank 0's last event is the crash marker at 10 (4s past commit at
+        // 6); rank 1's late work at 9 is 3s past.
+        assert_eq!(tails.len(), 2);
+        assert_eq!(tails[0], (0, 4.0));
+        assert_eq!(tails[1], (1, 3.0));
+    }
+
+    #[test]
+    fn killed_without_commit_is_all_lost_after_restore() {
+        let inputs = vec![
+            IncarnationInput {
+                incarnation: 0,
+                events: vec![ev(10.0, 0, "w", EventKind::Instant)],
+                killed: true,
+                restarted: false,
+            },
+            IncarnationInput {
+                incarnation: 1,
+                events: vec![
+                    ev(2.0, 0, "restore_arrays", EventKind::End),
+                    ev(7.0, 0, "crash:x", EventKind::Instant),
+                ],
+                killed: true,
+                restarted: true,
+            },
+        ];
+        let tl = stitch(&inputs, &StitchOptions { detection_latency: 1.0 });
+        let rep = RecoveryReport::from_timeline(&tl);
+        assert_eq!(rep.rows[1].restore, 2.0);
+        assert_eq!(rep.rows[1].recompute, 0.0);
+        assert_eq!(rep.rows[1].lost, 5.0);
+        assert_eq!(rep.rows[1].useful, 0.0);
+        assert_eq!(rep.tiling_error(), 0.0);
+        let render = rep.render();
+        assert!(render.contains("recovery_fraction"));
+    }
+}

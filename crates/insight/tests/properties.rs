@@ -7,8 +7,8 @@
 //!   same events in different interleavings (as racing ranks would)
 //!   renders byte-identical reports.
 
-use drms_insight::Analysis;
-use drms_obs::{Phase, Recorder, TraceRecorder};
+use drms_insight::{stitch, Analysis, IncarnationInput, StitchOptions};
+use drms_obs::{EventKind, Phase, Recorder, TraceEvent, TraceRecorder};
 use proptest::prelude::*;
 
 /// One generated span: rank, phase pick, name pick, start and duration
@@ -146,5 +146,66 @@ proptest! {
         let forward = Analysis::from_recorder(&record(&spans, nranks, false)).render();
         let backward = Analysis::from_recorder(&record(&spans, nranks, true)).render();
         prop_assert_eq!(forward, backward);
+    }
+
+    /// Stitch ordering invariant: for arbitrary incarnation event shapes,
+    /// consecutive segments abut bit-exactly (`start == prev.end +
+    /// detect`), starts and ends are monotone, the wall clock is the last
+    /// end, and no event falls outside its incarnation's extent.
+    #[test]
+    fn stitch_segments_abut_exactly(
+        detection_us in 0u64..2_000_000,
+        shapes_us in proptest::collection::vec(
+            proptest::collection::vec(0u64..100_000_000, 0..16), 1..8),
+    ) {
+        let detection = detection_us as f64 * 1e-6;
+        let shapes: Vec<Vec<f64>> = shapes_us
+            .iter()
+            .map(|v| v.iter().map(|&us| us as f64 * 1e-6).collect())
+            .collect();
+        let ev = |t: f64| TraceEvent {
+            t,
+            rank: 0,
+            phase: Phase::Arrays,
+            name: "e".to_string(),
+            kind: EventKind::Instant,
+            corr: None,
+        };
+        let inputs: Vec<IncarnationInput> = shapes
+            .iter()
+            .enumerate()
+            .map(|(k, times)| {
+                let mut times = times.clone();
+                times.sort_by(f64::total_cmp);
+                IncarnationInput {
+                    incarnation: k as u64,
+                    events: times.iter().map(|&t| ev(t)).collect(),
+                    killed: k + 1 < shapes.len(),
+                    restarted: k > 0,
+                }
+            })
+            .collect();
+        let tl = stitch(&inputs, &StitchOptions { detection_latency: detection });
+        prop_assert_eq!(tl.segments.len(), inputs.len());
+        prop_assert_eq!(tl.events.len(), shapes.iter().map(Vec::len).sum::<usize>());
+        prop_assert_eq!(tl.segments[0].detect, 0.0);
+        prop_assert_eq!(tl.segments[0].start, 0.0);
+        for k in 1..tl.segments.len() {
+            prop_assert_eq!(
+                tl.segments[k].start.to_bits(),
+                (tl.segments[k - 1].end + tl.segments[k].detect).to_bits()
+            );
+            prop_assert!(tl.segments[k].start >= tl.segments[k - 1].start);
+            prop_assert!(tl.segments[k].end >= tl.segments[k - 1].end);
+        }
+        prop_assert_eq!(tl.wall(), tl.segments.last().unwrap().end);
+        for (seg, inp) in tl.segments.iter().zip(&inputs) {
+            prop_assert!(seg.end >= seg.start);
+            for e in tl.events_of(seg.incarnation) {
+                prop_assert!(e.t >= seg.start && e.t <= seg.end);
+            }
+            prop_assert_eq!(seg.killed, inp.killed);
+            prop_assert_eq!(seg.restarted, inp.restarted);
+        }
     }
 }

@@ -2,6 +2,27 @@
 
 use crate::Phase;
 
+/// One encoded flight-recorder seal, as returned by
+/// [`Recorder::flight_seal`]: the drained contents of the sealing rank's
+/// bounded in-memory ring, ready to be persisted alongside checkpoint data.
+///
+/// The `tag` uniquely identifies the seal across the whole job
+/// (incarnation, rank, and per-rank seal sequence) and is safe to use as a
+/// file name; `events` and `evicted` let the sealing call site publish
+/// capture/overflow counters without the flight recorder ever re-entering
+/// the recorder stack it is part of.
+#[derive(Debug, Clone)]
+pub struct FlightSeal {
+    /// Unique seal tag, e.g. `inc0-r3-s2`.
+    pub tag: String,
+    /// Encoded ring contents (self-describing wire format).
+    pub bytes: Vec<u8>,
+    /// Events drained into this seal.
+    pub events: u64,
+    /// Events evicted oldest-first from the full ring since the last seal.
+    pub evicted: u64,
+}
+
 /// Sink for structured spans, instant events, counters, and gauges.
 ///
 /// All timestamps (`t`) are **simulated** seconds supplied by the caller's
@@ -92,6 +113,26 @@ pub trait Recorder: Send + Sync {
     /// on the reporting task's stream.
     fn gauge_set_at(&self, t: f64, rank: usize, name: &'static str, index: usize, value: f64) {
         self.gauge_set(name, index, value);
+    }
+
+    /// Whether a flight recorder is attached somewhere in this recorder
+    /// stack. Instrumentation that exists purely for the flight recorder
+    /// (commit markers, ring persistence, the extra seal barrier) gates on
+    /// this so runs without one stay bit-identical to builds before it.
+    fn flight_enabled(&self) -> bool {
+        false
+    }
+
+    /// Seals a snapshot of the calling rank's flight-recorder ring at
+    /// simulated time `t`, returning the encoded seal for the caller to
+    /// persist. `reason` labels why the seal was taken (e.g. `"sop"` or a
+    /// crash-point name) and is embedded in the seal header.
+    ///
+    /// Only a flight-recorder sink returns `Some`; every other recorder
+    /// keeps this default so existing stacks are unaffected. Must be
+    /// called from rank `rank`'s own thread — rings are single-writer.
+    fn flight_seal(&self, t: f64, rank: usize, reason: &str) -> Option<FlightSeal> {
+        None
     }
 }
 
@@ -193,6 +234,14 @@ impl Recorder for FanoutRecorder {
             s.gauge_set_at(t, rank, name, index, value);
         }
     }
+
+    fn flight_enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.flight_enabled())
+    }
+
+    fn flight_seal(&self, t: f64, rank: usize, reason: &str) -> Option<FlightSeal> {
+        self.sinks.iter().find_map(|s| s.flight_seal(t, rank, reason))
+    }
 }
 
 /// Recorder that drops everything; the default wherever a recorder is
@@ -220,6 +269,7 @@ mod tests {
         r.counter_add(0, crate::names::MESSAGES_SENT, None, 3);
         r.counter_add_at(0.7, 0, crate::names::MESSAGES_SENT, None, 3);
         r.gauge_set(crate::names::SERVER_BUSY, 2, 1.5);
+        assert!(r.flight_seal(0.9, 0, "sop").is_none());
     }
 
     #[test]

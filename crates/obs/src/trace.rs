@@ -20,7 +20,7 @@ pub enum EventKind {
 }
 
 /// One recorded event, timestamped in simulated seconds.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceEvent {
     /// Simulated time of the event.
     pub t: f64,

@@ -124,6 +124,11 @@ pub struct RuleThresholds {
     /// least this many microseconds of commit lag inside one window (the
     /// background flusher has fallen behind the snapshot cadence).
     pub flush_lag_budget_us: u64,
+    /// Recovery-budget ceiling: alert when the flight recorder's live
+    /// cumulative recovery fraction (detection, restore, re-computation,
+    /// and lost work over stitched wall clock, the
+    /// `blackbox.recovery_ratio` gauge) exceeds this fraction of the run.
+    pub recovery_budget: f64,
 }
 
 impl Default for RuleThresholds {
@@ -136,13 +141,15 @@ impl Default for RuleThresholds {
             min_replicas: 1.0,
             delta_dirty_ceiling: 0.9,
             flush_lag_budget_us: 5_000_000,
+            recovery_budget: 0.25,
         }
     }
 }
 
-/// The seven built-in rules: checkpoint-stall SLO breach, retry storm,
+/// The eight built-in rules: checkpoint-stall SLO breach, retry storm,
 /// straggler skew, parity-degraded writes, memory-tier replica loss,
-/// delta-ratio collapse, and asynchronous flush lag.
+/// delta-ratio collapse, asynchronous flush lag, and recovery-budget
+/// exhaustion.
 pub fn builtin_rules(th: &RuleThresholds) -> Vec<PulseRule> {
     use drms_obs::names;
     vec![
@@ -196,6 +203,15 @@ pub fn builtin_rules(th: &RuleThresholds) -> Vec<PulseRule> {
             predicate: Predicate::CountAbove {
                 metrics: vec![names::ASYNC_FLUSH_LAG_US],
                 at_least: th.flush_lag_budget_us,
+            },
+            min_windows: 1,
+        },
+        PulseRule {
+            name: names::ALERT_RECOVERY_BUDGET,
+            predicate: Predicate::GaugeAbove {
+                name: names::BLACKBOX_RECOVERY_RATIO,
+                index: 0,
+                above: th.recovery_budget,
             },
             min_windows: 1,
         },

@@ -89,6 +89,19 @@ pub enum Event {
         /// Evicted memory-tier checkpoint prefix.
         prefix: String,
     },
+    /// A kill discarded trace events that had been recorded but never made
+    /// it into a sealed flight-ring snapshot. Historically this loss was
+    /// silent — the pre-crash `TraceRecorder` simply vanished with the
+    /// incarnation; now the JSA counts the unsealed tail explicitly so
+    /// campaigns can tell "nothing happened" from "we lost the evidence".
+    TraceDropped {
+        /// Application name.
+        app: String,
+        /// Incarnation whose tail was lost.
+        incarnation: usize,
+        /// Events recorded after the last seal, gone for good.
+        events: u64,
+    },
 }
 
 impl fmt::Display for Event {
@@ -123,6 +136,12 @@ impl fmt::Display for Event {
             }
             Event::MemTierInvalidated { prefix } => {
                 write!(f, "memory-tier checkpoint {prefix} invalidated by node loss")
+            }
+            Event::TraceDropped { app, incarnation, events } => {
+                write!(
+                    f,
+                    "job {app} incarnation {incarnation} dropped {events} unsealed trace event(s)"
+                )
             }
         }
     }
@@ -206,6 +225,9 @@ impl EventLog {
                 }
                 Event::MemTierInvalidated { .. } => {
                     self.recorder.counter_add(0, names::MEMTIER_INVALIDATIONS, None, 1)
+                }
+                Event::TraceDropped { events, .. } => {
+                    self.recorder.counter_add(0, names::BLACKBOX_EVENTS_DROPPED, None, *events)
                 }
                 _ => {}
             }

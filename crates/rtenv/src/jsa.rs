@@ -3,6 +3,7 @@
 
 use std::sync::Arc;
 
+use drms_blackbox::Blackbox;
 use drms_chaos::ChaosCtl;
 use drms_core::{find_checkpoints, EnableFlag};
 use drms_memtier::{MemTier, RestartTier};
@@ -84,6 +85,7 @@ pub struct Jsa {
     policy: JsaPolicy,
     memtier: Option<Arc<MemTier>>,
     chaos: Option<Arc<ChaosCtl>>,
+    blackbox: Option<Arc<Blackbox>>,
     /// Index into the event log up to which processor failures have been
     /// applied to the memory tier (each failure wipes a node's resident
     /// pieces exactly once; repaired processors come back empty).
@@ -99,7 +101,17 @@ impl Jsa {
         cost: CostModel,
         policy: JsaPolicy,
     ) -> Jsa {
-        Jsa { rc, fs, log, cost, policy, memtier: None, chaos: None, tier_cursor: Mutex::new(0) }
+        Jsa {
+            rc,
+            fs,
+            log,
+            cost,
+            policy,
+            memtier: None,
+            chaos: None,
+            blackbox: None,
+            tier_cursor: Mutex::new(0),
+        }
     }
 
     /// Attaches a chaos controller: every incarnation of every job runs
@@ -128,6 +140,23 @@ impl Jsa {
     /// The attached memory tier, if any.
     pub fn memtier(&self) -> Option<&Arc<MemTier>> {
         self.memtier.as_ref()
+    }
+
+    /// Attaches a flight recorder. The same `Arc` must also sit in the
+    /// event log's recorder fan-out (that is how events reach the rings);
+    /// the JSA drives its lifecycle: incarnation resets before each SPMD
+    /// region, the final seal of a completed run, recovery of sealed rings
+    /// and crash salvages from storage after every incarnation, the
+    /// dropped-event audit for killed incarnations, and the live
+    /// `blackbox.recovery_ratio` gauge the pulse budget rule watches.
+    pub fn with_blackbox(mut self, bb: Arc<Blackbox>) -> Jsa {
+        self.blackbox = Some(bb);
+        self
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn blackbox(&self) -> Option<&Arc<Blackbox>> {
+        self.blackbox.as_ref()
     }
 
     /// The shared enable flag for a job would normally live in a job table;
@@ -230,6 +259,12 @@ impl Jsa {
                 incarnation as u64,
             );
 
+            // A restarted process begins with empty memory: reset the
+            // flight rings before any rank thread can capture into them.
+            if let Some(bb) = &self.blackbox {
+                bb.begin_incarnation(incarnation as u64);
+            }
+
             let env = JobEnv {
                 fs: Arc::clone(&self.fs),
                 restart_from: restart_from.clone(),
@@ -277,6 +312,10 @@ impl Jsa {
                 outcome: outcome.clone(),
             });
 
+            if let Some(bb) = &self.blackbox {
+                self.blackbox_epilogue(bb, &job.app, incarnation, &summary);
+            }
+
             match outcome {
                 JobOutcome::Completed => {
                     self.rc.release_pool(&job.app);
@@ -298,6 +337,71 @@ impl Jsa {
             }
         }
         summary
+    }
+
+    /// Flight-recorder bookkeeping at the end of one incarnation: a
+    /// completed run's in-memory tail is sealed directly (no rank thread is
+    /// alive to race with); a killed run's unsealed tail is counted and
+    /// logged as [`Event::TraceDropped`] — the loss that used to be silent;
+    /// then every sealed ring reachable on storage (committed `blackbox-r*`
+    /// checkpoint files and crash salvages under the `bb/` area) is fed to
+    /// the archive, and the live recovery-ratio gauge is re-published.
+    fn blackbox_epilogue(
+        &self,
+        bb: &Blackbox,
+        app: &str,
+        incarnation: usize,
+        summary: &RunSummary,
+    ) {
+        let outcome =
+            &summary.incarnations.last().expect("epilogue follows a pushed record").outcome;
+        match outcome {
+            JobOutcome::Completed => {
+                for seal in bb.seal_all(bb.latest_time(), "final") {
+                    let _ = bb.ingest(&seal.bytes);
+                }
+            }
+            JobOutcome::Killed | JobOutcome::Failed(_) => {
+                let dropped = bb.incarnation_died();
+                if dropped > 0 {
+                    self.log.record(Event::TraceDropped {
+                        app: app.to_string(),
+                        incarnation,
+                        events: dropped,
+                    });
+                }
+            }
+        }
+        let mut recovered = 0u64;
+        let salvage_dir = format!("{}/", drms_blackbox::SALVAGE_DIR);
+        for info in self.fs.list("") {
+            let is_ring = info.path.starts_with(&salvage_dir)
+                || info.path.rsplit_once('/').is_some_and(|(_, n)| n.starts_with("blackbox-r"));
+            if !is_ring {
+                continue;
+            }
+            if let Some(bytes) = self.fs.peek(&info.path) {
+                if matches!(bb.ingest(&bytes), Ok(true)) {
+                    recovered += 1;
+                }
+            }
+        }
+        let rec = self.log.recorder();
+        if rec.enabled() {
+            if recovered > 0 {
+                rec.counter_add(0, drms_obs::names::BLACKBOX_RINGS_RECOVERED, None, recovered);
+            }
+            let killed: Vec<bool> = summary
+                .incarnations
+                .iter()
+                .map(|r| matches!(r.outcome, JobOutcome::Killed))
+                .collect();
+            rec.gauge_set(
+                drms_obs::names::BLACKBOX_RECOVERY_RATIO,
+                0,
+                bb.live_recovery_fraction(&killed),
+            );
+        }
     }
 
     /// Replays processor failures from the event log into the memory tier,

@@ -26,6 +26,12 @@
 //!   backpressure, and bitwise-identical committed checkpoints;
 //! * [`rtenv`] — the RC/TC/JSA run-time environment and failure recovery;
 //! * [`obs`] — the observability layer (recorders, phases, counters);
+//! * [`blackbox`] — the crash-surviving flight recorder: bounded per-rank
+//!   event rings sealed to storage at SOPs and crash points, recovered
+//!   and stitched across incarnations;
+//! * [`insight`] — causal trace analysis: critical path, straggler and
+//!   server attribution, cross-incarnation stitching and recovery-cost
+//!   reports;
 //! * [`pulse`] — online telemetry: windowed streaming aggregation, a
 //!   declarative health-rule engine, and live heartbeat/status exporters
 //!   for in-flight runs;
@@ -33,10 +39,12 @@
 
 pub use drms_apps as apps;
 pub use drms_async as async_ckpt;
+pub use drms_blackbox as blackbox;
 pub use drms_chaos as chaos;
 pub use drms_core as core;
 pub use drms_darray as darray;
 pub use drms_delta as delta;
+pub use drms_insight as insight;
 pub use drms_memtier as memtier;
 pub use drms_msg as msg;
 pub use drms_obs as obs;

@@ -1,0 +1,385 @@
+//! Flight-recorder campaign: crash-surviving trace recovery at every
+//! enumerated [`CrashPoint`].
+//!
+//! The sweep kills the region at each blocking-path crash point of the
+//! two-phase commit (the `Flush*` family fires only inside the async
+//! pipeline's background flush and is swept in `tests/async_campaign.rs`)
+//! with a tiny-capacity flight recorder riding the run. The invariants,
+//! per point:
+//!
+//! * the JSA drives the job to bitwise completion anyway;
+//! * **every** incarnation — including the one that died at the armed
+//!   point — is recovered into the archive with a non-empty event stream
+//!   (SOP seals for the committed past, the crash salvage for the tail);
+//! * the stitched cross-incarnation timeline has zero unattributed gaps:
+//!   consecutive segments abut bit-exactly, separated only by the billed
+//!   detection latency;
+//! * the recovery-cost attribution tiles the stitched wall clock to
+//!   floating-point association error.
+//!
+//! A token-kill scenario rides along: a processor failure (no crash
+//! point, so nothing salvages the tail) must surface its loss as the
+//! audited `blackbox.events_dropped` counter rather than silence, and the
+//! campaign replays bit-identically per seed — same stitched render, same
+//! recovery cost to the bit — which is what makes the `FAULT_SEED` repro
+//! lines below trustworthy.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use drms::blackbox::{Blackbox, BlackboxConfig};
+use drms::chaos::{ChaosCtl, CrashPoint, FaultPlan};
+use drms::core::segment::DataSegment;
+use drms::core::{CoreError, Drms, DrmsConfig, Start};
+use drms::darray::{DistArray, Distribution};
+use drms::insight::{stitch, IncarnationInput, RecoveryReport, StitchOptions, StitchedTimeline};
+use drms::msg::CostModel;
+use drms::obs::{names, FanoutRecorder, Recorder, TraceRecorder};
+use drms::piofs::{Piofs, PiofsConfig};
+use drms::rtenv::{
+    EventLog, JobOutcome, JobSpec, Jsa, JsaPolicy, ProcessorState, ResourceCoordinator, RunSummary,
+};
+use drms::slices::{Order, Slice};
+use parking_lot::Mutex;
+
+const NITER: i64 = 10;
+const CKPT_EVERY: i64 = 3;
+const NPROCS: usize = 8;
+const APP: &str = "bbcamp";
+
+/// Ring capacity for the campaign: small enough that evictions are part
+/// of every run, so recovery works from overlapping partial snapshots —
+/// the hard case — rather than from complete histories.
+const RING_CAPACITY: usize = 256;
+
+/// Detection latency scaled to the tiny simulated workload (the default
+/// 1 s would dwarf the millisecond-scale runs and make every fraction
+/// read as ~100 % detection).
+const DETECTION_LATENCY: f64 = 1e-4;
+
+/// Base seed of the crash-point sweep; the token-kill scenario perturbs
+/// it so the two campaigns never alias under a `FAULT_SEED` filter.
+const SWEEP_SEED: u64 = 0xB1ACB;
+
+/// The one-command repro printed by every campaign assertion, in the
+/// repo-wide `FAULT_SEED` convention shared with the other campaigns.
+fn repro_cmd(seed: u64) -> String {
+    drms_bench::seed::test_repro("blackbox_campaign", seed)
+}
+
+/// The seed filter, when a repro command set one.
+fn seed_filter() -> Option<u64> {
+    drms_bench::seed::fault_seed_env()
+}
+
+fn domain() -> Slice {
+    Slice::boxed(&[(1, 18), (1, 14)])
+}
+
+/// Everything a campaign assertion wants to inspect after the run.
+struct CampaignResult {
+    checksum: f64,
+    summary: RunSummary,
+    rec: Arc<TraceRecorder>,
+    bb: Arc<Blackbox>,
+    ctl: Arc<ChaosCtl>,
+}
+
+/// Runs the iterative job under a fault plan with the flight recorder on
+/// the fan-out and its lifecycle driven by the JSA, optionally killing
+/// one processor at an iteration (the token kill: an organic restart with
+/// no crash point, so nothing salvages the unsealed tail).
+fn run_campaign(plan: FaultPlan, fail_at: Option<(i64, usize)>) -> CampaignResult {
+    let rec = Arc::new(TraceRecorder::default());
+    let bb = Arc::new(Blackbox::new(
+        BlackboxConfig { capacity: RING_CAPACITY, detection_latency: DETECTION_LATENCY },
+        NPROCS,
+    ));
+    let fan: Arc<dyn Recorder> = Arc::new(FanoutRecorder::new(vec![
+        rec.clone() as Arc<dyn Recorder>,
+        bb.clone() as Arc<dyn Recorder>,
+    ]));
+    let log = EventLog::with_recorder(fan.clone());
+    let rc = Arc::new(ResourceCoordinator::new(NPROCS, log.clone()));
+    let fs = Piofs::new(PiofsConfig::test_tiny(NPROCS), plan.seed);
+    fs.set_recorder(fan);
+    let cfg = DrmsConfig::new(APP);
+    Drms::install_binary(&fs, &cfg);
+    let ctl = ChaosCtl::new(plan);
+    let jsa = Jsa::new(
+        Arc::clone(&rc),
+        Arc::clone(&fs),
+        log,
+        CostModel::default(),
+        JsaPolicy { repair_when_starved: true, ..Default::default() },
+    )
+    .with_chaos(Arc::clone(&ctl))
+    .with_blackbox(Arc::clone(&bb));
+
+    let injected = Arc::new(AtomicUsize::new(0));
+    let out = Arc::new(Mutex::new(Vec::new()));
+    let rc2 = Arc::clone(&rc);
+    let injected2 = Arc::clone(&injected);
+    let out2 = Arc::clone(&out);
+
+    let job = JobSpec::new(APP, (1, NPROCS), move |ctx, env| {
+        let (mut drms, start) = match Drms::initialize(
+            ctx,
+            &env.fs,
+            DrmsConfig::new(APP),
+            env.enable.clone(),
+            env.restart_from.as_deref(),
+        ) {
+            Ok(v) => v,
+            Err(CoreError::Interrupted(_)) => return JobOutcome::Killed,
+            Err(e) => return JobOutcome::Failed(e.to_string()),
+        };
+        let dist = Distribution::block_auto(&domain(), ctx.ntasks(), 1).unwrap();
+        let mut u = DistArray::<f64>::new("u", Order::ColumnMajor, dist, ctx.rank());
+        let mut seg = DataSegment::new();
+        let mut start_iter = 1i64;
+        match start {
+            Start::Fresh => u.fill_assigned(|p| (p[0] * 13 + p[1] * 3) as f64),
+            Start::Restarted(info) => {
+                seg = info.segment.clone();
+                start_iter = seg.control("iter").unwrap() + 1;
+                match drms.restore_arrays(
+                    ctx,
+                    &env.fs,
+                    env.restart_from.as_deref().unwrap(),
+                    &info.manifest,
+                    &mut [&mut u],
+                ) {
+                    Ok(_) => {}
+                    Err(CoreError::Interrupted(_)) => return JobOutcome::Killed,
+                    Err(e) => return JobOutcome::Failed(e.to_string()),
+                }
+            }
+        }
+        for iter in start_iter..=NITER {
+            if env.sop_killed(ctx) {
+                return JobOutcome::Killed;
+            }
+            let region = u.assigned().clone();
+            region.points(Order::ColumnMajor).for_each(|p| {
+                let v = u.get(p).unwrap();
+                u.set(p, v + 1.5).unwrap();
+            });
+            seg.set_control("iter", iter);
+            if iter % CKPT_EVERY == 0 {
+                match drms.reconfig_checkpoint(ctx, &env.fs, &format!("ck/bb/{iter}"), &seg, &[&u])
+                {
+                    Ok(_) => {}
+                    Err(CoreError::Interrupted(_)) => return JobOutcome::Killed,
+                    Err(e) => return JobOutcome::Failed(e.to_string()),
+                }
+            }
+            if ctx.rank() == 0 {
+                if let Some((at, victim)) = fail_at {
+                    if iter >= at
+                        && injected2.swap(1, Ordering::SeqCst) == 0
+                        && rc2.state_of(victim) != ProcessorState::Failed
+                    {
+                        rc2.fail_processor(victim);
+                    }
+                }
+            }
+        }
+        if env.sop_killed(ctx) {
+            return JobOutcome::Killed;
+        }
+        out2.lock().push(u.fold_assigned(0.0, |acc, _, v| acc + v));
+        JobOutcome::Completed
+    });
+
+    let summary = jsa.run_job(&job);
+    let checksum: f64 = out.lock().iter().sum();
+    CampaignResult { checksum, summary, rec, bb, ctl }
+}
+
+/// The ground-truth checksum of an uninterrupted run.
+fn reference() -> f64 {
+    let mut s = 0.0;
+    domain().points(Order::ColumnMajor).for_each(|p| {
+        s += (p[0] * 13 + p[1] * 3) as f64 + NITER as f64 * 1.5;
+    });
+    s
+}
+
+/// Stitches the recovered per-incarnation streams into the global
+/// timeline and derives the recovery-cost attribution from it.
+fn attribution(r: &CampaignResult) -> (StitchedTimeline, RecoveryReport) {
+    let inputs: Vec<IncarnationInput> = r
+        .summary
+        .incarnations
+        .iter()
+        .enumerate()
+        .map(|(i, inc)| IncarnationInput {
+            incarnation: i as u64,
+            events: r.bb.events_for(i as u64),
+            killed: inc.outcome == JobOutcome::Killed,
+            restarted: inc.restart_from.is_some(),
+        })
+        .collect();
+    let tl = stitch(&inputs, &StitchOptions { detection_latency: DETECTION_LATENCY });
+    let report = RecoveryReport::from_timeline(&tl);
+    (tl, report)
+}
+
+/// The coverage contract shared by every campaign assertion: bitwise
+/// completion, a non-empty recovered stream for every incarnation, exact
+/// segment abutment, and attribution tiling the stitched wall clock.
+fn assert_covered(
+    r: &CampaignResult,
+    tl: &StitchedTimeline,
+    rep: &RecoveryReport,
+    what: &str,
+    seed: u64,
+) {
+    assert!(
+        r.summary.completed,
+        "{what}: job did not complete: {:?}\nreproduce with: {}",
+        r.summary,
+        repro_cmd(seed)
+    );
+    assert_eq!(
+        r.checksum,
+        reference(),
+        "{what}: recovered state diverged from the uninterrupted run\nreproduce with: {}",
+        repro_cmd(seed)
+    );
+    assert_eq!(
+        tl.segments.len(),
+        r.summary.incarnations.len(),
+        "{what}: stitched segment count diverged from the incarnation record\nreproduce with: {}",
+        repro_cmd(seed)
+    );
+    for (i, _) in r.summary.incarnations.iter().enumerate() {
+        assert!(
+            !r.bb.events_for(i as u64).is_empty(),
+            "{what}: incarnation {i} recovered no events — a silent gap in the \
+             flight record\nreproduce with: {}",
+            repro_cmd(seed)
+        );
+    }
+    for k in 1..tl.segments.len() {
+        assert_eq!(
+            tl.segments[k].start.to_bits(),
+            (tl.segments[k - 1].end + tl.segments[k].detect).to_bits(),
+            "{what}: segments {} and {k} do not abut — unattributed gap\nreproduce with: {}",
+            k - 1,
+            repro_cmd(seed)
+        );
+    }
+    let tol = 1e-9 * rep.wall.max(1.0);
+    assert!(
+        rep.tiling_error() <= tol,
+        "{what}: attribution buckets do not tile the wall clock \
+         (error {} > {tol})\nreproduce with: {}",
+        rep.tiling_error(),
+        repro_cmd(seed)
+    );
+}
+
+/// The tentpole sweep: every blocking-path crash point, exhaustively. The
+/// restart-side points need an organic restart to fire inside, so those
+/// runs also kill one processor mid-run.
+#[test]
+fn every_crash_point_leaves_a_recoverable_flight_record() {
+    for &point in CrashPoint::ALL.iter() {
+        // The `Flush*` family fires only inside the asynchronous
+        // pipeline's background flush — a blocking checkpoint never
+        // consults those points, so arming one here would never fire.
+        if point.is_flush_side() {
+            continue;
+        }
+        if seed_filter().is_some_and(|only| only != SWEEP_SEED) {
+            continue;
+        }
+        let plan = FaultPlan { crash: Some((point, 1)), ..FaultPlan::seeded(SWEEP_SEED) };
+        let restart_side = matches!(
+            point,
+            CrashPoint::RestartAfterInit
+                | CrashPoint::RestartAfterSegment
+                | CrashPoint::RestartAfterArrays
+        );
+        let fail_at = restart_side.then_some((4i64, 2usize));
+        let r = run_campaign(plan, fail_at);
+        let what = format!("crash point {point}");
+        assert!(
+            r.ctl.crash_fired(),
+            "{what}: armed crash never fired (instrumentation gap)\nreproduce with: {}",
+            repro_cmd(SWEEP_SEED)
+        );
+        assert!(
+            r.summary.incarnations.len() >= 2,
+            "{what}: expected at least one reincarnation: {:?}\nreproduce with: {}",
+            r.summary,
+            repro_cmd(SWEEP_SEED)
+        );
+        // The crashed incarnation's tail reached storage as a salvage
+        // seal — the ring survived the very instant it is for.
+        assert!(
+            r.rec.metrics().counter_total(names::BLACKBOX_SALVAGES) > 0,
+            "{what}: crash fired but no ring was salvaged\nreproduce with: {}",
+            repro_cmd(SWEEP_SEED)
+        );
+        let (tl, rep) = attribution(&r);
+        assert_covered(&r, &tl, &rep, &what, SWEEP_SEED);
+    }
+}
+
+/// Token kill: a processor failure between checkpoints, with no crash
+/// point armed, so the dying incarnation's unsealed tail has no salvage
+/// path. The loss must be audited — `blackbox.events_dropped` counts the
+/// exact tail — while everything up to the last SOP seal still recovers
+/// and the stitched timeline still covers every incarnation.
+#[test]
+fn token_kill_audits_its_dropped_tail() {
+    let seed = SWEEP_SEED ^ 0x7111;
+    if seed_filter().is_some_and(|only| only != seed) {
+        return;
+    }
+    let r = run_campaign(FaultPlan::seeded(seed), Some((4, 2)));
+    assert!(
+        r.summary.incarnations.len() >= 2,
+        "token kill never reincarnated: {:?}\nreproduce with: {}",
+        r.summary,
+        repro_cmd(seed)
+    );
+    let dropped = r.rec.metrics().counter_total(names::BLACKBOX_EVENTS_DROPPED);
+    assert!(
+        dropped > 0,
+        "token kill lost no trace events — the drop audit is vacuous\nreproduce with: {}",
+        repro_cmd(seed)
+    );
+    let (tl, rep) = attribution(&r);
+    assert_covered(&r, &tl, &rep, "token kill", seed);
+}
+
+/// Determinism: replaying the identical plan replays the identical
+/// recovery — same stitched render, same recovery cost to the bit. This
+/// is what makes every repro line in this file trustworthy.
+#[test]
+fn campaign_replays_bit_identically() {
+    let seed = SWEEP_SEED ^ 0xD00D;
+    if seed_filter().is_some_and(|only| only != seed) {
+        return;
+    }
+    let plan =
+        FaultPlan { crash: Some((CrashPoint::CkptMidPublish, 1)), ..FaultPlan::seeded(seed) };
+    let a = run_campaign(plan.clone(), Some((7, 2)));
+    let b = run_campaign(plan, Some((7, 2)));
+    assert_eq!(a.checksum, b.checksum, "reproduce with: {}", repro_cmd(seed));
+    assert_eq!(a.summary, b.summary, "reproduce with: {}", repro_cmd(seed));
+    let (tla, repa) = attribution(&a);
+    let (tlb, repb) = attribution(&b);
+    assert_eq!(tla.events.len(), tlb.events.len(), "reproduce with: {}", repro_cmd(seed));
+    assert_eq!(repa.render(), repb.render(), "reproduce with: {}", repro_cmd(seed));
+    assert_eq!(
+        repa.recovery_cost().to_bits(),
+        repb.recovery_cost().to_bits(),
+        "reproduce with: {}",
+        repro_cmd(seed)
+    );
+}

@@ -12,6 +12,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use drms::async_ckpt::{AsyncCheckpointer, AsyncConfig};
+use drms::blackbox::{Blackbox, BlackboxConfig};
 use drms::chaos::{ChaosCtl, CrashPoint, FaultPlan, MsgFaults, PiofsFaults, TornWrite};
 use drms::core::segment::DataSegment;
 use drms::core::{CoreError, Drms, DrmsConfig, EnableFlag, Start};
@@ -256,9 +257,12 @@ fn run_job(w: &World, tier: Option<Arc<MemTier>>, faults: Vec<Fault>, mode: Ckpt
 /// Runs the drift job under a chaos controller: fault-injection weather at
 /// every layer plus an armed crash inside the commit window. The body
 /// reports injected crashes as kills, so the JSA reincarnates the job from
-/// the newest committed checkpoint.
-fn run_chaos_job(w: &World, ctl: Arc<ChaosCtl>) {
-    let jsa = Jsa::new(
+/// the newest committed checkpoint. An optional flight recorder rides
+/// along so the JSA drives its seal/salvage/recovery lifecycle, and
+/// `kill_at` fires a one-shot processor kill once that iteration is
+/// reached — a token kill whose unsealed ring tail nothing salvages.
+fn run_chaos_job(w: &World, ctl: Arc<ChaosCtl>, bb: Option<Arc<Blackbox>>, kill_at: Option<i64>) {
+    let mut jsa = Jsa::new(
         Arc::clone(&w.rc),
         Arc::clone(&w.fs),
         w.log.clone(),
@@ -266,7 +270,12 @@ fn run_chaos_job(w: &World, ctl: Arc<ChaosCtl>) {
         JsaPolicy { repair_when_starved: true, ..Default::default() },
     )
     .with_chaos(ctl);
+    if let Some(bb) = bb {
+        jsa = jsa.with_blackbox(bb);
+    }
 
+    let killed = Arc::new(AtomicUsize::new(0));
+    let rc2 = Arc::clone(&w.rc);
     let job = JobSpec::new(APP, (1, NPROCS), move |ctx, env| {
         let (mut drms, start) = match Drms::initialize(
             ctx,
@@ -322,6 +331,13 @@ fn run_chaos_job(w: &World, ctl: Arc<ChaosCtl>) {
                     Ok(_) => {}
                     Err(CoreError::Interrupted(_)) => return JobOutcome::Killed,
                     Err(e) => return JobOutcome::Failed(e.to_string()),
+                }
+            }
+            if ctx.rank() == 0 {
+                if let Some(at) = kill_at {
+                    if iter >= at && killed.swap(1, Ordering::SeqCst) == 0 {
+                        rc2.fail_processor(2);
+                    }
                 }
             }
         }
@@ -419,7 +435,7 @@ fn every_metric_name_is_emitted_by_some_instrumentation_site() {
             crash: Some((CrashPoint::CkptAfterSegment, 1)),
             ..FaultPlan::seeded(5)
         });
-        run_chaos_job(&w, ctl);
+        run_chaos_job(&w, ctl, None, None);
         covered.extend(emitted(&w.rec));
     }
 
@@ -531,7 +547,7 @@ fn every_metric_name_is_emitted_by_some_instrumentation_site() {
             piofs: PiofsFaults { transient_prob: 0.3, torn: None },
             ..FaultPlan::seeded(5)
         });
-        run_chaos_job(&w, ctl);
+        run_chaos_job(&w, ctl, None, None);
         let report = pulse.finish();
         assert!(
             report.alerts.iter().any(|a| a.rule == names::ALERT_RETRY_STORM),
@@ -653,6 +669,50 @@ fn every_metric_name_is_emitted_by_some_instrumentation_site() {
             assert!(names_seen.contains(name), "budget-1 crash pair never emitted {name}");
         }
         covered.extend(names_seen);
+    }
+
+    // Scenario 9 — blackbox: the commit-window chaos crash of scenario 4
+    // re-run with a tiny-capacity flight recorder on the fan-out and the
+    // JSA driving its lifecycle. The 64-event rings overflow between SOPs
+    // (captured + evicted), every SOP seal stages a ring file through the
+    // two-phase commit (seals + seal bytes), the armed crash salvages the
+    // live rings (salvages), the killed incarnation's unsealed tail is
+    // audited (dropped), restart ingests the committed rings and salvages
+    // (rings recovered), and the re-published recovery-ratio gauge trips
+    // the recovery-budget rule on the pulse riding the same fan-out.
+    {
+        let thresholds = RuleThresholds { recovery_budget: 0.05, ..RuleThresholds::default() };
+        let trace = Arc::new(TraceRecorder::default());
+        let pulse = Pulse::new(PulseConfig {
+            ntasks: NPROCS,
+            window: 0.002,
+            rules: builtin_rules(&thresholds),
+            ..PulseConfig::default()
+        });
+        pulse.set_sink(trace.clone() as Arc<dyn Recorder>);
+        let bb = Arc::new(Blackbox::new(
+            BlackboxConfig { capacity: 64, detection_latency: 1e-4 },
+            NPROCS,
+        ));
+        let fan: Arc<dyn Recorder> = Arc::new(FanoutRecorder::new(vec![
+            trace.clone() as Arc<dyn Recorder>,
+            bb.clone() as Arc<dyn Recorder>,
+            pulse.recorder(),
+        ]));
+        let w = build_pulse_world(5, false, trace.clone(), fan);
+        let ctl = ChaosCtl::new(FaultPlan {
+            crash: Some((CrashPoint::CkptMidPublish, 1)),
+            ..FaultPlan::seeded(5)
+        });
+        run_chaos_job(&w, ctl, Some(Arc::clone(&bb)), Some(7));
+        let report = pulse.finish();
+        assert!(
+            report.alerts.iter().any(|a| a.rule == names::ALERT_RECOVERY_BUDGET),
+            "recovery-budget rule never fired; fired: {:?}",
+            report.alerts
+        );
+        assert!(bb.incarnations().len() >= 2, "chaos crash never reincarnated");
+        covered.extend(emitted(&trace));
     }
 
     let missing: Vec<&str> = names::ALL.iter().copied().filter(|n| !covered.contains(n)).collect();
