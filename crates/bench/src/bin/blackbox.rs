@@ -387,7 +387,9 @@ fn main() {
             // pipeline's background flush; a blocking checkpoint never
             // consults those points (they get their own sweep in
             // `tests/async_campaign.rs`).
-            if point.is_flush_side() {
+            // The `Recover*` family likewise fires only inside a localized
+            // recovery; it gets its own sweep in `tests/recover_campaign.rs`.
+            if point.is_flush_side() || point.is_recover_side() {
                 continue;
             }
             // Restart-side points only have a window once something

@@ -54,6 +54,14 @@ pub const CRASH_EVENT_PREFIX: &str = "crash:";
 /// close of any of these as the end of an incarnation's restore window.
 pub const RESTORE_SPAN_NAMES: [&str; 3] = ["load_text", "load_segment", "restore_arrays"];
 
+/// Span name of a localized in-incarnation recovery window (rank 0,
+/// `Phase::Recover`): survivors reinstated their retained sections and the
+/// lost sections were fetched, all without tearing the incarnation down.
+/// The recovery-cost attribution carves these windows out of useful work
+/// as localized restore, mirroring how [`RESTORE_SPAN_NAMES`] mark a full
+/// restart's restore window.
+pub const LOCALIZED_SPAN_NAME: &str = "localized_recover";
+
 /// File name of rank `rank`'s sealed ring under a checkpoint (or staging)
 /// prefix directory.
 pub fn ring_file_name(rank: usize) -> String {

@@ -74,6 +74,21 @@ crash_points! {
     /// checkpoint is committed, but the region dies before the flusher
     /// retires the snapshot.
     FlushCommitted = "flush_committed";
+    /// Localized recovery entered: a node loss was observed at an SOP,
+    /// the epoch-stamped recovery barrier has not yet run.
+    RecoverEnter = "recover_enter";
+    /// Localized recovery: membership agreement reached (every survivor
+    /// holds the same epoch and lost-node set), nothing restored yet.
+    RecoverAgreed = "recover_agreed";
+    /// Localized recovery: survivor sections reinstated and lost sections
+    /// fetched, the recovery journal not yet staged.
+    RecoverRestored = "recover_restored";
+    /// Localized recovery: journal and flight rings staged under the
+    /// `.tmp` prefix, nothing published.
+    RecoverStagedJournal = "recover_staged_journal";
+    /// Localized recovery: journal renamed into place — the membership
+    /// transition is durable, but the region dies before resuming compute.
+    RecoverCommitted = "recover_committed";
 }
 
 impl CrashPoint {
@@ -90,6 +105,21 @@ impl CrashPoint {
                 | CrashPoint::FlushStagedManifest
                 | CrashPoint::FlushMidPublish
                 | CrashPoint::FlushCommitted
+        )
+    }
+
+    /// Whether this point lives inside the localized-recovery protocol
+    /// (consulted only by `drms-recover`). Checkpoint/restart sweeps that
+    /// never enter a localized recovery skip these — an armed recover-side
+    /// point can never fire on a path that takes no localized recoveries.
+    pub fn is_recover_side(&self) -> bool {
+        matches!(
+            self,
+            CrashPoint::RecoverEnter
+                | CrashPoint::RecoverAgreed
+                | CrashPoint::RecoverRestored
+                | CrashPoint::RecoverStagedJournal
+                | CrashPoint::RecoverCommitted
         )
     }
 }

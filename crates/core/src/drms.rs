@@ -792,7 +792,9 @@ pub fn sweep_orphans(fs: &Piofs) -> Vec<String> {
     for info in fs.list("") {
         let Some((prefix, name)) = info.path.rsplit_once('/') else { continue };
         let entry = prefixes.entry(prefix.to_string()).or_default();
-        if name == "manifest" || name == "manifest.quarantined" {
+        if name == "manifest" || name == "manifest.quarantined" || name == "journal" {
+            // A recovery journal is a commit marker for its directory,
+            // exactly like a manifest is for a checkpoint.
             entry.0 = true;
             // Mark phase: packs referenced from any committed manifest
             // must survive the sweep, wherever they live.
@@ -803,6 +805,7 @@ pub fn sweep_orphans(fs: &Piofs) -> Vec<String> {
             }
         } else if name == "segment"
             || name == "manifest.tmp"
+            || name == "journal.tmp"
             || name.starts_with("task-")
             || name.starts_with("array-")
             || name.starts_with("delta-")

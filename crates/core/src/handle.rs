@@ -1,7 +1,7 @@
 //! Type-erased handles over distributed arrays of any element type, so one
 //! checkpoint call can cover a heterogeneous set of arrays.
 
-use drms_darray::{assign, stream, DistArray, Element};
+use drms_darray::{assign, stream, DistArray, Distribution, Element};
 use drms_msg::Ctx;
 use drms_piofs::Piofs;
 use drms_slices::{Order, Slice};
@@ -62,6 +62,32 @@ pub trait CheckpointArray: Send {
     /// Collective: adjusts the distribution to the current region's task
     /// count and redistributes in place (`drms_adjust` + `drms_distribute`).
     fn adjust_redistribute(&mut self, ctx: &mut Ctx) -> Result<()>;
+
+    /// Collective: re-partitions the array across the `active` subset of
+    /// the region's tasks (block decomposition over the active set, empty
+    /// sections elsewhere) through the live redistribution path — no
+    /// storage I/O. This is the online shrink/grow operation and the
+    /// membership-transition step of localized recovery.
+    fn repartition(&mut self, ctx: &mut Ctx, active: &[usize]) -> Result<()>;
+
+    /// Collective: localized section restore. Rebuilds the array under a
+    /// block distribution over the `active` task subset from two sources:
+    /// survivors' retained checkpoint-state local bytes (`retained`,
+    /// encoded under the *current* distribution; ranks with
+    /// `survivors[rank] == false` pass `None`), redistributed live; and the
+    /// lost ranks' sections — the current distribution's assigned sections
+    /// of every non-survivor — fetched from the array's canonical
+    /// full-domain stream through `fetch` (memory-tier replicas or PIOFS).
+    /// Returns the bytes fetched for the lost sections.
+    fn restore_sections(
+        &mut self,
+        ctx: &mut Ctx,
+        active: &[usize],
+        survivors: &[bool],
+        retained: Option<&[u8]>,
+        io_tasks: usize,
+        fetch: &mut stream::PieceFetch<'_>,
+    ) -> Result<u64>;
 }
 
 impl<T: Element> CheckpointArray for DistArray<T> {
@@ -151,6 +177,69 @@ impl<T: Element> CheckpointArray for DistArray<T> {
         let replacement = assign::redistribute(ctx, self, new_dist)?;
         self.adopt(replacement)?;
         Ok(())
+    }
+
+    fn repartition(&mut self, ctx: &mut Ctx, active: &[usize]) -> Result<()> {
+        let shadow = self.dist().shadow_widths().map(|s| s[0]).unwrap_or(0);
+        let new_dist =
+            Distribution::block_active(DistArray::domain(self), active, ctx.ntasks(), shadow)?;
+        let replacement = assign::redistribute(ctx, self, new_dist)?;
+        self.adopt(replacement)?;
+        Ok(())
+    }
+
+    fn restore_sections(
+        &mut self,
+        ctx: &mut Ctx,
+        active: &[usize],
+        survivors: &[bool],
+        retained: Option<&[u8]>,
+        io_tasks: usize,
+        fetch: &mut stream::PieceFetch<'_>,
+    ) -> Result<u64> {
+        // The lost sections are whatever the current distribution assigned
+        // to the non-surviving ranks.
+        let lost: Vec<Slice> = (0..ctx.ntasks())
+            .filter(|&r| !survivors[r])
+            .map(|r| self.dist().assigned(r).clone())
+            .collect();
+        let shadow = self.dist().shadow_widths().map(|s| s[0]).unwrap_or(0);
+        let new_dist =
+            Distribution::block_active(DistArray::domain(self), active, ctx.ntasks(), shadow)?;
+        // Donor: the survivors' retained checkpoint bytes under the old
+        // distribution, masked so the lost ranks contribute nothing.
+        let donor_dist = self.dist().masked(survivors)?;
+        let mut donor: DistArray<T> =
+            DistArray::new(self.name(), DistArray::order(self), donor_dist, self.rank());
+        if survivors[ctx.rank()] {
+            let bytes = retained.ok_or_else(|| {
+                CoreError::ManifestMismatch(format!(
+                    "array {:?}: survivor rank {} has no retained state",
+                    self.name(),
+                    ctx.rank()
+                ))
+            })?;
+            let expect = donor.local().len() * T::SIZE;
+            if bytes.len() != expect {
+                return Err(CoreError::ManifestMismatch(format!(
+                    "array {:?}: retained state is {} bytes, local storage needs {expect}",
+                    self.name(),
+                    bytes.len()
+                )));
+            }
+            for (v, chunk) in donor.local_mut().iter_mut().zip(bytes.chunks_exact(T::SIZE)) {
+                *v = T::read_le(chunk);
+            }
+        }
+        // Rebuild under the new distribution: survivor data moves through
+        // the live redistribution path, lost sections stay holes...
+        let mut next: DistArray<T> =
+            DistArray::new(self.name(), DistArray::order(self), new_dist, self.rank());
+        assign::assign(ctx, &mut next, &donor)?;
+        // ...which the canonical-stream fetch then fills.
+        let fetched = stream::read_overlapping_via(ctx, &mut next, &lost, io_tasks, fetch)?;
+        self.adopt(next)?;
+        Ok(fetched)
     }
 }
 

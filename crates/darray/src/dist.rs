@@ -18,6 +18,11 @@ enum DistKind {
     Pieces,
     /// Arbitrary user-supplied sections.
     Irregular,
+    /// Block decomposition over an *active subset* of the region's tasks;
+    /// the remaining tasks hold empty sections but still participate in
+    /// collectives. This is how localized recovery and online shrink/grow
+    /// re-partition live arrays without changing the region's task count.
+    ActiveBlock { active: Vec<usize>, shadow: Vec<usize> },
 }
 
 /// The mapping of array sections to tasks: one *assigned* and one *mapped*
@@ -172,6 +177,109 @@ impl Distribution {
         Ok(Arc::new(dist))
     }
 
+    /// Block decomposition of `domain` over the `active` subset of a
+    /// region's `ntasks` tasks, with a uniform shadow width. The domain is
+    /// partitioned block-wise across `active.len()` parts (processor grid
+    /// chosen automatically, as in [`Distribution::block_auto`]); part `i`
+    /// is assigned to rank `active[i]` and every rank outside `active`
+    /// gets an empty section. The active list must be strictly increasing
+    /// and within `0..ntasks`.
+    ///
+    /// This is the distribution shape of survivor-driven recovery and of
+    /// malleable shrink/grow: the SPMD region keeps all `ntasks` tasks (so
+    /// collectives stay well-formed), but only the active subset owns data.
+    pub fn block_active(
+        domain: &Slice,
+        active: &[usize],
+        ntasks: usize,
+        shadow_width: usize,
+    ) -> Result<Arc<Distribution>> {
+        if active.is_empty() || active.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(DarrayError::BadDecomposition {
+                reason: format!("active task list {active:?} is empty or not strictly increasing"),
+            });
+        }
+        if *active.last().expect("nonempty") >= ntasks {
+            return Err(DarrayError::BadDecomposition {
+                reason: format!(
+                    "active task {} outside region of {ntasks}",
+                    active.last().unwrap()
+                ),
+            });
+        }
+        let part = Distribution::block_auto(domain, active.len(), shadow_width)?;
+        let d = domain.rank();
+        let mut assigned = vec![Slice::empty(d); ntasks];
+        let mut mapped = vec![Slice::empty(d); ntasks];
+        for (i, &task) in active.iter().enumerate() {
+            assigned[task] = part.assigned(i).clone();
+            mapped[task] = part.mapped(i).clone();
+        }
+        let dist = Distribution {
+            domain: domain.clone(),
+            assigned,
+            mapped,
+            kind: DistKind::ActiveBlock { active: active.to_vec(), shadow: vec![shadow_width; d] },
+        };
+        dist.validate()?;
+        Ok(Arc::new(dist))
+    }
+
+    /// A copy of this distribution with every task for which `keep` is
+    /// false stripped to empty assigned *and* mapped sections. The result
+    /// is what survivors still hold after a node loss: redistributing from
+    /// a masked distribution moves only the survivors' data and leaves the
+    /// lost sections as holes for the section-restore path to fill.
+    pub fn masked(&self, keep: &[bool]) -> Result<Arc<Distribution>> {
+        if keep.len() != self.ntasks() {
+            return Err(DarrayError::TaskCountMismatch {
+                expected: self.ntasks(),
+                got: keep.len(),
+            });
+        }
+        let d = self.domain.rank();
+        let assigned = self
+            .assigned
+            .iter()
+            .zip(keep)
+            .map(|(s, &k)| if k { s.clone() } else { Slice::empty(d) })
+            .collect();
+        let mapped = self
+            .mapped
+            .iter()
+            .zip(keep)
+            .map(|(s, &k)| if k { s.clone() } else { Slice::empty(d) })
+            .collect();
+        let dist = Distribution {
+            domain: self.domain.clone(),
+            assigned,
+            mapped,
+            kind: DistKind::Irregular,
+        };
+        dist.validate()?;
+        Ok(Arc::new(dist))
+    }
+
+    /// Per-axis shadow widths of a block-style distribution (`None` for
+    /// cyclic, pieces, and irregular kinds, which carry no shadows). Used
+    /// to re-derive an equivalent active-set distribution when recovery or
+    /// shrink/grow re-partitions an array.
+    pub fn shadow_widths(&self) -> Option<&[usize]> {
+        match &self.kind {
+            DistKind::BlockGrid { shadow, .. } | DistKind::ActiveBlock { shadow, .. } => {
+                Some(shadow)
+            }
+            _ => None,
+        }
+    }
+
+    /// The strictly increasing list of tasks with nonempty assigned
+    /// sections — the *active set* a recovery or resize must preserve data
+    /// for.
+    pub fn active_tasks(&self) -> Vec<usize> {
+        (0..self.ntasks()).filter(|&t| !self.assigned[t].is_empty()).collect()
+    }
+
     /// Recomputes this distribution for a different task count — the
     /// `drms_adjust` operation invoked after a reconfigured restart with
     /// `delta != 0`. Block and cyclic distributions adjust automatically;
@@ -184,13 +292,21 @@ impl Distribution {
                 Distribution::block(&self.domain, &parts, shadow)
             }
             DistKind::CyclicAxis { axis } => Distribution::cyclic(&self.domain, new_ntasks, *axis),
+            // A restart onto a fresh region activates every task again: the
+            // active-set shape was a property of the old region's failures.
+            DistKind::ActiveBlock { shadow, .. } => {
+                Distribution::block_auto(&self.domain, new_ntasks, shadow[0])
+            }
             DistKind::Pieces | DistKind::Irregular => Err(DarrayError::NotAdjustable),
         }
     }
 
     /// Whether [`Distribution::adjust`] can recompute this distribution.
     pub fn is_adjustable(&self) -> bool {
-        matches!(self.kind, DistKind::BlockGrid { .. } | DistKind::CyclicAxis { .. })
+        matches!(
+            self.kind,
+            DistKind::BlockGrid { .. } | DistKind::CyclicAxis { .. } | DistKind::ActiveBlock { .. }
+        )
     }
 
     /// The array domain.

@@ -404,6 +404,96 @@ pub fn read_array_via<T: Element>(
     read_section_via(ctx, array, &section, io_tasks, fetch)
 }
 
+/// Collective: fills only the parts of `array` that overlap one of the
+/// `needed` sections from the array's *full-domain* canonical stream,
+/// leaving everything else untouched. Fetch offsets are full-stream byte
+/// offsets — exactly the layout of a checkpoint's `array-{name}` file or
+/// its memory-tier replica — so a localized recovery can pull just the
+/// lost ranks' section ranges out of an existing whole-array stream.
+///
+/// The piece plan is the same as [`read_array_via`]'s; a piece is fetched
+/// iff its slice intersects some needed section, and the per-wave
+/// redistribution is masked to the fetched pieces so unfetched pieces
+/// never clobber live data. A fetched piece may extend past the needed
+/// sections (pieces are stream-contiguous, sections are not); the extra
+/// elements are overwritten with bytes from the same stream, which is
+/// harmless by construction — everything restored is checkpoint state.
+///
+/// Every rank calls `fetch` once per wave (`len == 0` when it has nothing
+/// to fetch), preserving the collective-fetcher convention of
+/// [`PieceFetch`]. Returns the total bytes fetched.
+pub fn read_overlapping_via<T: Element>(
+    ctx: &mut Ctx,
+    array: &mut DistArray<T>,
+    needed: &[Slice],
+    io_tasks: usize,
+    fetch: &mut PieceFetch<'_>,
+) -> Result<u64> {
+    let domain = array.domain().clone();
+    let plan =
+        Plan::new(ctx, &domain, &domain, io_tasks, T::SIZE, array.order(), TARGET_PIECE_BYTES)?;
+    let wanted: Vec<bool> = plan
+        .pieces
+        .iter()
+        .map(|piece| {
+            needed.iter().any(|n| {
+                !n.is_empty() && piece.intersect(n).map(|s| !s.is_empty()).unwrap_or(false)
+            })
+        })
+        .collect();
+    let traced = ctx.recorder().enabled();
+    let mut fetched_total = 0u64;
+    for wave in 0..plan.waves() {
+        if traced {
+            ctx.recorder().span_start(ctx.now(), ctx.rank(), Phase::StreamWave, array.name());
+        }
+        let canonical = plan.canonical(wave, &domain)?;
+        // Mask the canonical wave distribution to the wanted pieces, so
+        // assign() moves only fetched data into the array.
+        let keep: Vec<bool> = (0..ctx.ntasks())
+            .map(|r| plan.piece_for(wave, r).map(|j| wanted[j]).unwrap_or(false))
+            .collect();
+        let masked = canonical.masked(&keep)?;
+        let mut aux: DistArray<T> = DistArray::new(array.name(), array.order(), masked, ctx.rank());
+
+        let (offset, len) = match plan.piece_for(wave, ctx.rank()) {
+            Some(j) if wanted[j] && plan.pieces[j].size() > 0 => {
+                ((plan.offsets[j] * T::SIZE) as u64, (plan.pieces[j].size() * T::SIZE) as u64)
+            }
+            _ => (0, 0),
+        };
+        let bytes = fetch(ctx, offset, len).map_err(DarrayError::Io)?;
+        if bytes.len() as u64 != len {
+            return Err(DarrayError::Io(format!(
+                "stream fetch at {offset} returned {} bytes, wanted {len}",
+                bytes.len()
+            )));
+        }
+        if len > 0 {
+            fetched_total += len;
+            if traced {
+                ctx.recorder().counter_add_at(
+                    ctx.now(),
+                    ctx.rank(),
+                    names::BYTES_STREAMED,
+                    Some(array.name()),
+                    len,
+                );
+            }
+            let vals = decode::<T>(&bytes);
+            aux.local_mut().copy_from_slice(&vals);
+        }
+        assign(ctx, array, &aux)?;
+        if traced {
+            ctx.recorder().span_end(ctx.now(), ctx.rank(), Phase::StreamWave, array.name());
+        }
+    }
+    // Every rank fetched the same piece set, but only the fetching rank
+    // counted its bytes; make the return value the collective total.
+    let (per_rank, _) = ctx.exchange(fetched_total);
+    Ok(per_rank.iter().sum())
+}
+
 /// Collective: streams the entire array (the checkpoint path).
 pub fn write_array<T: Element>(
     ctx: &mut Ctx,

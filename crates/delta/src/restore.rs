@@ -131,6 +131,27 @@ pub fn restore_arrays_delta(
     Ok(t1 - t0)
 }
 
+/// Assembles `[off, off + len)` of an array's canonical stream from a
+/// committed delta chain (collective — every rank must call, idle ranks
+/// with `len == 0`). This is the range-limited materialization localized
+/// recovery uses as its PIOFS fallback for incremental checkpoints: only
+/// the chunks covering a *lost* section's byte range are read and
+/// verified, never the whole chain.
+pub fn fetch_delta_range(
+    ctx: &mut Ctx,
+    fs: &Piofs,
+    prefix: &str,
+    manifest: &Manifest,
+    array: &str,
+    off: u64,
+    len: u64,
+) -> Result<Vec<u8>> {
+    let d = manifest.delta(array).ok_or_else(|| {
+        CoreError::ManifestMismatch(format!("delta checkpoint has no chunk table for {array:?}"))
+    })?;
+    fetch_stream_range(ctx, fs, prefix, d, d.params(), off, len)
+}
+
 /// Assembles `[off, off + len)` of an array's canonical stream from its
 /// chunk table. All covering chunks are read in **one collective phase**
 /// ([`Piofs::collective_read`]): the fetch callback is invoked on every

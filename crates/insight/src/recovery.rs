@@ -1,18 +1,25 @@
 //! Recovery-cost attribution over a stitched timeline.
 //!
 //! Answers "where did the wall clock of this faulty run go?" with an
-//! *exact tiling*: every stitched second lands in exactly one of five
-//! buckets — detection latency, restore, re-computation, useful work, or
-//! lost work — so the buckets sum to the stitched wall clock to the last
-//! bit (useful work is the residual of the other four inside each
-//! incarnation's extent, and the boundary quantities are differences of
-//! the same event timestamps, so nothing is double-billed).
+//! *exact tiling*: every stitched second lands in exactly one of six
+//! buckets — detection latency, restore, localized recovery,
+//! re-computation, useful work, or lost work — so the buckets sum to the
+//! stitched wall clock to the last bit (useful work is the residual of
+//! the other five inside each incarnation's extent, and the boundary
+//! quantities are differences of the same event timestamps, so nothing
+//! is double-billed).
 //!
 //! Bucket boundaries, per incarnation `k` over `[start_k, end_k]`:
 //!
 //! * **detect** — the gap billed before `start_k` (restarts only);
 //! * **restore** — `start_k` to the last close of a restore span
 //!   ([`drms_blackbox::RESTORE_SPAN_NAMES`]), restarted incarnations only;
+//! * **localized** — the union of in-incarnation localized-recovery
+//!   spans ([`drms_blackbox::LOCALIZED_SPAN_NAME`]): survivors paused
+//!   while lost sections were restored in place, no restart billed.
+//!   Overlap with the restore window stays restore; overlap with the
+//!   recompute or lost windows is billed localized (priority
+//!   restore > localized > recompute > lost);
 //! * **recompute** — restore end to the first `commit:` marker: work
 //!   re-done because it post-dated the checkpoint the restart used. A
 //!   restarted incarnation that never commits is all re-computation (if it
@@ -20,15 +27,20 @@
 //! * **lost** — last `commit:` marker to `end_k`, killed incarnations
 //!   only: work that died uncommitted;
 //! * **useful** — everything else.
+//!
+//! The localized bucket is what separates a run that recovered through
+//! the survivor-driven section-restore path from one that fell back to a
+//! full restart: localized time replaces an entire detect + restore +
+//! recompute cycle of a new incarnation.
 
 use std::fmt::Write as _;
 
-use drms_blackbox::{COMMIT_EVENT_PREFIX, RESTORE_SPAN_NAMES};
+use drms_blackbox::{COMMIT_EVENT_PREFIX, LOCALIZED_SPAN_NAME, RESTORE_SPAN_NAMES};
 use drms_obs::EventKind;
 
 use crate::stitch::StitchedTimeline;
 
-/// One incarnation's share of the five buckets, in stitched seconds.
+/// One incarnation's share of the six buckets, in stitched seconds.
 #[derive(Debug, Clone, PartialEq)]
 pub struct IncarnationCost {
     /// Incarnation number.
@@ -37,6 +49,9 @@ pub struct IncarnationCost {
     pub detect: f64,
     /// Restore window (checkpoint read + redistribution).
     pub restore: f64,
+    /// In-place localized-recovery windows (survivor-driven section
+    /// restore that avoided a restart).
+    pub localized: f64,
     /// Re-computation to regain the pre-crash frontier.
     pub recompute: f64,
     /// Productive, committed-or-final work.
@@ -53,7 +68,7 @@ pub struct IncarnationCost {
 impl IncarnationCost {
     /// The incarnation's extent duration (all buckets except `detect`).
     pub fn duration(&self) -> f64 {
-        self.restore + self.recompute + self.useful + self.lost
+        self.restore + self.localized + self.recompute + self.useful + self.lost
     }
 }
 
@@ -90,6 +105,27 @@ impl RecoveryReport {
                 .filter(|e| e.kind == EventKind::Instant && e.name.starts_with(COMMIT_EVENT_PREFIX))
                 .map(|e| e.t)
                 .collect();
+            // Localized-recovery windows: paired Start/End spans within the
+            // extent. An unclosed span (a crash mid-recovery) extends to
+            // the extent's end. Clamped below the restore window so restore
+            // keeps priority, then merged so overlaps bill once.
+            let mut localized_windows: Vec<(f64, f64)> = Vec::new();
+            let mut open: Option<f64> = None;
+            for e in events.iter().filter(|e| e.name == LOCALIZED_SPAN_NAME) {
+                match e.kind {
+                    EventKind::Begin => open = Some(e.t),
+                    EventKind::End => {
+                        if let Some(s) = open.take() {
+                            localized_windows.push((s, e.t));
+                        }
+                    }
+                    EventKind::Instant => {}
+                }
+            }
+            if let Some(s) = open {
+                localized_windows.push((s, seg.end));
+            }
+            let localized_windows = merge_windows(localized_windows, restore_end, seg.end);
             let restore = restore_end - seg.start;
             // Only a restarted incarnation re-computes: its pre-commit work
             // repeats ground the checkpoint had already covered. A fresh
@@ -107,9 +143,23 @@ impl RecoveryReport {
             } else {
                 (0.0, commits.last().copied().unwrap_or(seg.start))
             };
-            let lost = if seg.killed { (seg.end - lost_from).max(0.0) } else { 0.0 };
+            // Priority walk: time inside a localized window is billed
+            // localized, carved out of whichever lower-priority bucket
+            // (recompute, lost) would otherwise have claimed it.
+            let localized: f64 = localized_windows.iter().map(|&(s, e)| e - s).sum();
+            let recompute = recompute
+                - localized_windows
+                    .iter()
+                    .map(|&(s, e)| overlap(s, e, restore_end, restore_end + recompute))
+                    .sum::<f64>();
+            let lost_raw = if seg.killed { (seg.end - lost_from).max(0.0) } else { 0.0 };
+            let lost = lost_raw
+                - localized_windows
+                    .iter()
+                    .map(|&(s, e)| overlap(s, e, seg.end - lost_raw, seg.end))
+                    .sum::<f64>();
             let duration = seg.end - seg.start;
-            let useful = duration - restore - recompute - lost;
+            let useful = duration - restore - localized - recompute - lost;
             let mut rank_lost: Vec<(usize, f64)> = Vec::new();
             if seg.killed {
                 let mut by_rank: std::collections::BTreeMap<usize, f64> = Default::default();
@@ -124,6 +174,7 @@ impl RecoveryReport {
                 incarnation: seg.incarnation,
                 detect: seg.detect,
                 restore,
+                localized,
                 recompute,
                 useful,
                 lost,
@@ -141,7 +192,7 @@ impl RecoveryReport {
 
     /// Total recovery cost: everything except useful work.
     pub fn recovery_cost(&self) -> f64 {
-        self.total(|r| r.detect + r.restore + r.recompute + r.lost)
+        self.total(|r| r.detect + r.restore + r.localized + r.recompute + r.lost)
     }
 
     /// Recovery cost as a fraction of the stitched wall clock (0 when the
@@ -169,14 +220,21 @@ impl RecoveryReport {
         let _ = writeln!(out, "recovery-cost attribution ({} incarnations)", self.rows.len());
         let _ = writeln!(
             out,
-            "{:>4} {:>12} {:>12} {:>12} {:>12} {:>12} {:>8}",
-            "inc", "detect", "restore", "recompute", "useful", "lost", "commits"
+            "{:>4} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>8}",
+            "inc", "detect", "restore", "localized", "recompute", "useful", "lost", "commits"
         );
         for r in &self.rows {
             let _ = writeln!(
                 out,
-                "{:>4} {:>12.6} {:>12.6} {:>12.6} {:>12.6} {:>12.6} {:>8}",
-                r.incarnation, r.detect, r.restore, r.recompute, r.useful, r.lost, r.commits
+                "{:>4} {:>12.6} {:>12.6} {:>12.6} {:>12.6} {:>12.6} {:>12.6} {:>8}",
+                r.incarnation,
+                r.detect,
+                r.restore,
+                r.localized,
+                r.recompute,
+                r.useful,
+                r.lost,
+                r.commits
             );
             for (rank, lost) in &r.rank_lost {
                 if *lost > 0.0 {
@@ -186,9 +244,11 @@ impl RecoveryReport {
         }
         let _ = writeln!(
             out,
-            "totals detect={:.6} restore={:.6} recompute={:.6} useful={:.6} lost={:.6}",
+            "totals detect={:.6} restore={:.6} localized={:.6} recompute={:.6} useful={:.6} \
+             lost={:.6}",
             self.total(|r| r.detect),
             self.total(|r| r.restore),
+            self.total(|r| r.localized),
             self.total(|r| r.recompute),
             self.total(|r| r.useful),
             self.total(|r| r.lost),
@@ -202,6 +262,30 @@ impl RecoveryReport {
         );
         out
     }
+}
+
+/// Clamps each window to `[lo, hi]`, drops empties, and merges overlaps
+/// so every instant is counted at most once.
+fn merge_windows(mut windows: Vec<(f64, f64)>, lo: f64, hi: f64) -> Vec<(f64, f64)> {
+    for w in &mut windows {
+        w.0 = w.0.max(lo);
+        w.1 = w.1.min(hi);
+    }
+    windows.retain(|&(s, e)| e > s);
+    windows.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut merged: Vec<(f64, f64)> = Vec::with_capacity(windows.len());
+    for (s, e) in windows {
+        match merged.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => merged.push((s, e)),
+        }
+    }
+    merged
+}
+
+/// Length of the intersection of `[a0, a1]` and `[b0, b1]`.
+fn overlap(a0: f64, a1: f64, b0: f64, b1: f64) -> f64 {
+    (a1.min(b1) - a0.max(b0)).max(0.0)
 }
 
 #[cfg(test)]
@@ -272,6 +356,78 @@ mod tests {
         assert_eq!(tails.len(), 2);
         assert_eq!(tails[0], (0, 4.0));
         assert_eq!(tails[1], (1, 3.0));
+    }
+
+    #[test]
+    fn localized_spans_bill_their_own_bucket() {
+        // One incarnation, never killed or restarted: a commit at 3, then
+        // a localized recovery from 5 to 7, horizon 10. The two seconds
+        // inside the span are recovery cost; the rest is useful.
+        let inputs = vec![IncarnationInput {
+            incarnation: 0,
+            events: vec![
+                ev(3.0, 0, "commit:ck/a", EventKind::Instant),
+                ev(5.0, 0, LOCALIZED_SPAN_NAME, EventKind::Begin),
+                ev(7.0, 0, LOCALIZED_SPAN_NAME, EventKind::End),
+                ev(10.0, 0, "done", EventKind::Instant),
+            ],
+            killed: false,
+            restarted: false,
+        }];
+        let tl = stitch(&inputs, &StitchOptions { detection_latency: 2.0 });
+        let rep = RecoveryReport::from_timeline(&tl);
+        assert_eq!(rep.rows[0].localized, 2.0);
+        assert_eq!(rep.rows[0].useful, 8.0);
+        assert_eq!(rep.rows[0].restore, 0.0);
+        assert_eq!(rep.recovery_cost(), 2.0);
+        assert_eq!(rep.tiling_error(), 0.0);
+        assert!(rep.render().contains("localized"));
+    }
+
+    #[test]
+    fn localized_takes_priority_over_lost() {
+        // Killed incarnation: commit at 4, localized span [6, 8], horizon
+        // 10. The span is carved out of the lost tail, not double-billed.
+        let inputs = vec![IncarnationInput {
+            incarnation: 0,
+            events: vec![
+                ev(4.0, 0, "commit:ck/a", EventKind::Instant),
+                ev(6.0, 0, LOCALIZED_SPAN_NAME, EventKind::Begin),
+                ev(8.0, 0, LOCALIZED_SPAN_NAME, EventKind::End),
+                ev(10.0, 0, "crash:x", EventKind::Instant),
+            ],
+            killed: true,
+            restarted: false,
+        }];
+        let tl = stitch(&inputs, &StitchOptions { detection_latency: 1.0 });
+        let rep = RecoveryReport::from_timeline(&tl);
+        assert_eq!(rep.rows[0].localized, 2.0);
+        assert_eq!(rep.rows[0].lost, 4.0);
+        assert_eq!(rep.rows[0].useful, 4.0);
+        assert_eq!(rep.tiling_error(), 0.0);
+    }
+
+    #[test]
+    fn unclosed_localized_span_extends_to_the_crash() {
+        // A second failure mid-recovery leaves the span open: everything
+        // from the span start to the horizon is localized-recovery time.
+        let inputs = vec![IncarnationInput {
+            incarnation: 0,
+            events: vec![
+                ev(6.0, 0, LOCALIZED_SPAN_NAME, EventKind::Begin),
+                ev(9.0, 0, "crash:recover_restored", EventKind::Instant),
+            ],
+            killed: true,
+            restarted: false,
+        }];
+        let tl = stitch(&inputs, &StitchOptions { detection_latency: 1.0 });
+        let rep = RecoveryReport::from_timeline(&tl);
+        // With no commit the whole extent is a lost tail; the open span
+        // carves [6, 9] out of it as localized-recovery time.
+        assert_eq!(rep.rows[0].localized, 3.0);
+        assert_eq!(rep.rows[0].lost, 6.0);
+        assert_eq!(rep.rows[0].useful, 0.0);
+        assert_eq!(rep.tiling_error(), 0.0);
     }
 
     #[test]

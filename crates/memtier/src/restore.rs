@@ -20,7 +20,9 @@ use crate::{MemTierError, Result};
 
 /// Charges the caller's clock for fetched tier pieces: local holders move
 /// at memory-copy bandwidth, remote holders pay latency plus wire time.
-pub(crate) fn price_fetch(ctx: &mut Ctx, sources: &[(usize, u64)]) {
+/// Public so that recovery-time section fetches price identically to a
+/// full tier restore.
+pub fn price_fetch(ctx: &mut Ctx, sources: &[(usize, u64)]) {
     let cost = *ctx.cost();
     let my = ctx.node();
     let mut dt = 0.0;
@@ -32,6 +34,32 @@ pub(crate) fn price_fetch(ctx: &mut Ctx, sources: &[(usize, u64)]) {
         }
     }
     ctx.charge(dt);
+}
+
+/// Fetches `[off, off + len)` of an array's checkpoint stream out of the
+/// tier entry under `prefix`, priced like any other tier read and counted
+/// against `memtier.restore_bytes`. A zero-length request returns an empty
+/// buffer without touching the tier — the collective fetch convention for
+/// ranks that have nothing to read this wave. This is the section-granular
+/// read localized recovery uses: only the byte ranges of *lost* sections
+/// are pulled, never the whole stream.
+pub fn fetch_array_range(
+    ctx: &mut Ctx,
+    tier: &MemTier,
+    prefix: &str,
+    array: &str,
+    off: u64,
+    len: u64,
+) -> Result<Vec<u8>> {
+    if len == 0 {
+        return Ok(Vec::new());
+    }
+    let f = tier.fetch(prefix, &array_file(array), off, len)?;
+    price_fetch(ctx, &f.sources);
+    if ctx.recorder().enabled() {
+        ctx.recorder().counter_add(ctx.rank(), names::MEMTIER_RESTORE_BYTES, None, len);
+    }
+    Ok(f.data)
 }
 
 /// `drms_initialize` against the memory tier (collective): checks the entry

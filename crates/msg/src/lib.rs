@@ -29,10 +29,12 @@
 mod board;
 mod clock;
 mod comm;
+mod group;
 mod runner;
 
 pub use clock::{CostModel, SimClock};
 pub use comm::{Ctx, Incoming, ReduceOp, World};
+pub use group::Group;
 pub use runner::{
     run_spmd, run_spmd_chaos, run_spmd_traced, run_spmd_with_nodes, run_spmd_with_nodes_chaos,
     run_spmd_with_nodes_traced, SpmdError,

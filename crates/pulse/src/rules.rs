@@ -129,6 +129,10 @@ pub struct RuleThresholds {
     /// and lost work over stitched wall clock, the
     /// `blackbox.recovery_ratio` gauge) exceeds this fraction of the run.
     pub recovery_budget: f64,
+    /// Recovery-degradation floor: alert when localized recovery
+    /// escalates to at least this many verified full restarts inside one
+    /// window (the survivor-driven restore path is no longer holding).
+    pub full_restart_budget: u64,
 }
 
 impl Default for RuleThresholds {
@@ -142,14 +146,16 @@ impl Default for RuleThresholds {
             delta_dirty_ceiling: 0.9,
             flush_lag_budget_us: 5_000_000,
             recovery_budget: 0.25,
+            full_restart_budget: 1,
         }
     }
 }
 
-/// The eight built-in rules: checkpoint-stall SLO breach, retry storm,
+/// The nine built-in rules: checkpoint-stall SLO breach, retry storm,
 /// straggler skew, parity-degraded writes, memory-tier replica loss,
-/// delta-ratio collapse, asynchronous flush lag, and recovery-budget
-/// exhaustion.
+/// delta-ratio collapse, asynchronous flush lag, recovery-budget
+/// exhaustion, and recovery degradation (localized recovery escalating
+/// to full restarts).
 pub fn builtin_rules(th: &RuleThresholds) -> Vec<PulseRule> {
     use drms_obs::names;
     vec![
@@ -212,6 +218,14 @@ pub fn builtin_rules(th: &RuleThresholds) -> Vec<PulseRule> {
                 name: names::BLACKBOX_RECOVERY_RATIO,
                 index: 0,
                 above: th.recovery_budget,
+            },
+            min_windows: 1,
+        },
+        PulseRule {
+            name: names::ALERT_RECOVERY_DEGRADED,
+            predicate: Predicate::CountAbove {
+                metrics: vec![names::RECOVER_FULL_RESTARTS],
+                at_least: th.full_restart_budget,
             },
             min_windows: 1,
         },
@@ -428,6 +442,21 @@ mod tests {
         let fired = eng.evaluate(3, 3.0, 4.0, &idle); // gap 3.0 >= 2.5
         assert_eq!(fired.len(), 1);
         assert!((fired[0].value - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recovery_degradation_counts_full_restarts() {
+        let rules = builtin_rules(&RuleThresholds::default());
+        assert_eq!(rules.len(), 9);
+        let mut eng = RuleEngine::new(rules);
+        let quiet = window_with(names::RECOVER_FULL_RESTARTS, 0);
+        assert!(!eng
+            .evaluate(0, 0.0, 1.0, &quiet)
+            .iter()
+            .any(|a| a.rule == names::ALERT_RECOVERY_DEGRADED));
+        let degraded = window_with(names::RECOVER_FULL_RESTARTS, 1);
+        let fired = eng.evaluate(1, 1.0, 2.0, &degraded);
+        assert!(fired.iter().any(|a| a.rule == names::ALERT_RECOVERY_DEGRADED));
     }
 
     #[test]

@@ -1,0 +1,120 @@
+//! Membership epochs and the collective recovery barrier.
+//!
+//! Every membership transition — a node loss handled locally, an explicit
+//! shrink or grow — is stamped with a monotonically increasing *epoch*.
+//! The epoch is agreed collectively at an SOP: each task contributes its
+//! local view of which nodes failed, the views are merged
+//! deterministically (union of failed nodes, maximum of epoch proposals),
+//! and every task derives the identical survivor set from the merged view.
+//! Tasks therefore never act on divergent membership: either the whole
+//! region transitions to epoch *e + 1* with the same survivors, or none
+//! does.
+
+use drms_msg::Ctx;
+use drms_obs::{names, Phase};
+
+/// The agreed task membership of an SPMD region at some epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Membership {
+    /// Epoch counter: 0 at job start, +1 per agreed transition.
+    pub epoch: u64,
+    /// Per-rank survival flags (`survivors[r]` — rank `r` still owns live
+    /// data). Non-survivors keep running as replacement tasks with empty
+    /// sections.
+    pub survivors: Vec<bool>,
+}
+
+impl Membership {
+    /// Epoch-0 membership: every task alive.
+    pub fn initial(ntasks: usize) -> Membership {
+        Membership { epoch: 0, survivors: vec![true; ntasks] }
+    }
+
+    /// The surviving ranks, ascending — the active set arrays re-partition
+    /// onto.
+    pub fn active(&self) -> Vec<usize> {
+        (0..self.survivors.len()).filter(|&r| self.survivors[r]).collect()
+    }
+
+    /// The lost ranks, ascending.
+    pub fn lost(&self) -> Vec<usize> {
+        (0..self.survivors.len()).filter(|&r| !self.survivors[r]).collect()
+    }
+}
+
+/// Collective, epoch-stamped recovery barrier: merges every task's view of
+/// the failed nodes and returns the agreed next membership. Deterministic
+/// by construction — the merged view is the union of all reported node
+/// ids and the epoch is the maximum proposal, both order-independent —
+/// so every task of the region computes bit-identical results. Records
+/// the new epoch on the `recover.epoch` gauge and an instant event in the
+/// recovery phase (rank 0).
+pub fn recovery_barrier(ctx: &mut Ctx, prev: &Membership, failed_nodes: &[usize]) -> Membership {
+    let proposal = (prev.epoch + 1, failed_nodes.to_vec());
+    let (views, _) = ctx.exchange(proposal);
+    let epoch = views.iter().map(|(e, _)| *e).max().unwrap_or(prev.epoch + 1);
+    let mut failed: Vec<usize> = views.iter().flat_map(|(_, f)| f.iter().copied()).collect();
+    failed.sort_unstable();
+    failed.dedup();
+    let survivors: Vec<bool> =
+        (0..ctx.ntasks()).map(|r| prev.survivors[r] && !failed.contains(&ctx.node_of(r))).collect();
+    if ctx.rank() == 0 && ctx.recorder().enabled() {
+        let rec = ctx.recorder();
+        rec.gauge_set_at(ctx.now(), 0, names::RECOVER_EPOCH, 0, epoch as f64);
+        rec.event(ctx.now(), 0, Phase::Recover, &format!("recover:e{epoch}"));
+    }
+    Membership { epoch, survivors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drms_msg::{run_spmd, CostModel};
+
+    #[test]
+    fn initial_membership_is_everyone() {
+        let m = Membership::initial(4);
+        assert_eq!(m.epoch, 0);
+        assert_eq!(m.active(), vec![0, 1, 2, 3]);
+        assert!(m.lost().is_empty());
+    }
+
+    #[test]
+    fn barrier_merges_divergent_views() {
+        // Tasks map to nodes 0..4; only rank 2 saw node 1 fail, only rank 3
+        // saw node 0 fail — everyone must agree both are gone.
+        let out = run_spmd(4, CostModel::default(), |ctx| {
+            let prev = Membership::initial(ctx.ntasks());
+            let seen: &[usize] = match ctx.rank() {
+                2 => &[1],
+                3 => &[0],
+                _ => &[],
+            };
+            recovery_barrier(ctx, &prev, seen)
+        })
+        .unwrap();
+        for m in &out {
+            assert_eq!(m.epoch, 1);
+            assert_eq!(m.lost(), vec![0, 1]);
+            assert_eq!(m.active(), vec![2, 3]);
+        }
+        assert!(out.windows(2).all(|w| w[0] == w[1]), "agreement is exact");
+    }
+
+    #[test]
+    fn epochs_compose_across_transitions() {
+        let out = run_spmd(3, CostModel::default(), |ctx| {
+            let m0 = Membership::initial(ctx.ntasks());
+            let m1 = recovery_barrier(ctx, &m0, &[2]);
+            let m2 = recovery_barrier(ctx, &m1, &[0]);
+            (m1, m2)
+        })
+        .unwrap();
+        let (m1, m2) = &out[0];
+        assert_eq!((m1.epoch, m2.epoch), (1, 2));
+        assert_eq!(m1.active(), vec![0, 1]);
+        // A rank lost at epoch 1 stays lost at epoch 2.
+        assert_eq!(m2.active(), vec![1]);
+        assert_eq!(m2.lost(), vec![0, 2]);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests for online shrink/grow: re-partitioning across arbitrary
+//! active-set sizes preserves every array byte, and a grow immediately
+//! undoing a shrink is the identity — all with zero storage I/O (the
+//! malleable path never sees a file system).
+
+use drms_core::CheckpointArray;
+use drms_darray::{DistArray, Distribution};
+use drms_msg::{run_spmd, CostModel, Ctx, ReduceOp};
+use drms_recover::{resize, shrink, Membership};
+use drms_slices::{Order, Slice};
+use proptest::prelude::*;
+
+fn truth(p: &[i64]) -> f64 {
+    (p[0] * 53 + p[1] * 11 + 3) as f64
+}
+
+fn array(ctx: &Ctx, rows: i64, cols: i64) -> DistArray<f64> {
+    let dom = Slice::boxed(&[(1, rows), (1, cols)]);
+    let dist = Distribution::block_auto(&dom, ctx.ntasks(), 0).unwrap();
+    let mut u = DistArray::<f64>::new("u", Order::ColumnMajor, dist, ctx.rank());
+    u.fill_assigned(truth);
+    u
+}
+
+/// Collective check: the assigned sections tile the domain and every value
+/// is bitwise the fill function.
+fn assert_intact(ctx: &mut Ctx, u: &DistArray<f64>, domain_size: usize) {
+    let (ok, n) = u.fold_assigned((true, 0u64), |(ok, n), p, v| {
+        (ok && v.to_bits() == truth(p).to_bits(), n + 1)
+    });
+    assert!(ok, "rank {} holds corrupted bytes after re-partition", ctx.rank());
+    let covered = ctx.allreduce(n as f64, ReduceOp::Sum);
+    assert_eq!(covered as usize, domain_size);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any sequence of resizes over arbitrary active counts preserves the
+    /// array bytes exactly.
+    #[test]
+    fn repartition_roundtrip_preserves_bytes(
+        ntasks in 2usize..7,
+        rows in 6i64..21,
+        cols in 5i64..16,
+        sizes in proptest::collection::vec(1usize..7, 1..5),
+    ) {
+        let sizes: Vec<usize> = sizes.into_iter().map(|s| s.min(ntasks).max(1)).collect();
+        run_spmd(ntasks, CostModel::default(), |ctx| {
+            let mut u = array(ctx, rows, cols);
+            let dom_size = u.domain().size();
+            let mut m = Membership::initial(ctx.ntasks());
+            for &n in &sizes {
+                m = shrink(ctx, &m, n, &mut [&mut u]).unwrap();
+                assert_eq!(m.active().len(), n);
+                assert_intact(ctx, &u, dom_size);
+            }
+            // Back to the full region: identical to the initial layout.
+            m = shrink(ctx, &m, ctx.ntasks(), &mut [&mut u]).unwrap();
+            assert_eq!(m.active().len(), ctx.ntasks());
+            assert_intact(ctx, &u, dom_size);
+        })
+        .unwrap();
+    }
+
+    /// Growing right back after a shrink is the identity on local bytes.
+    #[test]
+    fn grow_after_shrink_is_identity(
+        ntasks in 2usize..7,
+        shrink_to in 1usize..6,
+        rows in 6i64..19,
+        cols in 5i64..13,
+    ) {
+        let shrink_to = shrink_to.min(ntasks);
+        run_spmd(ntasks, CostModel::default(), |ctx| {
+            let mut u = array(ctx, rows, cols);
+            let before = CheckpointArray::local_encoded(&u);
+            let assigned_before = u.assigned().clone();
+            let m0 = Membership::initial(ctx.ntasks());
+            let m1 = shrink(ctx, &m0, shrink_to, &mut [&mut u]).unwrap();
+            let m2 = drms_recover::grow(ctx, &m1, ctx.ntasks(), &mut [&mut u]).unwrap();
+            assert!(m2.epoch > m1.epoch, "each transition stamps a fresh epoch");
+            assert_eq!(m2.active().len(), ctx.ntasks());
+            assert_eq!(u.assigned(), &assigned_before);
+            assert_eq!(CheckpointArray::local_encoded(&u), before);
+        })
+        .unwrap();
+    }
+
+    /// Explicit non-prefix active sets work too: any strictly increasing
+    /// rank subset can host the arrays.
+    #[test]
+    fn arbitrary_active_subsets_preserve_bytes(
+        ntasks in 3usize..7,
+        mask in proptest::collection::vec(proptest::bool::ANY, 6..7),
+    ) {
+        let active: Vec<usize> = (0..ntasks).filter(|&r| mask[r]).collect();
+        let active = if active.is_empty() { vec![0] } else { active };
+        let expect = active.clone();
+        run_spmd(ntasks, CostModel::default(), move |ctx| {
+            let mut u = array(ctx, 14, 9);
+            let dom_size = u.domain().size();
+            let m0 = Membership::initial(ctx.ntasks());
+            let m1 = resize(ctx, &m0, &expect, &mut [&mut u]).unwrap();
+            assert_eq!(m1.active(), expect);
+            assert_intact(ctx, &u, dom_size);
+            if !expect.contains(&ctx.rank()) {
+                assert!(u.assigned().is_empty(), "vacated ranks hold no section");
+            }
+        })
+        .unwrap();
+    }
+}

@@ -66,6 +66,11 @@ pub struct JobEnv {
     /// [`RestartTier::Piofs`] when `restart_from` is `None` or the memory
     /// tier is off.
     pub restart_tier: RestartTier,
+    /// Whether the JSA permits localized recovery: on node loss the job
+    /// body may restore only the lost ranks' sections in place instead of
+    /// exiting [`JobOutcome::Killed`]. When false (the default policy),
+    /// every node loss is handled by a full restart.
+    pub localized: bool,
 }
 
 impl JobEnv {

@@ -30,11 +30,23 @@ pub struct JsaPolicy {
     /// one that verifies end-to-end. When off, the JSA trusts the newest
     /// manifest blindly (the pre-resilience behavior).
     pub verified_restart: bool,
+    /// Permit localized recovery: the job body may handle a node loss by
+    /// restoring only the lost ranks' sections in place (survivors keep
+    /// their memory) instead of exiting for a full restart. The JSA only
+    /// advertises the permission through [`JobEnv::localized`]; a body that
+    /// ignores it, or a recovery that escalates, falls back to the ordinary
+    /// kill-and-restart path.
+    pub localized_recovery: bool,
 }
 
 impl Default for JsaPolicy {
     fn default() -> Self {
-        JsaPolicy { max_incarnations: 16, repair_when_starved: false, verified_restart: true }
+        JsaPolicy {
+            max_incarnations: 16,
+            repair_when_starved: false,
+            verified_restart: true,
+            localized_recovery: false,
+        }
     }
 }
 
@@ -273,6 +285,7 @@ impl Jsa {
                 incarnation,
                 memtier: self.memtier.clone(),
                 restart_tier,
+                localized: self.policy.localized_recovery,
             };
             let body = Arc::clone(&job.body);
             let run = move |ctx: &mut drms_msg::Ctx| body(ctx, &env);

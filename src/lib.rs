@@ -35,6 +35,9 @@
 //! * [`pulse`] — online telemetry: windowed streaming aggregation, a
 //!   declarative health-rule engine, and live heartbeat/status exporters
 //!   for in-flight runs;
+//! * [`recover`] — localized recovery: survivor-driven section restore
+//!   with membership epochs and an escalation ladder, plus online
+//!   shrink/grow for malleable jobs;
 //! * [`apps`] — mini NAS-parallel-benchmark applications (BT, LU, SP).
 
 pub use drms_apps as apps;
@@ -50,6 +53,7 @@ pub use drms_msg as msg;
 pub use drms_obs as obs;
 pub use drms_piofs as piofs;
 pub use drms_pulse as pulse;
+pub use drms_recover as recover;
 pub use drms_resil as resil;
 pub use drms_rtenv as rtenv;
 pub use drms_slices as slices;

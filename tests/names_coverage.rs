@@ -26,6 +26,7 @@ use drms::msg::{run_spmd_chaos, CostModel};
 use drms::obs::{names, FanoutRecorder, Recorder, TraceRecorder};
 use drms::piofs::{Piofs, PiofsConfig};
 use drms::pulse::{builtin_rules, heartbeat, Pulse, PulseConfig, RuleThresholds};
+use drms::recover::{grow, recover, retain, shrink, Membership, StreamSource};
 use drms::resil::{scrub_checkpoint, CorruptionCampaign};
 use drms::rtenv::{
     EventLog, JobOutcome, JobSpec, Jsa, JsaPolicy, ProcessorState, ResourceCoordinator,
@@ -713,6 +714,99 @@ fn every_metric_name_is_emitted_by_some_instrumentation_site() {
         );
         assert!(bb.incarnations().len() >= 2, "chaos crash never reincarnated");
         covered.extend(emitted(&trace));
+    }
+
+    // Scenario 10 — localized recovery: the survivor-driven restore path
+    // end to end on a pulse fan-out. A memtier-hit recovery (epoch gauge,
+    // localized/section counters, replica + survivor + retained bytes), a
+    // PIOFS section-read fallback (piofs bytes), an online shrink/grow
+    // cycle (resizes), and finally an escalation to a verified full
+    // restart, whose counter trips the recovery-degraded rule live.
+    {
+        let trace = Arc::new(TraceRecorder::default());
+        let pulse = Pulse::new(PulseConfig {
+            ntasks: NPROCS,
+            window: 0.002,
+            rules: builtin_rules(&RuleThresholds::default()),
+            ..PulseConfig::default()
+        });
+        pulse.set_sink(trace.clone() as Arc<dyn Recorder>);
+        let fan: Arc<dyn Recorder> = Arc::new(FanoutRecorder::new(vec![
+            trace.clone() as Arc<dyn Recorder>,
+            pulse.recorder(),
+        ]));
+        let fs = Piofs::new(PiofsConfig::test_tiny(NPROCS), 41);
+        fs.set_recorder(fan.clone());
+        let tier = MemTier::new(2);
+        let ctl = ChaosCtl::new(FaultPlan::seeded(41));
+        run_spmd_chaos(NPROCS, CostModel::default(), fan, ctl, |ctx| {
+            let (mut drms, _) =
+                Drms::initialize(ctx, &fs, DrmsConfig::new(APP), EnableFlag::new(), None).unwrap();
+            let dist = Distribution::block_auto(&domain(), ctx.ntasks(), 1).unwrap();
+            let mut u = DistArray::<f64>::new("u", Order::ColumnMajor, dist, ctx.rank());
+            u.fill_assigned(|p| (p[0] * 13 + p[1] * 3) as f64);
+            let mut seg = DataSegment::new();
+
+            // (a) Memtier-hit localized recovery: node 2's sections are
+            // lost, the tier's replicas serve them, PIOFS is never read.
+            seg.set_control("iter", 3);
+            store_checkpoint(ctx, &tier, "ck/r3", &mut drms, &seg, &[&u]).unwrap();
+            let retained = retain(ctx, "ck/r3", 3, &[&u]);
+            u.fill_assigned(|p| (p[0] * 13 + p[1] * 3) as f64 + 1.5);
+            if ctx.rank() == 0 {
+                tier.fail_node(2);
+            }
+            ctx.barrier();
+            let m0 = Membership::initial(ctx.ntasks());
+            let (m1, rep) =
+                recover(ctx, &fs, Some(&tier), &retained, &m0, &[2], &mut [&mut u], ctx.ntasks())
+                    .unwrap();
+            assert_eq!(rep.source, StreamSource::Replica);
+            assert_eq!(rep.piofs_bytes, 0);
+
+            // (b) PIOFS fallback: a durable checkpoint serves the next
+            // loss through manifest-ranged section reads.
+            seg.set_control("iter", 6);
+            drms.reconfig_checkpoint(ctx, &fs, "ck/r6", &seg, &[&u]).unwrap();
+            let retained = retain(ctx, "ck/r6", 6, &[&u]);
+            let (m2, rep) =
+                recover(ctx, &fs, None, &retained, &m1, &[4], &mut [&mut u], ctx.ntasks()).unwrap();
+            assert_eq!(rep.source, StreamSource::PiofsFull);
+            assert!(rep.piofs_bytes > 0);
+
+            // (c) Online shrink/grow at an SOP: zero storage I/O.
+            let m3 = shrink(ctx, &m2, 5, &mut [&mut u]).unwrap();
+            let m4 = grow(ctx, &m3, ctx.ntasks(), &mut [&mut u]).unwrap();
+
+            // (d) Nothing can serve a never-written checkpoint: the
+            // protocol escalates to a verified full restart.
+            let retained = retain(ctx, "ck/never", 9, &[&u]);
+            let err = recover(ctx, &fs, None, &retained, &m4, &[1], &mut [&mut u], ctx.ntasks())
+                .unwrap_err();
+            assert!(matches!(err, drms::recover::RecoverError::Escalate(_)));
+        })
+        .unwrap();
+        let report = pulse.finish();
+        assert!(
+            report.alerts.iter().any(|a| a.rule == names::ALERT_RECOVERY_DEGRADED),
+            "recovery-degraded rule never fired; fired: {:?}",
+            report.alerts
+        );
+        let names_seen = emitted(&trace);
+        for name in [
+            names::RECOVER_EPOCH,
+            names::RECOVER_LOCALIZED,
+            names::RECOVER_FULL_RESTARTS,
+            names::RECOVER_SECTIONS,
+            names::RECOVER_REPLICA_BYTES,
+            names::RECOVER_PIOFS_BYTES,
+            names::RECOVER_SURVIVOR_BYTES,
+            names::RECOVER_RETAIN_BYTES,
+            names::RECOVER_RESIZES,
+        ] {
+            assert!(names_seen.contains(name), "localized-recovery scenario never emitted {name}");
+        }
+        covered.extend(names_seen);
     }
 
     let missing: Vec<&str> = names::ALL.iter().copied().filter(|n| !covered.contains(n)).collect();
